@@ -1,0 +1,24 @@
+"""Shared configuration for the figure benchmarks.
+
+Every benchmark runs the corresponding experiment driver at a scale that
+finishes in CI-friendly wall-clock time, prints the paper-style table, and
+asserts the *shape* of the paper's result (who wins, roughly by how much,
+where the crossovers are).  Absolute values are virtual-time seconds from
+the simulator, not wall-clock — see DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.stats import StatsScale
+
+# scaled-down STATS database used by the Fig. 8 benchmarks
+FIG8_SCALE = StatsScale(users=300, posts=900, comments=1500, votes=2200,
+                        badges=600, posthistory=1100, postlinks=250,
+                        tags=60)
+
+
+@pytest.fixture(scope="session")
+def fig8_scale() -> StatsScale:
+    return FIG8_SCALE

@@ -1,0 +1,77 @@
+"""Ablation: the learned query optimizer's system-condition input.
+
+Paper Fig. 5 feeds "buffer information ... and data statistics representing
+each attribute's distribution" through cross-attention.  This ablation
+trains one model normally and one with the system-condition block zeroed
+out, then compares ranking quality across drifted databases.  The
+condition-aware model must not be worse — the conditions are what carry
+drift information the plan features alone cannot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.fig8 import _build_db, pretrain_neurdb_qo
+from repro.exec.measure import measure_plan_latency
+from repro.learned.qo import LearnedQueryOptimizer
+from repro.sql import parse
+from repro.workloads.stats import QUERIES, StatsGenerator, StatsScale
+
+SMALL = StatsScale(users=200, posts=600, comments=900, votes=1300,
+                   badges=400, posthistory=700, postlinks=160, tags=40)
+
+
+class _BlindFeaturizer:
+    """Zeroes the system conditions (the ablated input)."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def featurize(self, catalog, table_columns, buffer_pool=None):
+        return np.zeros_like(self._inner.featurize(catalog, table_columns,
+                                                   buffer_pool))
+
+
+def _geo_regret(optimizer: LearnedQueryOptimizer, db) -> float:
+    regrets = []
+    for sql in QUERIES:
+        select = parse(sql)
+        candidates = db.planner.candidate_plans(select, 12)
+        latencies = [measure_plan_latency(db.executor, db.clock, c,
+                                          cap_virtual=0.2).latency
+                     for c in candidates]
+        chosen, _ = optimizer.choose_plan(db, select)
+        chosen_latency = measure_plan_latency(db.executor, db.clock,
+                                              chosen,
+                                              cap_virtual=0.2).latency
+        regrets.append(chosen_latency / min(latencies))
+    return float(np.exp(np.mean(np.log(regrets))))
+
+
+def test_ablation_system_conditions(benchmark):
+    def run():
+        full = pretrain_neurdb_qo(SMALL, distributions=2, epochs=20)
+
+        blind = LearnedQueryOptimizer(model=full.model)
+        blind.cond_featurizer = _BlindFeaturizer(full.cond_featurizer)
+
+        out = {}
+        for scenario in ("original", "severe"):
+            db = _build_db(SMALL, seed=0)
+            if scenario == "severe":
+                StatsGenerator(scale=SMALL, seed=0).apply_drift(db,
+                                                                "severe")
+            out[scenario] = (_geo_regret(full, db),
+                             _geo_regret(blind, db))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nAblation — QO with vs without system conditions (geo regret)")
+    for scenario, (with_conditions, without) in results.items():
+        print(f"  {scenario}: with={with_conditions:.3f} "
+              f"without={without:.3f}")
+
+    for scenario, (with_conditions, without) in results.items():
+        assert with_conditions <= without * 1.05
+    # under severe drift the conditions must not hurt
+    assert results["severe"][0] <= results["severe"][1] * 1.02

@@ -1,0 +1,47 @@
+"""Fig. 6(a): overall AI-analytics performance, NeurDB vs PostgreSQL+P.
+
+Paper: "NeurDB achieves up to 41.3% and 48.6% lower end-to-end latency, and
+1.96x and 2.92x higher training throughput than PostgreSQL+P for Workload E
+and Workload H, respectively."
+
+Shape asserted here: NeurDB wins on both metrics for both workloads;
+latency reductions land in the 30-70% band; throughput gains in 1.5-3.5x;
+and Workload H (wider rows -> more export overhead) gains more than E.
+"""
+
+from repro.bench.fig6 import run_fig6a
+from repro.bench.reporting import format_table
+
+
+def test_fig6a_overall_performance(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig6a(samples=16_384, batch_size=2048,
+                          predict_rows=2048),
+        rounds=1, iterations=1)
+    by = {(r.workload, r.system): r for r in rows}
+
+    print("\nFig. 6(a) — end-to-end latency and training throughput")
+    print(format_table(
+        ["workload", "system", "latency (vs)", "tput (samples/vs)"],
+        [[r.workload, r.system, r.latency_seconds,
+          r.training_throughput] for r in rows]))
+
+    reductions = {}
+    gains = {}
+    for workload in ("E", "H"):
+        neurdb = by[(workload, "NeurDB")]
+        baseline = by[(workload, "PostgreSQL+P")]
+        reductions[workload] = 1 - (neurdb.latency_seconds
+                                    / baseline.latency_seconds)
+        gains[workload] = (neurdb.training_throughput
+                           / baseline.training_throughput)
+    print(f"latency reduction: E={reductions['E']:.1%} "
+          f"H={reductions['H']:.1%} (paper: 41.3% / 48.6%)")
+    print(f"throughput gain:   E={gains['E']:.2f}x H={gains['H']:.2f}x "
+          f"(paper: 1.96x / 2.92x)")
+
+    for workload in ("E", "H"):
+        assert 0.30 < reductions[workload] < 0.70
+        assert 1.5 < gains[workload] < 3.5
+    # H has 43 attributes vs E's 22: the per-value export tax is larger
+    assert gains["H"] > gains["E"]

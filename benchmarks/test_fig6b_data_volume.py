@@ -1,0 +1,42 @@
+"""Fig. 6(b): effect of data volume (number of batches) on latency.
+
+Paper: Workload E with 20..640 data batches; "NeurDB consistently
+outperforms PostgreSQL+P, indicating that NeurDB can scale well with
+increased data volume."  Both systems grow roughly linearly.
+"""
+
+import numpy as np
+
+from repro.bench.fig6 import run_fig6b
+from repro.bench.reporting import format_table
+
+BATCH_COUNTS = (20, 40, 80, 160, 320, 640)
+
+
+def test_fig6b_data_volume(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig6b(batch_counts=BATCH_COUNTS, batch_size=256),
+        rounds=1, iterations=1)
+
+    neurdb = {r.batches: r.latency_seconds for r in rows
+              if r.system == "NeurDB"}
+    baseline = {r.batches: r.latency_seconds for r in rows
+                if r.system == "PostgreSQL+P"}
+
+    print("\nFig. 6(b) — latency vs number of data batches (Workload E)")
+    print(format_table(
+        ["batches", "NeurDB (vs)", "PostgreSQL+P (vs)", "ratio"],
+        [[b, neurdb[b], baseline[b], baseline[b] / neurdb[b]]
+         for b in BATCH_COUNTS]))
+
+    # NeurDB below the baseline at every point
+    for batches in BATCH_COUNTS:
+        assert neurdb[batches] < baseline[batches]
+
+    # both curves grow monotonically and roughly linearly: doubling the
+    # batch count should roughly double the latency (1.6x..2.4x band)
+    for series in (neurdb, baseline):
+        values = [series[b] for b in BATCH_COUNTS]
+        assert values == sorted(values)
+        for smaller, larger in zip(values, values[1:]):
+            assert 1.6 < larger / smaller < 2.4

@@ -1,0 +1,35 @@
+"""Fig. 7(a): learned concurrency control, overall YCSB throughput.
+
+Paper: "NeurDB achieves up to 1.44x higher transaction throughput than
+PostgreSQL [serializable snapshot isolation]" at 4 and 16 threads.
+
+Shape asserted: NeurDB(CC) >= PostgreSQL at 4 threads (they tie at low
+contention) and clearly above at 16 threads where contention grows; both
+systems gain throughput going 4 -> 16 threads (scalability).
+"""
+
+from repro.bench.fig7 import run_fig7a
+from repro.bench.reporting import format_table
+
+
+def test_fig7a_ycsb_throughput(benchmark):
+    rows = benchmark.pedantic(lambda: run_fig7a(), rounds=1, iterations=1)
+    by = {(r.threads, r.system): r for r in rows}
+
+    print("\nFig. 7(a) — YCSB throughput (5 selects + 5 updates, 1M keys)")
+    print(format_table(
+        ["threads", "system", "throughput (txns/vs)", "abort rate"],
+        [[r.threads, r.system, r.throughput, r.abort_rate]
+         for r in rows]))
+    ratio4 = (by[(4, "NeurDB")].throughput
+              / by[(4, "PostgreSQL")].throughput)
+    ratio16 = (by[(16, "NeurDB")].throughput
+               / by[(16, "PostgreSQL")].throughput)
+    print(f"NeurDB / PostgreSQL: {ratio4:.2f}x @4thr, {ratio16:.2f}x @16thr "
+          "(paper: up to 1.44x)")
+
+    assert ratio4 >= 0.95           # parity at low contention
+    assert 1.2 <= ratio16 <= 2.5    # clear win at high contention
+    # both systems scale with threads
+    assert by[(16, "PostgreSQL")].throughput > by[(4, "PostgreSQL")].throughput
+    assert by[(16, "NeurDB")].throughput > by[(4, "NeurDB")].throughput

@@ -1,0 +1,60 @@
+"""Fig. 8: learned query optimizers under data drift (STATS SPJ queries).
+
+Paper: 8 SPJ queries over three workloads (original STATS, mild drift,
+severe drift); systems: PostgreSQL, Bao, Lero, NeurDB.  "NeurDB achieves up
+to 20.32% lower average latency of all evaluated queries, which demonstrates
+its effective adaptability to both data and workload drift."
+
+Shape asserted: NeurDB has the lowest (or tied-lowest) average latency in
+every scenario; its advantage over PostgreSQL does not vanish under drift;
+and no NeurDB choice is catastrophically bad (no censored plans).
+"""
+
+import pytest
+
+from repro.bench.fig8 import SCENARIOS, SYSTEMS, run_fig8
+from repro.bench.reporting import format_table
+from repro.workloads.stats import QUERIES
+
+
+def test_fig8_learned_query_optimizers(fig8_scale, benchmark):
+    result = benchmark.pedantic(lambda: run_fig8(scale=fig8_scale),
+                                rounds=1, iterations=1)
+
+    print("\nFig. 8 — per-query latency (virtual ms), 4 systems x 3 drifts")
+    for scenario in SCENARIOS:
+        rows = []
+        for query in range(1, len(QUERIES) + 1):
+            rows.append([f"Q{query}"] + [
+                result.latency(scenario, query, system) * 1e3
+                for system in SYSTEMS])
+        print(f"-- {scenario} --")
+        print(format_table(["query"] + list(SYSTEMS), rows))
+
+    print("\naverage (geometric mean) latency per system:")
+    averages = {}
+    for scenario in SCENARIOS:
+        averages[scenario] = {system: result.average_latency(scenario,
+                                                             system)
+                              for system in SYSTEMS}
+        line = "  ".join(f"{system}={averages[scenario][system]*1e3:.3f}ms"
+                         for system in SYSTEMS)
+        print(f"  {scenario}: {line}")
+
+    for scenario in SCENARIOS:
+        best_baseline = min(averages[scenario][s]
+                            for s in ("PostgreSQL", "Bao", "Lero"))
+        # NeurDB lowest average (small tolerance for measurement jitter)
+        assert averages[scenario]["NeurDB"] <= best_baseline * 1.02
+
+    # the advantage over the static optimizer is visible (paper: up to
+    # ~20% lower average latency; ours is smaller but must be real)
+    improvements = [1 - (averages[s]["NeurDB"] / averages[s]["PostgreSQL"])
+                    for s in SCENARIOS]
+    print(f"NeurDB vs PostgreSQL avg improvement per scenario: "
+          f"{[f'{i:.1%}' for i in improvements]}")
+    assert max(improvements) > 0.02
+
+    # NeurDB never picks a catastrophic (censored) plan
+    neurdb_cells = [c for c in result.cells if c.system == "NeurDB"]
+    assert not any(c.censored for c in neurdb_cells)

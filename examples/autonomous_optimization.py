@@ -1,0 +1,98 @@
+"""Autonomous DBMS optimization: the two fast-adaptive learned components.
+
+Part 1 — learned concurrency control: runs the YCSB micro-benchmark under
+PostgreSQL-style SSI and under NeurDB(CC), then lets the two-phase
+(filter/refine) adaptation tune the decision model online.
+
+Part 2 — learned query optimizer: builds the synthetic STATS database,
+drifts it, and compares the classical (stale-statistics) planner's choice
+against the learned optimizer conditioned on live system conditions.
+
+Run with:  python examples/autonomous_optimization.py
+"""
+
+import numpy as np
+
+from repro.exec.measure import measure_plan_latency
+from repro.learned.cc import (
+    DecisionModel,
+    LearnedCCPolicy,
+    TwoPhaseAdapter,
+)
+from repro.learned.qo import LearnedQueryOptimizer
+from repro.sql import parse
+from repro.txnsim import SerializableSnapshotIsolation, TxnSimulator
+from repro.workloads.stats import QUERIES, StatsGenerator, StatsScale, build_stats_db
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+
+def learned_concurrency_control() -> None:
+    print("=" * 68)
+    print("Part 1 — learned concurrency control (YCSB, 16 threads)")
+    workload = YCSBWorkload(YCSBConfig(records=1_000_000, zipf_theta=0.9))
+
+    ssi = TxnSimulator(16, SerializableSnapshotIsolation(), workload,
+                       seed=1).run(0.02)
+    print(f"PostgreSQL (SSI):     {ssi.throughput:9,.0f} txns/vs, "
+          f"abort rate {ssi.abort_rate:.1%}")
+
+    before = TxnSimulator(16, LearnedCCPolicy(), workload, seed=1).run(0.02)
+    print(f"NeurDB(CC) untuned:   {before.throughput:9,.0f} txns/vs")
+
+    def evaluate(params: np.ndarray) -> float:
+        policy = LearnedCCPolicy(DecisionModel(params.copy()))
+        return TxnSimulator(16, policy, workload,
+                            seed=2).run(0.008).throughput
+
+    adapter = TwoPhaseAdapter(candidates=6, sigma=2.0, refine_steps=4,
+                              refine_sigma=0.5, seed=0)
+    params, report = adapter.adapt(DecisionModel.default_params(), evaluate)
+    after = TxnSimulator(16, LearnedCCPolicy(DecisionModel(params)),
+                         workload, seed=1).run(0.02)
+    print(f"NeurDB(CC) adapted:   {after.throughput:9,.0f} txns/vs "
+          f"({after.throughput / ssi.throughput:.2f}x PostgreSQL; "
+          f"{report.evaluations} evaluation slices: "
+          f"filter {report.filtered_reward:,.0f} -> "
+          f"refine {report.refined_reward:,.0f})")
+
+
+def learned_query_optimization() -> None:
+    print("\n" + "=" * 68)
+    print("Part 2 — learned query optimizer (STATS under severe drift)")
+    scale = StatsScale(users=300, posts=900, comments=1500, votes=2200,
+                       badges=600, posthistory=1100, postlinks=250, tags=60)
+
+    # train the learned optimizer on several synthetic distributions
+    from repro.bench.fig8 import pretrain_neurdb_qo
+    print("pre-training the dual-module model across synthetic "
+          "distributions ...")
+    learned = pretrain_neurdb_qo(scale, distributions=2, epochs=20)
+
+    db = build_stats_db(scale=scale, seed=0)
+    StatsGenerator(scale=scale, seed=0).apply_drift(db, "severe")
+    # no re-ANALYZE: the classical planner keeps stale statistics
+
+    print(f"{'query':6s} {'PostgreSQL':>12s} {'NeurDB':>12s}  winner")
+    totals = {"pg": 0.0, "neurdb": 0.0}
+    for i, sql in enumerate(QUERIES, 1):
+        select = parse(sql)
+        pg_plan = db.planner.plan_select(select)
+        pg = measure_plan_latency(db.executor, db.clock, pg_plan,
+                                  cap_virtual=0.25).latency
+        chosen, _ = learned.choose_plan(db, select)
+        nd = measure_plan_latency(db.executor, db.clock, chosen,
+                                  cap_virtual=0.25).latency
+        totals["pg"] += pg
+        totals["neurdb"] += nd
+        winner = "NeurDB" if nd < pg * 0.99 else (
+            "PostgreSQL" if pg < nd * 0.99 else "tie")
+        print(f"Q{i:<5d} {pg * 1e3:10.3f}ms {nd * 1e3:10.3f}ms  {winner}")
+    improvement = 1 - totals["neurdb"] / totals["pg"]
+    print(f"\ntotal latency: PostgreSQL {totals['pg'] * 1e3:.2f}ms, "
+          f"NeurDB {totals['neurdb'] * 1e3:.2f}ms "
+          f"({improvement:+.1%} for NeurDB)")
+
+
+if __name__ == "__main__":
+    learned_concurrency_control()
+    learned_query_optimization()

@@ -1,0 +1,67 @@
+"""Healthcare disease-progression prediction (Workload H, Listing 2).
+
+Shows the paper's classification SQL verbatim (PREDICT CLASS OF ... VALUES),
+plus the MSelection operator choosing among model families by validation
+quality — one of the additional AI operators §3 describes.
+
+Run with:  python examples/healthcare_prediction.py
+"""
+
+import numpy as np
+
+import repro
+from repro.ai.tasks import ModelSelectionTask
+from repro.nn.losses import auc_score
+from repro.workloads.diabetes import DiabetesGenerator, load_into_db
+
+
+def main() -> None:
+    db = repro.connect()
+    generator = DiabetesGenerator(seed=0)
+    load_into_db(db, generator, count=3000)
+    print(f"diabetes table: "
+          f"{db.execute('SELECT count(*) FROM diabetes').scalar()} rows, "
+          f"{len(db.catalog.table('diabetes').schema)} columns")
+
+    # -- Listing 2: classification with inline VALUES ----------------------
+    result = db.execute(
+        "PREDICT CLASS OF outcome FROM diabetes "
+        "TRAIN ON pregnancies, glucose, blood_pressure "
+        "VALUES (6, 148, 72), (1, 85, 66), (8, 183, 64)")
+    print("\nListing-2 style predictions (pregnancies, glucose, bp -> class):")
+    for row in result.rows:
+        print(f"  {row[:-1]} -> outcome {row[-1]}")
+
+    # -- full-table prediction with TRAIN ON * and quality measurement ------
+    result = db.execute(
+        "PREDICT CLASS OF outcome FROM diabetes TRAIN ON *",
+        force_retrain=True)
+    probabilities = result.extra["probabilities"]
+    outcome_idx = db.catalog.table("diabetes").schema.index_of("outcome")
+    truth = [row[outcome_idx]
+             for _, row in db.catalog.table("diabetes").scan()]
+    auc = auc_score(np.asarray(probabilities), np.asarray(truth))
+    print(f"\nfull-table PREDICT: AUC against ground truth = {auc:.3f}")
+
+    # -- the MSelection operator: pick the best model family ----------------
+    heap = db.catalog.table("diabetes")
+    feature_cols = [c for c in heap.schema.non_unique_column_names()
+                    if c != "outcome"]
+    idx = [heap.schema.index_of(c) for c in feature_cols]
+    rows, labels = [], []
+    for _, row in heap.scan():
+        rows.append(tuple(row[i] for i in idx))
+        labels.append(float(row[outcome_idx]))
+    selection = db.ai_engine.select_model(
+        ModelSelectionTask(model_name="diabetes_selector",
+                           task_type="classification"),
+        rows[:1500], labels[:1500], steps=20)
+    print("\nMSelection operator scores (validation AUC):")
+    for name, score in sorted(selection.details["scores"].items(),
+                              key=lambda kv: -kv[1]):
+        marker = " <- selected" if name == selection.selected_model else ""
+        print(f"  {name:10s} {score:.3f}{marker}")
+
+
+if __name__ == "__main__":
+    main()

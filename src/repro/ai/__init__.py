@@ -1,0 +1,59 @@
+"""The in-database AI ecosystem: AI engine, streaming protocol, streaming
+loader, model manager (layered storage + incremental update), monitor, and
+the ARM-Net analytics model."""
+
+from repro.ai.armnet import ARMNet, FeatureHasher
+from repro.ai.engine import AIEngine, Dispatcher
+from repro.ai.loader import StreamingDataLoader, table_row_stream
+from repro.ai.model_manager import ModelManager, ModelView
+from repro.ai.monitor import DriftEvent, MetricStream, Monitor
+from repro.ai.runtime import AIRuntime
+from repro.ai.streaming import (
+    Channel,
+    Frame,
+    FrameType,
+    StreamConfig,
+    StreamSender,
+    StreamStats,
+    decode_batch,
+    decode_handshake,
+    encode_batch,
+    encode_handshake,
+)
+from repro.ai.tasks import (
+    FineTuneTask,
+    InferenceTask,
+    ModelSelectionTask,
+    TaskResult,
+    TrainTask,
+)
+
+__all__ = [
+    "AIEngine",
+    "AIRuntime",
+    "ARMNet",
+    "Channel",
+    "Dispatcher",
+    "DriftEvent",
+    "FeatureHasher",
+    "FineTuneTask",
+    "Frame",
+    "FrameType",
+    "InferenceTask",
+    "MetricStream",
+    "ModelManager",
+    "ModelSelectionTask",
+    "ModelView",
+    "Monitor",
+    "StreamConfig",
+    "StreamSender",
+    "StreamStats",
+    "StreamingDataLoader",
+    "TaskResult",
+    "TrainTask",
+    "decode_batch",
+    "decode_handshake",
+    "encode_batch",
+    "encode_handshake",
+    "table_row_stream",
+]

@@ -1,0 +1,120 @@
+"""The streaming data loader.
+
+Paper Fig. 2 shows a "Streaming Data Loader" feeding dispatchers, which run
+"data pipelines ... for preprocessing, feature engineering" and push prepared
+batches to AI runtimes "in a streaming and pipelining manner to minimize the
+delay in the data preparation steps".
+
+:class:`StreamingDataLoader` pulls rows from any row iterator (usually a
+table scan), hashes features, and yields ready-to-train (ids, targets)
+batches.  It maintains a bounded window of prepared batches (the paper's
+default window is 80 batches of 4096 records).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.ai.armnet import FeatureHasher
+
+
+class StreamingDataLoader:
+    """Windowed, batch-granularity loader over a row stream.
+
+    Args:
+        rows: iterable of feature rows (raw values).
+        targets: parallel iterable of target values.
+        hasher: feature hasher shared with the model.
+        batch_size: samples per emitted batch.
+        window_batches: max prepared-but-unconsumed batches held.
+    """
+
+    def __init__(self, rows: Iterable[Sequence[object]],
+                 targets: Iterable[float], hasher: FeatureHasher,
+                 batch_size: int = 4096, window_batches: int = 80):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if window_batches <= 0:
+            raise ValueError("window_batches must be positive")
+        self._rows = iter(rows)
+        self._targets = iter(targets)
+        self._hasher = hasher
+        self.batch_size = batch_size
+        self.window_batches = window_batches
+        self._window: deque[tuple[np.ndarray, np.ndarray]] = deque()
+        self._exhausted = False
+        self.batches_produced = 0
+
+    # -- producer side -----------------------------------------------------
+
+    def _prepare_one(self) -> bool:
+        """Prepare one batch into the window; False when input is exhausted."""
+        if self._exhausted:
+            return False
+        raw_rows: list[Sequence[object]] = []
+        raw_targets: list[float] = []
+        for _ in range(self.batch_size):
+            try:
+                raw_rows.append(next(self._rows))
+                raw_targets.append(next(self._targets))
+            except StopIteration:
+                self._exhausted = True
+                break
+        if not raw_rows:
+            return False
+        ids = self._hasher.transform(raw_rows)
+        targets = np.asarray(raw_targets, dtype=np.float64)
+        self._window.append((ids, targets))
+        self.batches_produced += 1
+        return True
+
+    def fill_window(self) -> int:
+        """Prepare batches until the window is full or input runs dry."""
+        added = 0
+        while len(self._window) < self.window_batches:
+            if not self._prepare_one():
+                break
+            added += 1
+        return added
+
+    # -- consumer side ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        while True:
+            if not self._window:
+                self.fill_window()
+                if not self._window:
+                    return
+            yield self._window.popleft()
+
+    @property
+    def window_fill(self) -> int:
+        return len(self._window)
+
+
+def table_row_stream(table, feature_columns: list[str],
+                     target_column: str,
+                     row_filter: Callable[[tuple], bool] | None = None):
+    """Split a heap table scan into (feature-row stream, target stream).
+
+    Rows are materialized once (a scan cursor can't be iterated twice in
+    parallel) and NULL-target rows are skipped, mirroring how the Train
+    operator feeds the loader.
+    """
+    schema = table.schema
+    feature_idx = [schema.index_of(c) for c in feature_columns]
+    target_idx = schema.index_of(target_column)
+    feature_rows: list[tuple] = []
+    targets: list[float] = []
+    for _, row in table.scan():
+        if row_filter is not None and not row_filter(row):
+            continue
+        target = row[target_idx]
+        if target is None:
+            continue
+        feature_rows.append(tuple(row[i] for i in feature_idx))
+        targets.append(float(target))
+    return feature_rows, targets

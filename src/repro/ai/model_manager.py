@@ -1,0 +1,220 @@
+"""Layered model storage with versioning and incremental updates.
+
+Implements the paper's Fig. 3 exactly: a *Models* table keyed by (MID,
+timestamp) and a *Layers* table keyed by (MID, LID, timestamp).  A model
+version at time ``t`` assembles, for each layer position, the newest layer
+row with timestamp <= t.  Incremental update (fine-tuning the suffix)
+persists ONLY the retrained layers, so consecutive versions share the frozen
+prefix — the storage saving the paper calls out.
+
+Metadata rows live in real heap tables of this engine (models are managed
+*by the database*, the paper's design point); the weight blobs live in a
+blob store keyed by (MID, LID, timestamp).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ai.armnet import ARMNet
+from repro.common.errors import ModelNotFound
+from repro.common.simtime import CostModel, SimClock
+from repro.nn.serialize import pack_state, unpack_state
+from repro.storage.heap import HeapTable
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import DataType
+
+
+@dataclass
+class ModelView:
+    """Logical handle on (model name, version timestamp); the physical
+    layers are resolved at materialization time (paper's "model view")."""
+
+    manager: "ModelManager"
+    name: str
+    timestamp: Optional[int] = None  # None = newest
+
+    def materialize(self) -> ARMNet:
+        return self.manager.load_model(self.name, self.timestamp)
+
+    def layers(self) -> list[tuple[int, int]]:
+        """(LID, timestamp) pairs this view resolves to."""
+        return self.manager.resolve_layers(self.name, self.timestamp)
+
+
+class ModelManager:
+    """Fig. 3's model manager: training/inference/fine-tune handlers operate
+    through model views over the Models/Layers tables."""
+
+    def __init__(self, clock: SimClock | None = None):
+        self.clock = clock if clock is not None else SimClock()
+        self._models = HeapTable(TableSchema("_models", [
+            Column("mid", DataType.INT),
+            Column("name", DataType.TEXT),
+            Column("timestamp", DataType.INT),
+        ]))
+        self._layers = HeapTable(TableSchema("_model_layers", [
+            Column("mid", DataType.INT),
+            Column("lid", DataType.INT),
+            Column("timestamp", DataType.INT),
+            Column("nbytes", DataType.INT),
+        ]))
+        self._blobs: dict[tuple[int, int, int], bytes] = {}
+        self._specs: dict[int, dict] = {}
+        self._layer_names: dict[int, tuple[str, ...]] = {}
+        self._name_to_mid: dict[str, int] = {}
+        self._next_mid = 1
+        self._logical_time = 0
+
+    # -- clocks & ids -------------------------------------------------------
+
+    def _tick(self) -> int:
+        self._logical_time += 1
+        return self._logical_time
+
+    @property
+    def logical_time(self) -> int:
+        return self._logical_time
+
+    # -- registration -----------------------------------------------------------
+
+    def register_model(self, name: str, model: ARMNet) -> int:
+        """Persist a freshly-trained model as version 1; returns timestamp."""
+        name = name.lower()
+        if name in self._name_to_mid:
+            raise ValueError(f"model {name!r} already registered; "
+                             "use incremental_update or a new name")
+        mid = self._next_mid
+        self._next_mid += 1
+        self._name_to_mid[name] = mid
+        self._specs[mid] = model.spec()
+        self._layer_names[mid] = model.layer_names()
+        timestamp = self._tick()
+        self._models.insert((mid, name, timestamp))
+        for lid, layer_name in enumerate(model.layer_names()):
+            self._persist_layer(mid, lid, timestamp,
+                                model.layer_state(layer_name))
+        return timestamp
+
+    def incremental_update(self, name: str, model: ARMNet,
+                           tuned_layers: list[str]) -> int:
+        """Persist only the retrained layers as a new version (Fig. 3).
+
+        Returns the new version timestamp.  Layers not in ``tuned_layers``
+        are NOT rewritten; the new version shares them with its predecessor.
+        The model's architecture must match the registered spec — a layer
+        from a differently-shaped model would corrupt version assembly.
+        """
+        mid = self._mid_of(name)
+        if model.spec() != self._specs[mid]:
+            raise ValueError(
+                f"model {name!r} spec changed "
+                f"({self._specs[mid]} -> {model.spec()}); use "
+                "replace_model for architecture changes")
+        timestamp = self._tick()
+        self._models.insert((mid, name.lower(), timestamp))
+        names = self._layer_names[mid]
+        for layer_name in tuned_layers:
+            if layer_name not in names:
+                raise KeyError(f"model {name!r} has no layer {layer_name!r}")
+            lid = names.index(layer_name)
+            self._persist_layer(mid, lid, timestamp,
+                                model.layer_state(layer_name))
+        return timestamp
+
+    def replace_model(self, name: str, model: ARMNet) -> int:
+        """Re-register a model under an existing name with a NEW model id
+        (for architecture changes); old versions stay readable until the
+        name mapping is dropped."""
+        name = name.lower()
+        if name not in self._name_to_mid:
+            return self.register_model(name, model)
+        mid = self._next_mid
+        self._next_mid += 1
+        self._name_to_mid[name] = mid
+        self._specs[mid] = model.spec()
+        self._layer_names[mid] = model.layer_names()
+        timestamp = self._tick()
+        self._models.insert((mid, name, timestamp))
+        for lid, layer_name in enumerate(model.layer_names()):
+            self._persist_layer(mid, lid, timestamp,
+                                model.layer_state(layer_name))
+        return timestamp
+
+    def _persist_layer(self, mid: int, lid: int, timestamp: int,
+                       state: dict) -> None:
+        blob = pack_state(state)
+        self._blobs[(mid, lid, timestamp)] = blob
+        self._layers.insert((mid, lid, timestamp, len(blob)))
+
+    # -- resolution & loading -------------------------------------------------------
+
+    def view(self, name: str, timestamp: Optional[int] = None) -> ModelView:
+        self._mid_of(name)  # existence check
+        return ModelView(self, name.lower(), timestamp)
+
+    def resolve_layers(self, name: str,
+                       timestamp: Optional[int] = None) -> list[tuple[int, int]]:
+        """For each LID, the newest persisted timestamp <= requested.
+
+        This is the paper's constraint:  L(p) has t_p >= t_q for persisted
+        versions and t_p <= t (the view's timestamp).
+        """
+        mid = self._mid_of(name)
+        limit = timestamp if timestamp is not None else self._logical_time
+        newest: dict[int, int] = {}
+        for _, (row_mid, lid, ts, _nbytes) in self._layers.scan():
+            if row_mid != mid or ts > limit:
+                continue
+            if lid not in newest or ts > newest[lid]:
+                newest[lid] = ts
+        expected = len(self._layer_names[mid])
+        if len(newest) != expected:
+            raise ModelNotFound(
+                f"model {name!r} has no complete version at t<={limit}")
+        return sorted(newest.items())
+
+    def load_model(self, name: str,
+                   timestamp: Optional[int] = None) -> ARMNet:
+        """Assemble a model version from its layer rows."""
+        mid = self._mid_of(name)
+        resolved = self.resolve_layers(name, timestamp)
+        model = ARMNet.from_spec(self._specs[mid])
+        names = self._layer_names[mid]
+        for lid, layer_timestamp in resolved:
+            blob = self._blobs[(mid, lid, layer_timestamp)]
+            model.load_layer(names[lid], unpack_state(blob))
+            self.clock.advance(CostModel.MODEL_LOAD_PER_LAYER, "model-load")
+        return model
+
+    # -- introspection -----------------------------------------------------------
+
+    def has_model(self, name: str) -> bool:
+        return name.lower() in self._name_to_mid
+
+    def model_names(self) -> list[str]:
+        return sorted(self._name_to_mid)
+
+    def versions(self, name: str) -> list[int]:
+        mid = self._mid_of(name)
+        return sorted(ts for _, (row_mid, _n, ts) in self._models.scan()
+                      if row_mid == mid)
+
+    def storage_bytes(self, name: str) -> int:
+        """Total persisted layer bytes across all versions of a model."""
+        mid = self._mid_of(name)
+        return sum(len(blob) for (bmid, _lid, _ts), blob in self._blobs.items()
+                   if bmid == mid)
+
+    def layer_rows(self, name: str) -> int:
+        """Number of persisted layer rows (Fig. 3's Layers-table rows)."""
+        mid = self._mid_of(name)
+        return sum(1 for _, (row_mid, *_rest) in self._layers.scan()
+                   if row_mid == mid)
+
+    def _mid_of(self, name: str) -> int:
+        try:
+            return self._name_to_mid[name.lower()]
+        except KeyError:
+            raise ModelNotFound(f"no model named {name!r}") from None

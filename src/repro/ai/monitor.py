@@ -1,0 +1,126 @@
+"""The monitor: drift detection over performance/accuracy streams.
+
+Paper Fig. 1 includes a "Monitor" that watches metrics (throughput, loss,
+AUC, plan latency) and "detects unexpected performance or accuracy issues,
+based on which we trigger automatic and appropriate model adaptation".
+
+Detection is deliberately simple and non-intrusive (paper §4.2: "we
+non-intrusively monitor the system conditions"): each metric stream keeps a
+sliding window; drift fires when the recent-window mean degrades relative to
+the reference-window mean by more than a threshold.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass
+class DriftEvent:
+    """A detected drift on one metric stream."""
+
+    stream: str
+    reference_mean: float
+    recent_mean: float
+    relative_change: float
+    observation_index: int
+
+
+class MetricStream:
+    """Sliding-window drift detector for one metric.
+
+    Args:
+        higher_is_better: True for throughput/AUC, False for loss/latency.
+        threshold: relative degradation that counts as drift (0.3 = 30%).
+        window: observations per window (reference and recent).
+        cooldown: observations to wait after an event before re-arming,
+            so one drift does not fire a storm of events mid-adaptation.
+    """
+
+    def __init__(self, name: str, higher_is_better: bool = False,
+                 threshold: float = 0.3, window: int = 10,
+                 cooldown: int | None = None):
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.name = name
+        self.higher_is_better = higher_is_better
+        self.threshold = threshold
+        self.window = window
+        self.cooldown = cooldown if cooldown is not None else window
+        self._reference: deque[float] = deque(maxlen=window)
+        self._recent: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._cooldown_left = 0
+
+    def observe(self, value: float) -> DriftEvent | None:
+        """Record one observation; returns a DriftEvent if drift fired."""
+        self._count += 1
+        if len(self._recent) == self._recent.maxlen:
+            self._reference.append(self._recent[0])
+        self._recent.append(value)
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            return None
+        if (len(self._reference) < self.window
+                or len(self._recent) < self.window):
+            return None
+        reference = sum(self._reference) / len(self._reference)
+        recent = sum(self._recent) / len(self._recent)
+        if reference == 0:
+            return None
+        change = (recent - reference) / abs(reference)
+        degraded = (change < -self.threshold if self.higher_is_better
+                    else change > self.threshold)
+        if not degraded:
+            return None
+        self._cooldown_left = self.cooldown
+        return DriftEvent(stream=self.name, reference_mean=reference,
+                          recent_mean=recent, relative_change=change,
+                          observation_index=self._count)
+
+
+class Monitor:
+    """Multi-stream monitor with adaptation triggers.
+
+    Components register a callback per stream; when drift fires, the monitor
+    invokes the callback (e.g. the AI engine's fine-tune entry point).
+    """
+
+    def __init__(self) -> None:
+        self._streams: dict[str, MetricStream] = {}
+        self._triggers: dict[str, list[Callable[[DriftEvent], None]]] = {}
+        self.events: list[DriftEvent] = []
+
+    def register(self, name: str, higher_is_better: bool = False,
+                 threshold: float = 0.3, window: int = 10,
+                 cooldown: int | None = None) -> MetricStream:
+        if name in self._streams:
+            raise ValueError(f"stream {name!r} already registered")
+        stream = MetricStream(name, higher_is_better, threshold, window,
+                              cooldown)
+        self._streams[name] = stream
+        self._triggers[name] = []
+        return stream
+
+    def on_drift(self, name: str,
+                 callback: Callable[[DriftEvent], None]) -> None:
+        if name not in self._streams:
+            raise KeyError(f"no stream {name!r}")
+        self._triggers[name].append(callback)
+
+    def observe(self, name: str, value: float) -> DriftEvent | None:
+        if name not in self._streams:
+            raise KeyError(f"no stream {name!r}; register it first")
+        event = self._streams[name].observe(value)
+        if event is not None:
+            self.events.append(event)
+            for callback in self._triggers[name]:
+                callback(event)
+        return event
+
+    def drift_count(self, name: str | None = None) -> int:
+        if name is None:
+            return len(self.events)
+        return sum(1 for e in self.events if e.stream == name)

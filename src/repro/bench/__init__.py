@@ -1,0 +1,49 @@
+"""Experiment drivers regenerating every figure of the paper's evaluation.
+
+Each ``run_figNx`` function returns structured rows; the ``benchmarks/``
+pytest files call them with scaled-down parameters, print the paper-style
+tables, and assert the headline shapes.
+"""
+
+from repro.bench.fig6 import (
+    Fig6aRow,
+    Fig6bRow,
+    Fig6cResult,
+    run_fig6a,
+    run_fig6b,
+    run_fig6c,
+)
+from repro.bench.fig7 import (
+    Fig7aRow,
+    Fig7bPoint,
+    Fig7bResult,
+    run_fig7a,
+    run_fig7b,
+)
+from repro.bench.fig8 import (
+    Fig8Cell,
+    Fig8Result,
+    pretrain_neurdb_qo,
+    run_fig8,
+)
+from repro.bench.reporting import format_table, geometric_mean
+
+__all__ = [
+    "Fig6aRow",
+    "Fig6bRow",
+    "Fig6cResult",
+    "Fig7aRow",
+    "Fig7bPoint",
+    "Fig7bResult",
+    "Fig8Cell",
+    "Fig8Result",
+    "format_table",
+    "geometric_mean",
+    "pretrain_neurdb_qo",
+    "run_fig6a",
+    "run_fig6b",
+    "run_fig6c",
+    "run_fig8",
+    "run_fig7a",
+    "run_fig7b",
+]

@@ -1,0 +1,231 @@
+"""Experiment drivers for Figure 6: in-database AI analytics.
+
+* :func:`run_fig6a` — end-to-end latency + training throughput, NeurDB vs
+  PostgreSQL+P, workloads E (Avazu CTR) and H (Diabetes).
+* :func:`run_fig6b` — latency vs number of data batches (Workload E sweep).
+* :func:`run_fig6c` — training loss under cluster drift C1→C5 with and
+  without the model incremental update.
+
+All latencies/throughputs are virtual time; losses are real gradient-descent
+losses from the shared ARM-Net implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ai.armnet import ARMNet
+from repro.ai.engine import AIEngine
+from repro.ai.model_manager import ModelManager
+from repro.ai.monitor import Monitor
+from repro.ai.tasks import InferenceTask, TrainTask
+from repro.baseline import PostgresPlusP
+from repro.common.simtime import SimClock
+from repro.nn.losses import bce_with_logits
+from repro.nn.optim import Adam
+from repro.workloads.avazu import FIELD_COUNT as AVAZU_FIELDS
+from repro.workloads.avazu import AvazuGenerator
+from repro.workloads.diabetes import FIELD_COUNT as DIABETES_FIELDS
+from repro.workloads.diabetes import DiabetesGenerator
+
+
+@dataclass
+class Fig6aRow:
+    workload: str
+    system: str
+    latency_seconds: float
+    training_throughput: float
+
+
+def _workload_data(workload: str, samples: int, seed: int = 0):
+    if workload == "E":
+        generator = AvazuGenerator(seed=seed)
+        batch = generator.generate(cluster=0, count=samples)
+        return batch.rows, batch.labels, AVAZU_FIELDS
+    if workload == "H":
+        generator = DiabetesGenerator(seed=seed)
+        batch = generator.generate(samples)
+        return batch.rows, batch.labels, DIABETES_FIELDS
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def run_fig6a(samples: int = 40_960, batch_size: int = 4096,
+              predict_rows: int = 4096, epochs: int = 1,
+              seed: int = 0) -> list[Fig6aRow]:
+    """Fig. 6(a): per workload and system, end-to-end PREDICT latency
+    (train + inference) and training throughput."""
+    rows: list[Fig6aRow] = []
+    for workload in ("E", "H"):
+        data_rows, labels, fields = _workload_data(workload, samples, seed)
+        task_args = dict(task_type="classification", field_count=fields,
+                         epochs=epochs, batch_size=batch_size)
+
+        # NeurDB: streaming + pipelined in-database path
+        engine = AIEngine(model_manager=ModelManager(), clock=SimClock())
+        train = engine.train(TrainTask(model_name=f"fig6a_{workload}",
+                                       **task_args), data_rows, labels)
+        infer = engine.infer(InferenceTask(model_name=f"fig6a_{workload}"),
+                             data_rows[:predict_rows])
+        rows.append(Fig6aRow(workload, "NeurDB",
+                             train.virtual_seconds + infer.virtual_seconds,
+                             train.training_throughput))
+
+        # PostgreSQL+P: serial batch-export path (same model & math)
+        baseline = PostgresPlusP(clock=SimClock())
+        base_train = baseline.train(
+            TrainTask(model_name=f"fig6a_{workload}_pg", **task_args),
+            data_rows, labels)
+        model = base_train.details["model"]
+        before = baseline.clock.now
+        baseline.infer(model, data_rows[:predict_rows])
+        infer_seconds = baseline.clock.now - before
+        rows.append(Fig6aRow(workload, "PostgreSQL+P",
+                             base_train.virtual_seconds + infer_seconds,
+                             base_train.training_throughput))
+    return rows
+
+
+@dataclass
+class Fig6bRow:
+    batches: int
+    system: str
+    latency_seconds: float
+
+
+def run_fig6b(batch_counts: tuple[int, ...] = (20, 40, 80, 160, 320, 640),
+              batch_size: int = 512, seed: int = 0) -> list[Fig6bRow]:
+    """Fig. 6(b): Workload E latency as data volume grows.
+
+    ``batch_size`` is configurable so tests can trade wall-clock for scale;
+    the virtual-time *shape* (linear growth, NeurDB below the baseline at
+    every point) is batch-size independent.
+    """
+    generator = AvazuGenerator(seed=seed)
+    rows: list[Fig6bRow] = []
+    for batches in batch_counts:
+        samples = batches * batch_size
+        batch = generator.generate(cluster=0, count=samples)
+        task_args = dict(task_type="classification",
+                         field_count=AVAZU_FIELDS, epochs=1,
+                         batch_size=batch_size)
+
+        engine = AIEngine(model_manager=ModelManager(), clock=SimClock())
+        train = engine.train(TrainTask(model_name=f"fig6b_{batches}",
+                                       **task_args),
+                             batch.rows, batch.labels)
+        rows.append(Fig6bRow(batches, "NeurDB", train.virtual_seconds))
+
+        baseline = PostgresPlusP(clock=SimClock())
+        base = baseline.train(TrainTask(model_name=f"fig6b_{batches}_pg",
+                                        **task_args),
+                              batch.rows, batch.labels)
+        rows.append(Fig6bRow(batches, "PostgreSQL+P", base.virtual_seconds))
+    return rows
+
+
+@dataclass
+class Fig6cResult:
+    """Loss curves with/without incremental update under C1->C5 drift."""
+
+    samples_axis: list[int] = field(default_factory=list)
+    loss_without: list[float] = field(default_factory=list)
+    loss_with: list[float] = field(default_factory=list)
+    drift_points: list[int] = field(default_factory=list)
+    versions_created: int = 0
+
+    def spike_means(self, window: int = 3) -> tuple[float, float]:
+        """Mean loss over the first ``window`` batches after each drift,
+        (without, with) — the quantity Fig. 6(c) shows diverging."""
+        without, with_ = [], []
+        axis = np.asarray(self.samples_axis)
+        for point in self.drift_points:
+            idx = int(np.searchsorted(axis, point))
+            without.extend(self.loss_without[idx: idx + window])
+            with_.extend(self.loss_with[idx: idx + window])
+        return (float(np.mean(without)) if without else 0.0,
+                float(np.mean(with_)) if with_ else 0.0)
+
+
+def run_fig6c(samples_per_cluster: int = 16_384, batch_size: int = 256,
+              seed: int = 0, finetune_steps: int = 6,
+              finetune_lr: float = 3e-2,
+              base_lr: float = 1e-2) -> Fig6cResult:
+    """Fig. 6(c): loss vs samples across the C1..C5 drift schedule.
+
+    Both runs see the identical data stream.  The incremental-update run
+    attaches a loss-stream monitor; when a drift fires, the FineTune
+    operator retrains the head layers on the recent window with a higher
+    learning rate and persists ONLY those layers as a new version.
+    """
+    generator = AvazuGenerator(seed=seed)
+    result = Fig6cResult()
+
+    def make_model() -> tuple[ARMNet, Adam]:
+        model = ARMNet(field_count=AVAZU_FIELDS,
+                       task_type="classification", seed=seed)
+        return model, Adam(list(model.parameters()), lr=base_lr)
+
+    # -- run 1: no incremental update (plain continued SGD) ---------------
+    model_plain, opt_plain = make_model()
+    # -- run 2: with incremental update (monitor + fine-tune on drift) ----
+    model_inc, opt_inc = make_model()
+    manager = ModelManager()
+    manager.register_model("fig6c", model_inc)
+    monitor = Monitor()
+    monitor.register("loss", higher_is_better=False, threshold=0.25,
+                     window=4, cooldown=8)
+
+    consumed = 0
+    previous_cluster = 0
+    recent_window: list[tuple[np.ndarray, np.ndarray]] = []
+    versions = 0
+
+    for rows, labels, cluster in generator.drift_stream(
+            samples_per_cluster, batch_size):
+        if cluster != previous_cluster:
+            result.drift_points.append(consumed)
+            previous_cluster = cluster
+        ids = model_plain.hasher.transform(rows)
+
+        loss_plain = _train_step(model_plain, opt_plain, ids, labels)
+        loss_inc = _train_step(model_inc, opt_inc, ids, labels)
+
+        recent_window.append((ids, labels))
+        if len(recent_window) > 4:
+            recent_window.pop(0)
+
+        event = monitor.observe("loss", loss_inc)
+        if event is not None:
+            # FineTune operator: freeze prefix, adapt head on recent data
+            trainable = model_inc.freeze_prefix(tune_last=2)
+            ft_optimizer = Adam(trainable, lr=finetune_lr)
+            for _ in range(finetune_steps):
+                for window_ids, window_labels in recent_window:
+                    _train_step(model_inc, ft_optimizer, window_ids,
+                                window_labels)
+            model_inc.unfreeze_all()
+            opt_inc = Adam(list(model_inc.parameters()), lr=base_lr)
+            manager.incremental_update("fig6c", model_inc,
+                                       ["head0", "head1"])
+            versions += 1
+            loss_inc = float(bce_with_logits(
+                model_inc.forward(ids), labels).item())
+
+        consumed += len(labels)
+        result.samples_axis.append(consumed)
+        result.loss_without.append(loss_plain)
+        result.loss_with.append(loss_inc)
+
+    result.versions_created = versions
+    return result
+
+
+def _train_step(model: ARMNet, optimizer: Adam, ids: np.ndarray,
+                labels: np.ndarray) -> float:
+    optimizer.zero_grad()
+    loss = bce_with_logits(model.forward(ids), labels)
+    loss.backward()
+    optimizer.step()
+    return float(loss.item())

@@ -1,0 +1,37 @@
+"""Shared reporting helpers for the figure/table benchmarks."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]]) -> str:
+    """Plain-text aligned table (the benches print paper-style rows)."""
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            if abs(value) >= 1:
+                return f"{value:.2f}"
+            return f"{value:.4f}"
+        return str(value)
+
+    table = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in table)) if table else len(h)
+              for i, h in enumerate(headers)]
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in table:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    import math
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(max(v, 1e-12)) for v in values)
+                    / len(values))

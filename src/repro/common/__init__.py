@@ -1,0 +1,38 @@
+"""Shared infrastructure: errors, virtual clock, deterministic RNG."""
+
+from repro.common.errors import (
+    AIEngineError,
+    BindError,
+    CatalogError,
+    ConstraintViolation,
+    ExecutionError,
+    ModelNotFound,
+    NeurDBError,
+    ParseError,
+    PlanError,
+    StreamProtocolError,
+    TransactionAborted,
+    TypeMismatchError,
+)
+from repro.common.rng import make_rng, stable_hash, zipf_sample
+from repro.common.simtime import CostModel, SimClock
+
+__all__ = [
+    "AIEngineError",
+    "BindError",
+    "CatalogError",
+    "ConstraintViolation",
+    "CostModel",
+    "ExecutionError",
+    "ModelNotFound",
+    "NeurDBError",
+    "ParseError",
+    "PlanError",
+    "SimClock",
+    "StreamProtocolError",
+    "TransactionAborted",
+    "TypeMismatchError",
+    "make_rng",
+    "stable_hash",
+    "zipf_sample",
+]

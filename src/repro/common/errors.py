@@ -1,0 +1,73 @@
+"""Exception hierarchy for the repro database.
+
+Every error raised by the public API derives from :class:`NeurDBError` so
+applications can catch a single base class.  Subsystems raise the most
+specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class NeurDBError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class CatalogError(NeurDBError):
+    """A table, column, index, or model referenced in a statement is unknown,
+    or an object with the same name already exists."""
+
+
+class ParseError(NeurDBError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(NeurDBError):
+    """A parsed statement references names or types inconsistently."""
+
+
+class PlanError(NeurDBError):
+    """The planner could not produce a plan for a valid statement."""
+
+
+class ExecutionError(NeurDBError):
+    """A runtime failure while executing a physical plan."""
+
+
+class TypeMismatchError(ExecutionError):
+    """A value was incompatible with the declared column type."""
+
+
+class ConstraintViolation(ExecutionError):
+    """A uniqueness or not-null constraint was violated."""
+
+
+class TransactionAborted(NeurDBError):
+    """The concurrency control algorithm aborted the transaction.
+
+    Attributes:
+        reason: short machine-readable reason code, e.g. ``"deadlock"``,
+            ``"ww-conflict"``, ``"ssi-dangerous-structure"``, ``"policy"``.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        super().__init__(f"transaction aborted ({reason}): {detail}" if detail
+                         else f"transaction aborted ({reason})")
+        self.reason = reason
+        self.detail = detail
+
+
+class AIEngineError(NeurDBError):
+    """A failure inside the in-database AI engine."""
+
+
+class ModelNotFound(AIEngineError):
+    """The model manager has no model matching the requested id/version."""
+
+
+class StreamProtocolError(AIEngineError):
+    """A violation of the data streaming protocol (bad frame, handshake
+    mismatch, window overflow)."""

@@ -1,0 +1,48 @@
+"""Deterministic random-number utilities.
+
+Every stochastic component takes an explicit seed (or an
+``numpy.random.Generator``) so experiments are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a numpy Generator from a seed, pass one through unchanged,
+    or create an unseeded one for ``None``."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def zipf_sample(rng: np.random.Generator, n: int, theta: float,
+                size: int | None = None) -> np.ndarray | int:
+    """Sample from a Zipfian distribution over ``{0, ..., n-1}``.
+
+    This is the classical YCSB-style zipfian generator: item rank ``r`` has
+    probability proportional to ``1 / (r+1)**theta``.  ``theta = 0`` is
+    uniform; YCSB's default hotspot skew is ``theta = 0.99``.
+    """
+    if n <= 0:
+        raise ValueError("zipf_sample requires n >= 1")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-theta)
+    weights /= weights.sum()
+    out = rng.choice(n, size=size, p=weights)
+    return out
+
+
+def stable_hash(value: object, buckets: int) -> int:
+    """Deterministic (process-independent) hash of a value into a bucket.
+
+    Python's builtin ``hash`` is salted per process for strings, which would
+    make feature hashing non-reproducible, so we use a small FNV-1a.
+    """
+    data = repr(value).encode("utf-8")
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h % buckets

@@ -1,0 +1,351 @@
+"""The NeurDB facade: one object that accepts SQL (including PREDICT) and
+runs it end-to-end through the parser, planner, executor, and AI engine.
+
+This is the repo's primary public API::
+
+    import repro
+    db = repro.connect()
+    db.execute("CREATE TABLE review (rid INT UNIQUE, brand_name TEXT, "
+               "f1 FLOAT, f2 FLOAT, score FLOAT)")
+    db.execute("INSERT INTO review VALUES (1, 'acme', 0.3, 1.2, 4.5)")
+    result = db.execute(
+        "PREDICT VALUE OF score FROM review WHERE brand_name = 'acme' "
+        "TRAIN ON * WITH brand_name <> 'acme'")
+
+PREDICT execution follows the paper's Fig. 1 running example: parse ->
+customized plan -> scan feeds the streaming loader -> AI engine trains or
+reuses a managed model -> inference operator produces the result.  The
+monitor watches per-model loss; on drift it triggers the fine-tune operator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.ai.engine import AIEngine
+from repro.ai.model_manager import ModelManager
+from repro.ai.monitor import Monitor
+from repro.ai.tasks import FineTuneTask, InferenceTask, TrainTask
+from repro.common.errors import BindError, ExecutionError, NeurDBError
+from repro.common.simtime import SimClock
+from repro.exec.executor import Executor, ResultSet
+from repro.exec.expr import RowLayout, compile_expr, to_bool
+from repro.plan.optimizer import Planner
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Column, TableSchema
+
+
+class NeurDB:
+    """An in-process NeurDB instance."""
+
+    def __init__(self, num_runtimes: int = 1, buffer_pages: int = 4096,
+                 seed: int = 0):
+        self.clock = SimClock()
+        from repro.storage.buffer import BufferPool
+        self.buffer_pool = BufferPool(capacity_pages=buffer_pages,
+                                      clock=self.clock)
+        self.catalog = Catalog(buffer_pool=self.buffer_pool,
+                               clock=self.clock)
+        self.planner = Planner(self.catalog)
+        self.executor = Executor(self.catalog, self.clock)
+        self.monitor = Monitor()
+        self.models = ModelManager(self.clock)
+        self.ai_engine = AIEngine(model_manager=self.models,
+                                  clock=self.clock,
+                                  num_runtimes=num_runtimes,
+                                  monitor=self.monitor)
+        self._seed = seed
+
+    # -- public API ----------------------------------------------------------
+
+    def execute(self, sql: str, force_retrain: bool = False) -> ResultSet:
+        """Parse and run one SQL statement."""
+        statement = parse(sql)
+        return self.execute_statement(statement, force_retrain=force_retrain)
+
+    def execute_script(self, sql: str) -> list[ResultSet]:
+        """Run a ``;``-separated script; returns one result per statement."""
+        from repro.sql.parser import parse_script
+        return [self.execute_statement(s) for s in parse_script(sql)]
+
+    def execute_statement(self, statement: ast.Statement,
+                          force_retrain: bool = False) -> ResultSet:
+        if isinstance(statement, ast.Select):
+            plan = self.planner.plan_select(statement)
+            return self.executor.run(plan)
+        if isinstance(statement, ast.Insert):
+            return self._run_insert(statement)
+        if isinstance(statement, ast.Update):
+            return self._run_update(statement)
+        if isinstance(statement, ast.Delete):
+            return self._run_delete(statement)
+        if isinstance(statement, ast.CreateTable):
+            return self._run_create_table(statement)
+        if isinstance(statement, ast.DropTable):
+            self.catalog.drop_table(statement.table, statement.if_exists)
+            return _status(f"DROP TABLE {statement.table}")
+        if isinstance(statement, ast.CreateIndex):
+            self.catalog.create_index(statement.name, statement.table,
+                                      statement.column, statement.kind)
+            return _status(f"CREATE INDEX {statement.name}")
+        if isinstance(statement, ast.Analyze):
+            self.catalog.analyze(statement.table)
+            return _status("ANALYZE")
+        if isinstance(statement, ast.Predict):
+            return self._run_predict(statement, force_retrain)
+        if isinstance(statement, (ast.Begin, ast.Commit, ast.Rollback)):
+            # The facade runs autocommit; full concurrency control lives in
+            # repro.txn / repro.txnsim where contention actually exists.
+            return _status(type(statement).__name__.upper())
+        raise NeurDBError(f"unsupported statement {type(statement).__name__}")
+
+    # -- DDL ------------------------------------------------------------------
+
+    def _run_create_table(self, statement: ast.CreateTable) -> ResultSet:
+        columns = [Column(c.name, c.dtype, unique=c.unique,
+                          nullable=c.nullable) for c in statement.columns]
+        self.catalog.create_table(TableSchema(statement.table, columns))
+        return _status(f"CREATE TABLE {statement.table}")
+
+    # -- DML ------------------------------------------------------------------
+
+    def _run_insert(self, statement: ast.Insert) -> ResultSet:
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        if statement.columns:
+            positions = [schema.index_of(c) for c in statement.columns]
+        else:
+            positions = list(range(len(schema)))
+        empty_layout = RowLayout([])
+        inserted = 0
+        for value_row in statement.rows:
+            if len(value_row) != len(positions):
+                raise ExecutionError(
+                    f"INSERT expects {len(positions)} values, "
+                    f"got {len(value_row)}")
+            full: list[Any] = [None] * len(schema)
+            for position, expr in zip(positions, value_row):
+                full[position] = compile_expr(expr, empty_layout)(())
+            rid = table.insert(full)
+            self._index_insert(statement.table, table.read(rid), rid)
+            inserted += 1
+        return _status(f"INSERT {inserted}", rowcount=inserted)
+
+    def _run_update(self, statement: ast.Update) -> ResultSet:
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        layout = RowLayout([(statement.table, c.name)
+                            for c in schema.columns])
+        predicate = (compile_expr(statement.where, layout)
+                     if statement.where is not None else None)
+        assignments = [(schema.index_of(col), compile_expr(expr, layout))
+                       for col, expr in statement.assignments]
+        victims: list[tuple] = []
+        for rid, row in table.scan():
+            if predicate is None or to_bool(predicate(row)):
+                victims.append((rid, row))
+        for rid, row in victims:
+            new_row = list(row)
+            for position, evaluator in assignments:
+                new_row[position] = evaluator(row)
+            self._index_delete(statement.table, row, rid)
+            table.update(rid, new_row)
+            self._index_insert(statement.table, table.read(rid), rid)
+        return _status(f"UPDATE {len(victims)}", rowcount=len(victims))
+
+    def _run_delete(self, statement: ast.Delete) -> ResultSet:
+        table = self.catalog.table(statement.table)
+        layout = RowLayout([(statement.table, c.name)
+                            for c in table.schema.columns])
+        predicate = (compile_expr(statement.where, layout)
+                     if statement.where is not None else None)
+        victims = [(rid, row) for rid, row in table.scan()
+                   if predicate is None or to_bool(predicate(row))]
+        for rid, row in victims:
+            self._index_delete(statement.table, row, rid)
+            table.delete(rid)
+        return _status(f"DELETE {len(victims)}", rowcount=len(victims))
+
+    def _index_insert(self, table_name: str, row, rid) -> None:
+        table = self.catalog.table(table_name)
+        for entry in self.catalog.indexes_on(table_name):
+            key = row[table.schema.index_of(entry.column)]
+            entry.index.insert(key, rid)
+
+    def _index_delete(self, table_name: str, row, rid) -> None:
+        table = self.catalog.table(table_name)
+        for entry in self.catalog.indexes_on(table_name):
+            key = row[table.schema.index_of(entry.column)]
+            entry.index.delete(key, rid)
+
+    # -- PREDICT (the in-database AI analytics path) ------------------------------
+
+    def _run_predict(self, statement: ast.Predict,
+                     force_retrain: bool) -> ResultSet:
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        target = statement.target.lower()
+        if not schema.has_column(target):
+            raise BindError(f"target column {target!r} not in "
+                            f"{statement.table!r}")
+        feature_columns = self._feature_columns(statement, schema)
+        layout = RowLayout([(statement.table, c.name)
+                            for c in schema.columns])
+        feature_idx = [schema.index_of(c) for c in feature_columns]
+        target_idx = schema.index_of(target)
+
+        model_name = self._model_name(statement, feature_columns)
+        trained_now = False
+        if force_retrain or not self.models.has_model(model_name):
+            train_rows, train_targets = self._training_data(
+                statement, table, layout, feature_idx, target_idx)
+            if not train_rows:
+                raise ExecutionError(
+                    "PREDICT has no training rows (check WITH filter and "
+                    "target NULLs)")
+            batch_size = min(512, len(train_rows))
+            # small tables need more passes to reach a useful step count;
+            # large tables converge within the paper's 1-2 streaming epochs
+            steps_wanted = 80
+            epochs = max(2, min(100, round(steps_wanted * batch_size
+                                           / len(train_rows))))
+            task = TrainTask(model_name=model_name,
+                             task_type=statement.task,
+                             field_count=len(feature_columns),
+                             epochs=epochs, batch_size=batch_size)
+            train_result = self.ai_engine.train(task, train_rows,
+                                                train_targets)
+            self.catalog.bind_model(statement.table, target, model_name)
+            self._observe_losses(model_name, train_result.losses)
+            trained_now = True
+
+        predict_rows = self._prediction_inputs(statement, table, layout,
+                                               feature_idx)
+        if not predict_rows:
+            return ResultSet(columns=feature_columns + [target], rows=[],
+                             extra={"model": model_name})
+        inference = self.ai_engine.infer(
+            InferenceTask(model_name=model_name), predict_rows)
+        predictions = inference.predictions
+        if statement.task == "classification":
+            output = [int(p >= 0.5) for p in predictions]
+        else:
+            output = [float(p) for p in predictions]
+        rows = [tuple(row) + (value,)
+                for row, value in zip(predict_rows, output)]
+        return ResultSet(columns=feature_columns + [target], rows=rows,
+                         extra={"model": model_name,
+                                "trained_now": trained_now,
+                                "probabilities": predictions})
+
+    def fine_tune_model(self, table: str, target: str,
+                        tune_last_layers: int = 2, epochs: int = 2) -> None:
+        """Explicitly trigger the FineTune operator for a bound PREDICT
+        model, using the current table contents as the update data."""
+        model_name = self.catalog.bound_model(table, target)
+        if model_name is None:
+            raise NeurDBError(f"no model bound for {table}.{target}")
+        heap = self.catalog.table(table)
+        schema = heap.schema
+        model = self.models.load_model(model_name)
+        feature_columns = [c for c in schema.non_unique_column_names()
+                           if c != target.lower()][: model.field_count]
+        feature_idx = [schema.index_of(c) for c in feature_columns]
+        target_idx = schema.index_of(target)
+        rows, targets = [], []
+        for _, row in heap.scan():
+            if row[target_idx] is None:
+                continue
+            rows.append(tuple(row[i] for i in feature_idx))
+            targets.append(float(row[target_idx]))
+        task = FineTuneTask(model_name=model_name,
+                            tune_last_layers=tune_last_layers, epochs=epochs,
+                            batch_size=min(4096, max(1, len(rows))))
+        self.ai_engine.fine_tune(task, rows, targets)
+
+    # -- PREDICT helpers ----------------------------------------------------------
+
+    def _feature_columns(self, statement: ast.Predict,
+                         schema: TableSchema) -> list[str]:
+        target = statement.target.lower()
+        if statement.train_on == ("*",):
+            # the paper: '*' excludes unique-constrained columns
+            return [c for c in schema.non_unique_column_names()
+                    if c != target]
+        columns = [c.lower() for c in statement.train_on]
+        for column in columns:
+            if not schema.has_column(column):
+                raise BindError(f"TRAIN ON column {column!r} not in "
+                                f"{schema.table_name!r}")
+        if target in columns:
+            raise BindError("target column cannot be a TRAIN ON feature")
+        return columns
+
+    def _model_name(self, statement: ast.Predict,
+                    feature_columns: list[str]) -> str:
+        # the feature set is part of the model identity: PREDICT with a
+        # different TRAIN ON list must not reuse an incompatible model
+        from repro.common.rng import stable_hash
+        signature = stable_hash(tuple(feature_columns), 1 << 32)
+        return (f"predict_{statement.table}_{statement.target}"
+                f"_{signature:08x}").lower()
+
+    def _training_data(self, statement, table, layout, feature_idx,
+                       target_idx):
+        predicate = (compile_expr(statement.train_filter, layout)
+                     if statement.train_filter is not None else None)
+        rows, targets = [], []
+        for _, row in table.scan():
+            if row[target_idx] is None:
+                continue
+            if predicate is not None and not to_bool(predicate(row)):
+                continue
+            rows.append(tuple(row[i] for i in feature_idx))
+            targets.append(float(row[target_idx]))
+        return rows, targets
+
+    def _prediction_inputs(self, statement, table, layout, feature_idx):
+        if statement.inline_rows:
+            empty = RowLayout([])
+            rows = []
+            for value_row in statement.inline_rows:
+                if len(value_row) != len(feature_idx):
+                    raise ExecutionError(
+                        f"VALUES row has {len(value_row)} values, expected "
+                        f"{len(feature_idx)} features")
+                rows.append(tuple(compile_expr(e, empty)(())
+                                  for e in value_row))
+            return rows
+        predicate = (compile_expr(statement.where, layout)
+                     if statement.where is not None else None)
+        rows = []
+        for _, row in table.scan():
+            if predicate is not None and not to_bool(predicate(row)):
+                continue
+            rows.append(tuple(row[i] for i in feature_idx))
+        return rows
+
+    def _observe_losses(self, model_name: str,
+                        losses: Iterable[float]) -> None:
+        stream = f"loss:{model_name}"
+        if stream not in self.monitor._streams:
+            self.monitor.register(stream, higher_is_better=False,
+                                  threshold=0.5, window=5)
+        for loss in losses:
+            self.monitor.observe(stream, loss)
+
+
+def _status(message: str, rowcount: int = 0) -> ResultSet:
+    return ResultSet(columns=["status"], rows=[(message,)],
+                     extra={"rowcount": rowcount})
+
+
+def connect(num_runtimes: int = 1, buffer_pages: int = 4096,
+            seed: int = 0) -> NeurDB:
+    """Create a fresh in-process NeurDB instance."""
+    return NeurDB(num_runtimes=num_runtimes, buffer_pages=buffer_pages,
+                  seed=seed)

@@ -1,0 +1,6 @@
+"""Query execution: expression compiler, operators, and the executor."""
+
+from repro.exec.executor import Executor, ResultSet
+from repro.exec.expr import RowLayout, compile_expr, to_bool
+
+__all__ = ["Executor", "ResultSet", "RowLayout", "compile_expr", "to_bool"]

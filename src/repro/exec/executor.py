@@ -1,0 +1,90 @@
+"""Plan execution: physical plan trees -> operators -> result sets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import ExecutionError
+from repro.common.simtime import SimClock
+from repro.exec import operators as ops
+from repro.plan import logical as plan
+from repro.plan.optimizer import _EmptyRow
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class ResultSet:
+    """Materialized query output."""
+
+    columns: list[str]
+    rows: list[tuple]
+    virtual_seconds: float = 0.0
+    plan_text: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"scalar() needs a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}")
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list[Any]:
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise ExecutionError(f"no column {name!r} in result") from None
+        return [row[idx] for row in self.rows]
+
+
+class Executor:
+    """Instantiates operators from plan nodes and runs them to completion."""
+
+    def __init__(self, catalog: Catalog, clock: SimClock | None = None):
+        self._catalog = catalog
+        self._clock = clock if clock is not None else catalog.clock
+
+    def build(self, node: plan.PlanNode) -> ops.Operator:
+        """Recursively build the operator tree for a plan."""
+        if isinstance(node, plan.SeqScan):
+            return ops.SeqScanOp(node, self._catalog, self._clock)
+        if isinstance(node, plan.IndexScan):
+            return ops.IndexScanOp(node, self._catalog, self._clock)
+        if isinstance(node, plan.Filter):
+            return ops.FilterOp(node, self.build(node.child), self._clock)
+        if isinstance(node, plan.Project):
+            return ops.ProjectOp(node, self.build(node.child), self._clock)
+        if isinstance(node, plan.NestedLoopJoin):
+            return ops.NestedLoopJoinOp(node, self.build(node.left),
+                                        self.build(node.right), self._clock)
+        if isinstance(node, plan.HashJoin):
+            return ops.HashJoinOp(node, self.build(node.left),
+                                  self.build(node.right), self._clock)
+        if isinstance(node, plan.Aggregate):
+            return ops.AggregateOp(node, self.build(node.child), self._clock)
+        if isinstance(node, plan.Sort):
+            return ops.SortOp(node, self.build(node.child), self._clock)
+        if isinstance(node, plan.Limit):
+            return ops.LimitOp(node, self.build(node.child), self._clock)
+        if isinstance(node, plan.Distinct):
+            return ops.DistinctOp(node, self.build(node.child), self._clock)
+        if isinstance(node, _EmptyRow):
+            return ops.EmptyRowOp(self._clock)
+        raise ExecutionError(f"no operator for plan node {node.label}")
+
+    def run(self, node: plan.PlanNode) -> ResultSet:
+        """Execute a plan and materialize the result, measuring virtual time."""
+        start = self._clock.now
+        operator = self.build(node)
+        rows = list(operator)
+        elapsed = self._clock.now - start
+        return ResultSet(columns=operator.layout.column_names(), rows=rows,
+                         virtual_seconds=elapsed, plan_text=node.pretty())

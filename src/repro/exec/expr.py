@@ -1,0 +1,287 @@
+"""Expression evaluation over rows.
+
+A row's columns are described by a :class:`RowLayout` — an ordered list of
+(binding, column) pairs, where *binding* is the table alias in scope.  The
+evaluator resolves column references against the layout once (compile step)
+and then evaluates per row, so hot loops avoid repeated name resolution.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Sequence
+
+from repro.common.errors import BindError, ExecutionError
+from repro.sql import ast
+
+
+class RowLayout:
+    """Maps (binding, column) pairs to positions in a row tuple."""
+
+    def __init__(self, slots: Sequence[tuple[str, str]]):
+        self.slots: tuple[tuple[str, str], ...] = tuple(
+            (b.lower(), c.lower()) for b, c in slots)
+        self._by_pair = {pair: i for i, pair in enumerate(self.slots)}
+        self._by_name: dict[str, list[int]] = {}
+        for i, (_, col) in enumerate(self.slots):
+            self._by_name.setdefault(col, []).append(i)
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RowLayout) and self.slots == other.slots
+
+    def resolve(self, column: str, binding: str | None = None) -> int:
+        """Index of a column reference, raising on unknown/ambiguous names."""
+        column = column.lower()
+        if binding is not None:
+            key = (binding.lower(), column)
+            if key not in self._by_pair:
+                raise BindError(f"column {binding}.{column} not in scope")
+            return self._by_pair[key]
+        hits = self._by_name.get(column, [])
+        if not hits:
+            raise BindError(f"column {column!r} not in scope")
+        if len(hits) > 1:
+            raise BindError(f"column reference {column!r} is ambiguous")
+        return hits[0]
+
+    def has(self, column: str, binding: str | None = None) -> bool:
+        try:
+            self.resolve(column, binding)
+            return True
+        except BindError:
+            return False
+
+    def concat(self, other: "RowLayout") -> "RowLayout":
+        return RowLayout(self.slots + other.slots)
+
+    def column_names(self) -> list[str]:
+        return [c for _, c in self.slots]
+
+
+Evaluator = Callable[[tuple], Any]
+
+
+def compile_expr(expr: ast.Expr, layout: RowLayout) -> Evaluator:
+    """Compile an expression into a row -> value callable.
+
+    SQL three-valued logic is folded to Python: comparisons with NULL yield
+    None, AND/OR propagate None per Kleene logic, and WHERE treats None as
+    false (the caller applies ``bool(value)`` via :func:`to_bool`).
+    """
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda row: value
+
+    if isinstance(expr, ast.ColumnRef):
+        idx = layout.resolve(expr.name, expr.table)
+        return lambda row: row[idx]
+
+    if isinstance(expr, ast.BinaryOp):
+        return _compile_binary(expr, layout)
+
+    if isinstance(expr, ast.UnaryOp):
+        inner = compile_expr(expr.operand, layout)
+        if expr.op == "NOT":
+            def eval_not(row: tuple) -> Any:
+                v = inner(row)
+                return None if v is None else (not bool(v))
+            return eval_not
+        if expr.op == "-":
+            def eval_neg(row: tuple) -> Any:
+                v = inner(row)
+                return None if v is None else -v
+            return eval_neg
+        raise BindError(f"unknown unary operator {expr.op!r}")
+
+    if isinstance(expr, ast.IsNull):
+        inner = compile_expr(expr.operand, layout)
+        if expr.negated:
+            return lambda row: inner(row) is not None
+        return lambda row: inner(row) is None
+
+    if isinstance(expr, ast.InList):
+        inner = compile_expr(expr.operand, layout)
+        items = [compile_expr(item, layout) for item in expr.items]
+        negated = expr.negated
+
+        def eval_in(row: tuple) -> Any:
+            v = inner(row)
+            if v is None:
+                return None
+            found = any(item(row) == v for item in items)
+            return (not found) if negated else found
+        return eval_in
+
+    if isinstance(expr, ast.Between):
+        inner = compile_expr(expr.operand, layout)
+        low = compile_expr(expr.low, layout)
+        high = compile_expr(expr.high, layout)
+        negated = expr.negated
+
+        def eval_between(row: tuple) -> Any:
+            v = inner(row)
+            lo, hi = low(row), high(row)
+            if v is None or lo is None or hi is None:
+                return None
+            result = lo <= v <= hi
+            return (not result) if negated else result
+        return eval_between
+
+    if isinstance(expr, ast.FuncCall):
+        return _compile_scalar_func(expr, layout)
+
+    if isinstance(expr, ast.Star):
+        raise BindError("'*' is only valid in a select list or COUNT(*)")
+
+    raise BindError(f"cannot compile expression {expr!r}")
+
+
+def to_bool(value: Any) -> bool:
+    """WHERE-clause truthiness: NULL and false are both false."""
+    return bool(value) if value is not None else False
+
+
+_CMP = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+}
+
+
+def _compile_binary(expr: ast.BinaryOp, layout: RowLayout) -> Evaluator:
+    op = expr.op
+    left = compile_expr(expr.left, layout)
+    right = compile_expr(expr.right, layout)
+
+    if op == "AND":
+        def eval_and(row: tuple) -> Any:
+            a = left(row)
+            if a is not None and not a:
+                return False
+            b = right(row)
+            if b is not None and not b:
+                return False
+            if a is None or b is None:
+                return None
+            return True
+        return eval_and
+
+    if op == "OR":
+        def eval_or(row: tuple) -> Any:
+            a = left(row)
+            if a is not None and a:
+                return True
+            b = right(row)
+            if b is not None and b:
+                return True
+            if a is None or b is None:
+                return None
+            return False
+        return eval_or
+
+    if op in _CMP:
+        cmp = _CMP[op]
+
+        def eval_cmp(row: tuple) -> Any:
+            a, b = left(row), right(row)
+            if a is None or b is None:
+                return None
+            try:
+                return cmp(a, b)
+            except TypeError:
+                raise ExecutionError(
+                    f"cannot compare {a!r} with {b!r}") from None
+        return eval_cmp
+
+    if op in _ARITH:
+        fn = _ARITH[op]
+
+        def eval_arith(row: tuple) -> Any:
+            a, b = left(row), right(row)
+            if a is None or b is None:
+                return None
+            return fn(a, b)
+        return eval_arith
+
+    if op == "/":
+        def eval_div(row: tuple) -> Any:
+            a, b = left(row), right(row)
+            if a is None or b is None:
+                return None
+            if b == 0:
+                raise ExecutionError("division by zero")
+            return a / b
+        return eval_div
+
+    if op == "%":
+        def eval_mod(row: tuple) -> Any:
+            a, b = left(row), right(row)
+            if a is None or b is None:
+                return None
+            if b == 0:
+                raise ExecutionError("modulo by zero")
+            return a % b
+        return eval_mod
+
+    if op == "LIKE":
+        def eval_like(row: tuple) -> Any:
+            a, b = left(row), right(row)
+            if a is None or b is None:
+                return None
+            pattern = re.escape(str(b)).replace("%", ".*").replace("_", ".")
+            return re.fullmatch(pattern, str(a)) is not None
+        return eval_like
+
+    raise BindError(f"unknown binary operator {op!r}")
+
+
+_SCALAR_FUNCS: dict[str, Callable[..., Any]] = {
+    "abs": abs,
+    "lower": lambda s: s.lower(),
+    "upper": lambda s: s.upper(),
+    "length": len,
+    "round": round,
+    "floor": lambda x: float(int(x // 1)),
+    "ceil": lambda x: float(-int(-x // 1)),
+    "coalesce": None,  # special-cased below
+}
+
+
+def _compile_scalar_func(expr: ast.FuncCall, layout: RowLayout) -> Evaluator:
+    name = expr.name.lower()
+    if name in ast.AGGREGATE_FUNCTIONS:
+        raise BindError(
+            f"aggregate {name!r} is not allowed in this context")
+    if name == "coalesce":
+        args = [compile_expr(a, layout) for a in expr.args]
+
+        def eval_coalesce(row: tuple) -> Any:
+            for arg in args:
+                v = arg(row)
+                if v is not None:
+                    return v
+            return None
+        return eval_coalesce
+    fn = _SCALAR_FUNCS.get(name)
+    if fn is None:
+        raise BindError(f"unknown function {expr.name!r}")
+    args = [compile_expr(a, layout) for a in expr.args]
+
+    def eval_func(row: tuple) -> Any:
+        values = [a(row) for a in args]
+        if any(v is None for v in values):
+            return None
+        return fn(*values)
+    return eval_func

@@ -1,0 +1,413 @@
+"""Volcano-style physical operators.
+
+Each operator is an iterator of row tuples with a fixed :class:`RowLayout`.
+Operators charge per-row virtual time to the shared clock so measured plan
+latency reflects the same cost structure the optimizer estimates with.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.common.errors import BindError, ExecutionError
+from repro.common.simtime import CostModel, SimClock
+from repro.exec.expr import RowLayout, compile_expr, to_bool
+from repro.plan import logical as plan
+from repro.sql import ast
+from repro.storage.catalog import Catalog
+
+
+class Operator:
+    """Base operator: a layout plus an iterator of rows."""
+
+    def __init__(self, layout: RowLayout, clock: SimClock):
+        self.layout = layout
+        self._clock = clock
+        self.rows_out = 0
+
+    def __iter__(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def _emit(self, row: tuple) -> tuple:
+        self.rows_out += 1
+        return row
+
+
+class SeqScanOp(Operator):
+    def __init__(self, node: plan.SeqScan, catalog: Catalog, clock: SimClock):
+        table = catalog.table(node.table)
+        layout = RowLayout([(node.binding, c.name)
+                            for c in table.schema.columns])
+        super().__init__(layout, clock)
+        self._table = table
+        self._predicate = (compile_expr(node.predicate, layout)
+                           if node.predicate is not None else None)
+
+    def __iter__(self) -> Iterator[tuple]:
+        predicate = self._predicate
+        for _, row in self._table.scan():
+            self._clock.advance(CostModel.TUPLE_CPU, "scan")
+            if predicate is not None:
+                self._clock.advance(CostModel.EVAL_PREDICATE, "filter")
+                if not to_bool(predicate(row)):
+                    continue
+            yield self._emit(row)
+
+
+class IndexScanOp(Operator):
+    def __init__(self, node: plan.IndexScan, catalog: Catalog,
+                 clock: SimClock):
+        table = catalog.table(node.table)
+        layout = RowLayout([(node.binding, c.name)
+                            for c in table.schema.columns])
+        super().__init__(layout, clock)
+        self._table = table
+        self._node = node
+        entry = next((e for e in catalog.indexes_on(node.table)
+                      if e.name == node.index_name), None)
+        if entry is None:
+            raise ExecutionError(f"index {node.index_name!r} missing")
+        self._index = entry.index
+        self._kind = entry.kind
+        self._residual = (compile_expr(node.residual, layout)
+                          if node.residual is not None else None)
+
+    def __iter__(self) -> Iterator[tuple]:
+        node = self._node
+        self._clock.advance(CostModel.INDEX_DESCENT, "index")
+        if node.eq is not None:
+            rids = self._index.search(node.eq)
+            key_rids = ((node.eq, rid) for rid in rids)
+        else:
+            if self._kind != "btree":
+                raise ExecutionError("range scan requires a btree index")
+            key_rids = self._index.range_scan(low=node.low, high=node.high)
+        for _, rid in key_rids:
+            row = self._table.read(rid)
+            if row is None:
+                continue
+            self._clock.advance(CostModel.TUPLE_CPU, "index")
+            if self._residual is not None:
+                self._clock.advance(CostModel.EVAL_PREDICATE, "filter")
+                if not to_bool(self._residual(row)):
+                    continue
+            yield self._emit(row)
+
+
+class FilterOp(Operator):
+    def __init__(self, node: plan.Filter, child: Operator, clock: SimClock):
+        super().__init__(child.layout, clock)
+        self._child = child
+        self._predicate = compile_expr(node.predicate, child.layout)
+
+    def __iter__(self) -> Iterator[tuple]:
+        for row in self._child:
+            self._clock.advance(CostModel.EVAL_PREDICATE, "filter")
+            if to_bool(self._predicate(row)):
+                yield self._emit(row)
+
+
+class ProjectOp(Operator):
+    def __init__(self, node: plan.Project, child: Operator, clock: SimClock):
+        evaluators = []
+        slots: list[tuple[str, str]] = []
+        for i, item in enumerate(node.items):
+            if isinstance(item.expr, ast.Star):
+                for slot_idx, (binding, col) in enumerate(child.layout.slots):
+                    if item.expr.table and binding != item.expr.table.lower():
+                        continue
+                    evaluators.append(
+                        lambda row, j=slot_idx: row[j])
+                    slots.append((binding, col))
+                continue
+            evaluators.append(compile_expr(item.expr, child.layout))
+            slots.append(("", _output_name(item, i)))
+        super().__init__(RowLayout(slots), clock)
+        self._child = child
+        self._evaluators = evaluators
+
+    def __iter__(self) -> Iterator[tuple]:
+        for row in self._child:
+            self._clock.advance(CostModel.TUPLE_CPU, "project")
+            yield self._emit(tuple(e(row) for e in self._evaluators))
+
+
+class NestedLoopJoinOp(Operator):
+    def __init__(self, node: plan.NestedLoopJoin, left: Operator,
+                 right: Operator, clock: SimClock):
+        layout = left.layout.concat(right.layout)
+        super().__init__(layout, clock)
+        self._left = left
+        self._right = right
+        self._condition = (compile_expr(node.condition, layout)
+                           if node.condition is not None else None)
+
+    def __iter__(self) -> Iterator[tuple]:
+        right_rows = list(self._right)
+        condition = self._condition
+        for lrow in self._left:
+            for rrow in right_rows:
+                self._clock.advance(CostModel.TUPLE_CPU, "join")
+                combined = lrow + rrow
+                if condition is not None:
+                    self._clock.advance(CostModel.EVAL_PREDICATE, "join")
+                    if not to_bool(condition(combined)):
+                        continue
+                yield self._emit(combined)
+
+
+class HashJoinOp(Operator):
+    def __init__(self, node: plan.HashJoin, left: Operator, right: Operator,
+                 clock: SimClock):
+        layout = left.layout.concat(right.layout)
+        super().__init__(layout, clock)
+        self._left = left
+        self._right = right
+        self._left_key = compile_expr(node.left_key, left.layout)
+        self._right_key = compile_expr(node.right_key, right.layout)
+        self._residual = (compile_expr(node.residual, layout)
+                          if node.residual is not None else None)
+
+    def __iter__(self) -> Iterator[tuple]:
+        buckets: dict[Any, list[tuple]] = {}
+        build_rows = 0
+        for lrow in self._left:
+            self._clock.advance(CostModel.HASH_BUILD_ROW, "join")
+            build_rows += 1
+            key = self._left_key(lrow)
+            if key is not None:
+                buckets.setdefault(key, []).append(lrow)
+        spilled = build_rows > CostModel.HASH_SPILL_ROWS
+        if spilled:
+            # hybrid hash join ran out of work_mem: repartition the build
+            # side to disk; every probe re-reads its partition
+            self._clock.advance(build_rows * CostModel.HASH_BUILD_ROW
+                                * (CostModel.HASH_SPILL_FACTOR - 1), "spill")
+        probe_factor = (CostModel.HASH_SPILL_FACTOR / 2 if spilled else 1.0)
+        for rrow in self._right:
+            self._clock.advance(CostModel.HASH_PROBE_ROW * probe_factor,
+                                "join")
+            key = self._right_key(rrow)
+            if key is None:
+                continue
+            for lrow in buckets.get(key, ()):
+                self._clock.advance(CostModel.TUPLE_CPU, "join")
+                combined = lrow + rrow
+                if self._residual is not None:
+                    self._clock.advance(CostModel.EVAL_PREDICATE, "join")
+                    if not to_bool(self._residual(combined)):
+                        continue
+                yield self._emit(combined)
+
+
+class _Accumulator:
+    """One aggregate function instance (per group)."""
+
+    def __init__(self, func: ast.FuncCall, layout: RowLayout):
+        self.name = func.name
+        self.distinct = func.distinct
+        self._seen: set | None = set() if func.distinct else None
+        if func.args and not isinstance(func.args[0], ast.Star):
+            self._arg = compile_expr(func.args[0], layout)
+        else:
+            if self.name != "count":
+                raise BindError(f"{self.name}(*) is not valid")
+            self._arg = None
+        self.count = 0
+        self.total: Any = None
+        self.minimum: Any = None
+        self.maximum: Any = None
+
+    def add(self, row: tuple) -> None:
+        if self._arg is None:  # COUNT(*)
+            self.count += 1
+            return
+        value = self._arg(row)
+        if value is None:
+            return
+        if self._seen is not None:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self.count += 1
+        self.total = value if self.total is None else self.total + value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def result(self) -> Any:
+        if self.name == "count":
+            return self.count
+        if self.name == "sum":
+            return self.total
+        if self.name == "avg":
+            return self.total / self.count if self.count else None
+        if self.name == "min":
+            return self.minimum
+        if self.name == "max":
+            return self.maximum
+        raise BindError(f"unknown aggregate {self.name!r}")
+
+
+class AggregateOp(Operator):
+    """Hash aggregation with optional GROUP BY.
+
+    Select items may mix group-by expressions and aggregate calls; each item
+    is rewritten so aggregates pull from accumulators and non-aggregates
+    evaluate against the group's representative row.
+    """
+
+    def __init__(self, node: plan.Aggregate, child: Operator,
+                 clock: SimClock):
+        slots = [("", _output_name(item, i))
+                 for i, item in enumerate(node.items)]
+        super().__init__(RowLayout(slots), clock)
+        self._child = child
+        self._node = node
+        self._group_evals = [compile_expr(g, child.layout)
+                             for g in node.group_by]
+        # collect every aggregate call across all select items
+        self._agg_calls: list[ast.FuncCall] = []
+        for item in node.items:
+            self._collect_aggs(item.expr)
+
+    def _collect_aggs(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.FuncCall) and expr.name in ast.AGGREGATE_FUNCTIONS:
+            self._agg_calls.append(expr)
+            return
+        if isinstance(expr, ast.BinaryOp):
+            self._collect_aggs(expr.left)
+            self._collect_aggs(expr.right)
+        elif isinstance(expr, ast.UnaryOp):
+            self._collect_aggs(expr.operand)
+
+    def __iter__(self) -> Iterator[tuple]:
+        groups: dict[tuple, tuple[list[_Accumulator], tuple]] = {}
+        group_order: list[tuple] = []
+        for row in self._child:
+            self._clock.advance(CostModel.HASH_BUILD_ROW, "agg")
+            key = tuple(e(row) for e in self._group_evals)
+            if key not in groups:
+                accs = [_Accumulator(call, self._child.layout)
+                        for call in self._agg_calls]
+                groups[key] = (accs, row)
+                group_order.append(key)
+            for acc in groups[key][0]:
+                acc.add(row)
+        if not groups and not self._node.group_by:
+            accs = [_Accumulator(call, self._child.layout)
+                    for call in self._agg_calls]
+            groups[()] = (accs, ())
+            group_order.append(())
+        for key in group_order:
+            accs, representative = groups[key]
+            results = {id(call): acc.result()
+                       for call, acc in zip(self._agg_calls, accs)}
+            out = tuple(self._eval_item(item.expr, representative, results)
+                        for item in self._node.items)
+            yield self._emit(out)
+
+    def _eval_item(self, expr: ast.Expr, row: tuple,
+                   agg_results: dict[int, Any]) -> Any:
+        if isinstance(expr, ast.FuncCall) and expr.name in ast.AGGREGATE_FUNCTIONS:
+            return agg_results[id(expr)]
+        if isinstance(expr, ast.BinaryOp):
+            left = self._eval_item(expr.left, row, agg_results)
+            right = self._eval_item(expr.right, row, agg_results)
+            if left is None or right is None:
+                return None
+            return {"+": lambda: left + right, "-": lambda: left - right,
+                    "*": lambda: left * right,
+                    "/": lambda: left / right if right else None,
+                    }.get(expr.op, lambda: None)()
+        if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+            value = self._eval_item(expr.operand, row, agg_results)
+            return None if value is None else -value
+        evaluator = compile_expr(expr, self._child.layout)
+        return evaluator(row) if row else None
+
+
+class SortOp(Operator):
+    def __init__(self, node: plan.Sort, child: Operator, clock: SimClock):
+        super().__init__(child.layout, clock)
+        self._child = child
+        self._keys = [(compile_expr(k.expr, child.layout), k.descending)
+                      for k in node.keys]
+
+    def __iter__(self) -> Iterator[tuple]:
+        rows = list(self._child)
+        import math
+        n = max(2, len(rows))
+        self._clock.advance(n * math.log2(n) * CostModel.SORT_ROW_LOG, "sort")
+        for evaluator, descending in reversed(self._keys):
+            rows.sort(key=lambda r: _sort_key(evaluator(r)),
+                      reverse=descending)
+        for row in rows:
+            yield self._emit(row)
+
+
+def _sort_key(value: Any) -> tuple:
+    """NULLs sort last (ascending); mixed types fall back to repr order."""
+    if value is None:
+        return (2, "")
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, (int, float)):
+        return (0, value)
+    return (1, str(value))
+
+
+class LimitOp(Operator):
+    def __init__(self, node: plan.Limit, child: Operator, clock: SimClock):
+        super().__init__(child.layout, clock)
+        self._child = child
+        self._limit = node.limit
+        self._offset = node.offset
+
+    def __iter__(self) -> Iterator[tuple]:
+        produced = 0
+        skipped = 0
+        for row in self._child:
+            if skipped < self._offset:
+                skipped += 1
+                continue
+            if self._limit is not None and produced >= self._limit:
+                return
+            produced += 1
+            yield self._emit(row)
+
+
+class DistinctOp(Operator):
+    def __init__(self, node: plan.Distinct, child: Operator, clock: SimClock):
+        super().__init__(child.layout, clock)
+        self._child = child
+
+    def __iter__(self) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for row in self._child:
+            self._clock.advance(CostModel.HASH_BUILD_ROW, "distinct")
+            if row in seen:
+                continue
+            seen.add(row)
+            yield self._emit(row)
+
+
+class EmptyRowOp(Operator):
+    """A single empty row, for table-less SELECTs."""
+
+    def __init__(self, clock: SimClock):
+        super().__init__(RowLayout([]), clock)
+
+    def __iter__(self) -> Iterator[tuple]:
+        yield self._emit(())
+
+
+def _output_name(item: ast.SelectItem, position: int) -> str:
+    if item.alias:
+        return item.alias
+    if isinstance(item.expr, ast.ColumnRef):
+        return item.expr.name
+    if isinstance(item.expr, ast.FuncCall):
+        return item.expr.name
+    return f"col{position}"

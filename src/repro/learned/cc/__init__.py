@@ -1,0 +1,41 @@
+"""Fast-adaptive learned concurrency control (paper §4.2, Fig. 4)."""
+
+from repro.learned.cc.adaptation import (
+    AdaptationReport,
+    SurrogateModel,
+    TwoPhaseAdapter,
+)
+from repro.learned.cc.encoder import FEATURE_DIM, FEATURE_NAMES, ContentionEncoder
+from repro.learned.cc.model import (
+    ACTIONS,
+    ARCHETYPES,
+    NUM_ACTIONS,
+    PARAM_COUNT,
+    DecisionModel,
+    archetype_params,
+)
+from repro.learned.cc.policy import LearnedCCPolicy
+from repro.learned.cc.polyjuice import (
+    EvolutionReport,
+    PolyjuicePolicy,
+    PolyjuiceTrainer,
+)
+
+__all__ = [
+    "ACTIONS",
+    "ARCHETYPES",
+    "archetype_params",
+    "AdaptationReport",
+    "ContentionEncoder",
+    "DecisionModel",
+    "EvolutionReport",
+    "FEATURE_DIM",
+    "FEATURE_NAMES",
+    "LearnedCCPolicy",
+    "NUM_ACTIONS",
+    "PARAM_COUNT",
+    "PolyjuicePolicy",
+    "PolyjuiceTrainer",
+    "SurrogateModel",
+    "TwoPhaseAdapter",
+]

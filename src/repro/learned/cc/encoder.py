@@ -1,0 +1,58 @@
+"""Contention-state encoding for the learned concurrency control.
+
+Paper §4.2: "our approach learns the optimal action based on the contention
+state, which includes both conflict information (such as dependency) of
+transactions and contextual information (such as the transaction length)
+... we first develop a fast encoding technique to significantly reduce the
+dimension of contention state representation".
+
+The encoder maps (transaction, operation, key state, global state) to a
+fixed 8-float vector.  Everything is O(1) per operation — the model sits on
+the critical path of every operation, so this must be cheap (the paper's
+"must not become a bottleneck" constraint).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.txnsim.core import GlobalState, KeyState, Operation, Transaction
+
+FEATURE_DIM = 8
+
+FEATURE_NAMES = (
+    "is_write",
+    "key_hotness",
+    "key_write_hotness",
+    "exclusive_held",
+    "waiters",
+    "remaining_fraction",
+    "txn_length",
+    "abort_ratio",
+)
+
+
+class ContentionEncoder:
+    """O(1) contention-state featurizer."""
+
+    def __init__(self, hotness_scale: float = 8.0, max_txn_length: float = 32.0):
+        self.hotness_scale = hotness_scale
+        self.max_txn_length = max_txn_length
+
+    def encode(self, txn: Transaction, op: Operation, key_state: KeyState,
+               global_state: GlobalState,
+               out: np.ndarray | None = None) -> np.ndarray:
+        """Fill (or allocate) an 8-float contention-state vector."""
+        if out is None:
+            out = np.empty(FEATURE_DIM)
+        out[0] = 1.0 if op.is_write else 0.0
+        out[1] = min(1.0, np.log1p(key_state.recent_accesses)
+                     / np.log1p(self.hotness_scale))
+        out[2] = min(1.0, np.log1p(key_state.recent_writes)
+                     / np.log1p(self.hotness_scale))
+        out[3] = 1.0 if key_state.exclusive_held() else 0.0
+        out[4] = min(1.0, len(key_state.wait_queue) / 4.0)
+        out[5] = txn.remaining / max(1, txn.length)
+        out[6] = min(1.0, txn.length / self.max_txn_length)
+        out[7] = global_state.abort_ratio()
+        return out

@@ -1,0 +1,101 @@
+"""The compressed decision model for learned concurrency control.
+
+Paper §4.2: "we compress the model with a flattened layer to improve
+inference efficiency" — the decision model F mapping contention state x to
+action delta is a single flattened linear layer (3 actions x 8 features + 3
+biases = 27 parameters).  The tiny parameter count is exactly what makes the
+two-phase adaptation fast: "with the leaner architecture of the model, the
+adaptation can be accelerated due to the narrower search space".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learned.cc.encoder import FEATURE_DIM
+from repro.txnsim.core import ActionType
+
+ACTIONS = (ActionType.OPTIMISTIC, ActionType.ACQUIRE_LOCK, ActionType.ABORT)
+NUM_ACTIONS = len(ACTIONS)
+PARAM_COUNT = NUM_ACTIONS * FEATURE_DIM + NUM_ACTIONS
+
+
+class DecisionModel:
+    """Flattened linear policy: logits = W x + b, action = argmax."""
+
+    def __init__(self, params: np.ndarray | None = None):
+        if params is None:
+            params = self.default_params()
+        self.set_params(params)
+
+    # -- inference ----------------------------------------------------------
+
+    def decide(self, features: np.ndarray) -> ActionType:
+        logits = self._weights @ features + self._bias
+        return ACTIONS[int(np.argmax(logits))]
+
+    def logits(self, features: np.ndarray) -> np.ndarray:
+        return self._weights @ features + self._bias
+
+    # -- parameter plumbing (the adaptation algorithms act on flat vectors) ---
+
+    def get_params(self) -> np.ndarray:
+        return np.concatenate([self._weights.reshape(-1), self._bias])
+
+    def set_params(self, params: np.ndarray) -> None:
+        params = np.asarray(params, dtype=np.float64)
+        if params.size != PARAM_COUNT:
+            raise ValueError(
+                f"expected {PARAM_COUNT} parameters, got {params.size}")
+        self._weights = params[: NUM_ACTIONS * FEATURE_DIM].reshape(
+            NUM_ACTIONS, FEATURE_DIM)
+        self._bias = params[NUM_ACTIONS * FEATURE_DIM:].copy()
+
+    @staticmethod
+    def default_params() -> np.ndarray:
+        """A sane starting policy: optimistic for cold ops, lock for
+        contended writes, abort only for very hot writes of long txns.
+
+        Feature order: is_write, key_hotness, key_write_hotness,
+        exclusive_held, waiters, remaining_fraction, txn_length,
+        abort_ratio (see encoder.FEATURE_NAMES).
+        """
+        weights = np.zeros((NUM_ACTIONS, FEATURE_DIM))
+        bias = np.zeros(NUM_ACTIONS)
+        # OPTIMISTIC: baseline preference, fades with hotness
+        bias[0] = 1.0
+        weights[0] = [-0.2, -1.0, -0.8, -0.5, -0.5, 0.0, 0.0, -0.5]
+        # ACQUIRE_LOCK: favoured for writes on warm/contended keys
+        bias[1] = 0.0
+        weights[1] = [0.6, 0.8, 0.8, 0.3, 0.3, 0.0, 0.2, 0.3]
+        # ABORT: only for hot contended writes with little progress invested
+        bias[2] = -2.0
+        weights[2] = [0.5, 0.5, 1.0, 0.8, 0.8, 0.5, 0.0, 0.5]
+        return np.concatenate([weights.reshape(-1), bias])
+
+
+ARCHETYPES = ("optimistic", "lock-writes", "shed-hot")
+
+
+def archetype_params(name: str) -> np.ndarray:
+    """Hand-derived policy archetypes.
+
+    The paper pre-trains the decision model on continuously generated
+    workloads so it carries "global knowledge of most drift"; these
+    archetypes are that knowledge in distilled form — the three corners of
+    the policy space the two-phase adaptation seeds its filtering phase
+    with (snapshot-optimistic, SSI-like lock-writes, and load-shedding).
+    """
+    weights = np.zeros((NUM_ACTIONS, FEATURE_DIM))
+    bias = np.zeros(NUM_ACTIONS)
+    if name == "optimistic":
+        bias[:] = (5.0, -5.0, -5.0)
+    elif name == "lock-writes":
+        bias[:] = (0.0, -3.0, -9.0)
+        weights[1, 0] = 6.0        # is_write -> lock
+    elif name == "shed-hot":
+        bias[:] = (2.0, -8.0, -4.0)
+        weights[2] = [2.0, 1.0, 2.0, 1.5, 2.0, 2.0, 0.0, 1.0]
+    else:
+        raise KeyError(f"unknown archetype {name!r}")
+    return np.concatenate([weights.reshape(-1), bias])

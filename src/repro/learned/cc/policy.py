@@ -1,0 +1,64 @@
+"""The learned concurrency-control policy (NeurDB(CC))."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learned.cc.encoder import FEATURE_DIM, ContentionEncoder
+from repro.learned.cc.model import DecisionModel
+from repro.txnsim.core import (
+    ActionType,
+    CCPolicy,
+    GlobalState,
+    KeyState,
+    Operation,
+    Transaction,
+)
+
+
+class LearnedCCPolicy(CCPolicy):
+    """Per-operation action selection by the compressed decision model.
+
+    Safety rail: ABORT is never chosen for a transaction that has already
+    restarted several times (starvation guard) — the model proposes, the
+    rail disposes, mirroring how production learned components wrap models
+    with guardrails.
+    """
+
+    name = "neurdb-cc"
+    MAX_POLICY_RESTARTS = 3
+
+    def __init__(self, model: DecisionModel | None = None,
+                 encoder: ContentionEncoder | None = None):
+        self.model = model if model is not None else DecisionModel()
+        self.encoder = encoder if encoder is not None else ContentionEncoder()
+        self._scratch = np.empty(FEATURE_DIM)
+        self.decisions = {action: 0 for action in ActionType}
+
+    def choose_action(self, txn: Transaction, op: Operation,
+                      key_state: KeyState,
+                      global_state: GlobalState) -> ActionType:
+        features = self.encoder.encode(txn, op, key_state, global_state,
+                                       out=self._scratch)
+        action = self.model.decide(features)
+        if (action is ActionType.ABORT
+                and txn.restarts >= self.MAX_POLICY_RESTARTS):
+            action = ActionType.ACQUIRE_LOCK
+        self.decisions[action] += 1
+        return action
+
+    def wait_discipline(self) -> str:
+        return "timeout"
+
+    def validate_reads(self) -> bool:
+        """NeurDB(CC) runs over the engine's MVCC storage (as in
+        PostgreSQL), so reads are snapshot reads and never invalidate.
+        The learned decisions govern write handling: optimistic write,
+        lock, or early abort."""
+        return False
+
+    def set_params(self, params: np.ndarray) -> None:
+        self.model.set_params(params)
+
+    def get_params(self) -> np.ndarray:
+        return self.model.get_params()

@@ -1,0 +1,145 @@
+"""Polyjuice-style learned concurrency control baseline.
+
+Polyjuice [Wang et al., OSDI'21] learns a *policy table* indexed by
+transaction type and access (operation) id; each entry picks contention
+actions.  Crucially for the paper's Fig. 7(b) comparison, Polyjuice trains
+its table with an **evolutionary algorithm over whole-workload evaluations**
+— adaptation to a new workload needs many generations of population
+evaluation, whereas NeurDB(CC)'s two-phase adaptation converges within a few
+evaluations.  We reproduce that structural difference: the table policy here
+adapts via a genetic loop with the same evaluation interface the two-phase
+adapter uses, so the benchmark gives both the same evaluation budget per
+unit of wall time and the recovery-speed gap emerges from the algorithms.
+
+The paper quote: "Unlike state-of-the-art approach [44] that simply adjusts
+actions based on predefined transaction or operation patterns (e.g.,
+transaction type), our approach learns the optimal action based on the
+contention state" — the table policy conditions only on (txn type, op index),
+not on live contention, which is its second structural handicap under drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.txnsim.core import (
+    ActionType,
+    CCPolicy,
+    GlobalState,
+    KeyState,
+    Operation,
+    Transaction,
+)
+
+_ACTIONS = (ActionType.OPTIMISTIC, ActionType.ACQUIRE_LOCK, ActionType.ABORT)
+RewardFn = Callable[[np.ndarray], float]
+
+
+class PolyjuicePolicy(CCPolicy):
+    """Policy-table CC: (txn_type, op_index) -> action.
+
+    The table is a flat int array of action indexes; ``max_types`` and
+    ``max_ops`` bound its shape.  Ops beyond ``max_ops`` reuse the last
+    column (Polyjuice clamps access ids the same way).
+    """
+
+    name = "polyjuice"
+    MAX_POLICY_RESTARTS = 3
+
+    def __init__(self, max_types: int = 4, max_ops: int = 24,
+                 table: np.ndarray | None = None):
+        self.max_types = max_types
+        self.max_ops = max_ops
+        if table is None:
+            table = np.zeros(max_types * max_ops, dtype=np.int64)
+            table[:] = 0  # all-optimistic default, like OCC-seeded Polyjuice
+        self.table = table.astype(np.int64)
+        self.decisions = {action: 0 for action in ActionType}
+
+    def choose_action(self, txn: Transaction, op: Operation,
+                      key_state: KeyState,
+                      global_state: GlobalState) -> ActionType:
+        type_id = min(txn.type_id, self.max_types - 1)
+        op_id = min(txn.op_index, self.max_ops - 1)
+        action = _ACTIONS[int(self.table[type_id * self.max_ops + op_id]) % 3]
+        if (action is ActionType.ABORT
+                and txn.restarts >= self.MAX_POLICY_RESTARTS):
+            action = ActionType.ACQUIRE_LOCK
+        self.decisions[action] += 1
+        return action
+
+    def wait_discipline(self) -> str:
+        return "timeout"
+
+    def validate_reads(self) -> bool:
+        """Same MVCC substrate as NeurDB(CC) for a fair comparison —
+        the difference under test is the adaptation mechanism."""
+        return False
+
+    # -- parameter plumbing (same flat-vector interface as DecisionModel) ----
+
+    def get_params(self) -> np.ndarray:
+        return self.table.astype(np.float64)
+
+    def set_params(self, params: np.ndarray) -> None:
+        self.table = np.clip(np.rint(params), 0, 2).astype(np.int64)
+
+
+@dataclass
+class EvolutionReport:
+    generations_run: int
+    evaluations: int
+    best_reward: float
+
+
+class PolyjuiceTrainer:
+    """Evolutionary training loop for the policy table.
+
+    Standard (mu + lambda) GA: evaluate the population, keep the elite,
+    refill with mutated copies.  Every individual evaluation costs one
+    reward-function call — the same currency the two-phase adapter spends —
+    so per-generation cost is ``population`` evaluations.
+    """
+
+    def __init__(self, policy: PolyjuicePolicy, population: int = 8,
+                 elite: int = 2, mutation_rate: float = 0.1, seed: int = 0):
+        self.policy = policy
+        self.population = population
+        self.elite = elite
+        self.mutation_rate = mutation_rate
+        self.rng = np.random.default_rng(seed)
+        size = policy.table.size
+        self._pool = [policy.table.copy()]
+        for _ in range(population - 1):
+            self._pool.append(self._mutate(policy.table))
+        self._scores: list[float] = [float("-inf")] * population
+
+    def _mutate(self, table: np.ndarray) -> np.ndarray:
+        out = table.copy()
+        mask = self.rng.random(out.size) < self.mutation_rate
+        out[mask] = self.rng.integers(0, 3, mask.sum())
+        return out
+
+    def evolve(self, evaluate: RewardFn,
+               generations: int = 1) -> EvolutionReport:
+        """Run ``generations`` of the GA; installs the best table found."""
+        evaluations = 0
+        best_reward = float("-inf")
+        for _ in range(generations):
+            self._scores = []
+            for table in self._pool:
+                self._scores.append(evaluate(table.astype(np.float64)))
+                evaluations += 1
+            order = np.argsort(self._scores)[::-1]
+            best_reward = self._scores[order[0]]
+            elites = [self._pool[i].copy() for i in order[: self.elite]]
+            refill = [self._mutate(elites[i % self.elite])
+                      for i in range(self.population - self.elite)]
+            self._pool = elites + refill
+        self.policy.table = self._pool[0].copy()
+        return EvolutionReport(generations_run=generations,
+                               evaluations=evaluations,
+                               best_reward=best_reward)

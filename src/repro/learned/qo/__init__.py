@@ -1,0 +1,40 @@
+"""Fast-adaptive learned query optimizer (paper §4.2, Fig. 5) and the
+Bao / Lero baselines used in Fig. 8."""
+
+from repro.learned.qo.bao import HINT_SETS, BaoOptimizer, plan_under_hints
+from repro.learned.qo.features import (
+    MAX_PLAN_NODES,
+    MAX_SYSCOND_ROWS,
+    PLAN_FEATURE_DIM,
+    SYSCOND_FEATURE_DIM,
+    PlanFeaturizer,
+    SystemConditionFeaturizer,
+    referenced_table_columns,
+)
+from repro.learned.qo.lero import LeroOptimizer
+from repro.learned.qo.model import QOModel
+from repro.learned.qo.optimizer import (
+    LearnedQueryOptimizer,
+    PlanChoice,
+    QOPretrainer,
+    TrainingSample,
+)
+
+__all__ = [
+    "BaoOptimizer",
+    "HINT_SETS",
+    "LearnedQueryOptimizer",
+    "LeroOptimizer",
+    "MAX_PLAN_NODES",
+    "MAX_SYSCOND_ROWS",
+    "PLAN_FEATURE_DIM",
+    "PlanChoice",
+    "PlanFeaturizer",
+    "QOModel",
+    "QOPretrainer",
+    "SYSCOND_FEATURE_DIM",
+    "SystemConditionFeaturizer",
+    "TrainingSample",
+    "plan_under_hints",
+    "referenced_table_columns",
+]

@@ -1,0 +1,122 @@
+"""Bao-style learned query optimizer baseline.
+
+Bao [Marcus et al., SIGMOD'21] steers the classical optimizer with *hint
+sets* (e.g. "disable hash joins") and learns a value model predicting which
+hint set yields the fastest plan for a query.  Following the paper's setup
+("we use stable models of Bao and Lero"), the value model here is trained
+once on the original data distribution and then frozen — which is exactly
+why it degrades under drift in Fig. 8: the (query features -> best arm)
+mapping it memorized no longer holds once the data moves.
+
+The hint sets constrain our planner's candidate enumeration the same way
+Bao's constrain PostgreSQL's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db import NeurDB
+from repro.learned.qo.features import PlanFeaturizer
+from repro.plan import logical as plan
+from repro.sql import parse
+from repro.sql.ast import Select
+
+HINT_SETS = ("default", "hash-only", "nlj-only", "no-index")
+
+
+def plan_under_hints(db: NeurDB, select: Select, hint: str):
+    """The classical planner's best plan under a Bao hint set."""
+    candidates = db.planner.candidate_plans(select, max_candidates=16)
+    allowed = []
+    for candidate in candidates:
+        nodes = list(candidate.walk())
+        has_hash = any(isinstance(n, plan.HashJoin) for n in nodes)
+        has_nlj = any(isinstance(n, plan.NestedLoopJoin) and
+                      n.condition is not None for n in nodes)
+        has_index = any(isinstance(n, plan.IndexScan) for n in nodes)
+        if hint == "hash-only" and has_nlj:
+            continue
+        if hint == "nlj-only" and has_hash:
+            continue
+        if hint == "no-index" and has_index:
+            continue
+        allowed.append(candidate)
+    if not allowed:
+        allowed = candidates
+    return min(allowed, key=lambda c: c.est_cost)
+
+
+@dataclass
+class _ArmModel:
+    """Per-hint-set linear value model over pooled plan features."""
+
+    weights: np.ndarray
+    bias: float
+
+    def predict(self, features: np.ndarray) -> float:
+        return float(self.weights @ features + self.bias)
+
+
+class BaoOptimizer:
+    """Hint-set selection with a frozen (stable) value model."""
+
+    name = "bao"
+
+    def __init__(self, ridge: float = 1e-2):
+        self.ridge = ridge
+        self._featurizer = PlanFeaturizer()
+        self._arms: dict[str, _ArmModel] = {}
+
+    # -- featurization: pooled plan vector per (query, hint) -----------------
+
+    def _arm_features(self, db: NeurDB, select: Select,
+                      hint: str) -> np.ndarray:
+        candidate = plan_under_hints(db, select, hint)
+        matrix = self._featurizer.featurize(candidate)
+        return matrix.mean(axis=0)
+
+    # -- training on the original distribution --------------------------------
+
+    def train(self, db: NeurDB, queries: list[str]) -> None:
+        """Execute every (query, hint) pair once and fit per-arm models."""
+        per_arm_x: dict[str, list[np.ndarray]] = {h: [] for h in HINT_SETS}
+        per_arm_y: dict[str, list[float]] = {h: [] for h in HINT_SETS}
+        from repro.exec.measure import measure_plan_latency
+        for sql in queries:
+            select = parse(sql)
+            for hint in HINT_SETS:
+                candidate = plan_under_hints(db, select, hint)
+                cap = max(candidate.est_cost, 1e-6) * 50.0 + 10e-3
+                measured = measure_plan_latency(db.executor, db.clock,
+                                                candidate, cap_virtual=cap)
+                per_arm_x[hint].append(self._arm_features(db, select, hint))
+                per_arm_y[hint].append(np.log(measured.latency))
+        for hint in HINT_SETS:
+            X = np.stack(per_arm_x[hint])
+            y = np.asarray(per_arm_y[hint])
+            d = X.shape[1]
+            weights = np.linalg.solve(X.T @ X + self.ridge * np.eye(d),
+                                      X.T @ (y - y.mean()))
+            self._arms[hint] = _ArmModel(weights=weights,
+                                         bias=float(y.mean()))
+
+    # -- inference (frozen model) ---------------------------------------------
+
+    def choose_plan(self, db: NeurDB, select: Select):
+        if not self._arms:
+            raise RuntimeError("BaoOptimizer.train must run first")
+        best_hint, best_prediction = None, np.inf
+        for hint in HINT_SETS:
+            features = self._arm_features(db, select, hint)
+            prediction = self._arms[hint].predict(features)
+            if prediction < best_prediction:
+                best_hint, best_prediction = hint, prediction
+        return plan_under_hints(db, select, best_hint)
+
+    def execute(self, db: NeurDB, sql: str):
+        select = parse(sql)
+        chosen = self.choose_plan(db, select)
+        return db.executor.run(chosen)

@@ -1,0 +1,148 @@
+"""Featurization for the learned query optimizer.
+
+Two feature streams feed the dual-module model (paper Fig. 5):
+
+* **plan features** — each candidate plan becomes a sequence of per-node
+  vectors (pre-order traversal), the "tree transformer" input;
+* **system conditions** — "buffer information depicting buffer usage and
+  data statistics representing each attribute's distribution": one vector
+  per referenced column (its live histogram sketch) plus one buffer vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import stable_hash
+from repro.plan import logical as plan
+from repro.storage.buffer import BufferPool
+from repro.storage.catalog import Catalog
+from repro.storage.stats import ColumnStats, compute_column_stats
+
+# node-type one-hot slots
+_NODE_TYPES = (plan.SeqScan, plan.IndexScan, plan.Filter, plan.Project,
+               plan.NestedLoopJoin, plan.HashJoin, plan.Aggregate,
+               plan.Sort, plan.Limit, plan.Distinct)
+_TABLE_HASH_DIM = 8
+PLAN_FEATURE_DIM = len(_NODE_TYPES) + _TABLE_HASH_DIM + 4  # 22
+SYSCOND_FEATURE_DIM = 25  # 21 column-stat floats + 4 buffer floats
+MAX_PLAN_NODES = 24
+MAX_SYSCOND_ROWS = 12
+
+
+class PlanFeaturizer:
+    """Plan tree -> (MAX_PLAN_NODES, PLAN_FEATURE_DIM) matrix."""
+
+    def featurize(self, root: plan.PlanNode) -> np.ndarray:
+        rows = []
+        for depth, node in self._walk_with_depth(root, 0):
+            if len(rows) >= MAX_PLAN_NODES:
+                break
+            rows.append(self._node_vector(node, depth))
+        out = np.zeros((MAX_PLAN_NODES, PLAN_FEATURE_DIM))
+        if rows:
+            out[: len(rows)] = np.stack(rows)
+        return out
+
+    def _walk_with_depth(self, node: plan.PlanNode, depth: int):
+        yield depth, node
+        for child in node.children:
+            yield from self._walk_with_depth(child, depth + 1)
+
+    def _node_vector(self, node: plan.PlanNode, depth: int) -> np.ndarray:
+        vec = np.zeros(PLAN_FEATURE_DIM)
+        for i, node_type in enumerate(_NODE_TYPES):
+            if isinstance(node, node_type):
+                vec[i] = 1.0
+                break
+        table = getattr(node, "table", None)
+        if table is not None:
+            vec[len(_NODE_TYPES) + stable_hash(table, _TABLE_HASH_DIM)] = 1.0
+        base = len(_NODE_TYPES) + _TABLE_HASH_DIM
+        vec[base] = np.log1p(max(0.0, node.est_rows)) / 20.0
+        vec[base + 1] = np.log1p(max(0.0, node.est_cost) * 1e6) / 20.0
+        vec[base + 2] = depth / 8.0
+        vec[base + 3] = 1.0 if isinstance(
+            node, (plan.HashJoin, plan.NestedLoopJoin)) else 0.0
+        return vec
+
+
+class SystemConditionFeaturizer:
+    """Live system conditions -> (MAX_SYSCOND_ROWS, SYSCOND_FEATURE_DIM).
+
+    Row 0 is the buffer-info vector; subsequent rows are per-column
+    distribution sketches for the columns the query touches.  Statistics are
+    recomputed from the *current* table contents (sampled), which is how
+    NeurDB's optimizer sees drift that PostgreSQL's stale pg_statistic
+    misses — the paper's monitor collects these continuously.
+    """
+
+    def __init__(self, sample_rows: int = 400):
+        self.sample_rows = sample_rows
+
+    def featurize(self, catalog: Catalog,
+                  table_columns: list[tuple[str, str]],
+                  buffer_pool: BufferPool | None = None) -> np.ndarray:
+        out = np.zeros((MAX_SYSCOND_ROWS, SYSCOND_FEATURE_DIM))
+        buffer_vec = np.zeros(4)
+        if buffer_pool is not None:
+            snapshot = buffer_pool.snapshot()
+            buffer_vec = np.array([
+                snapshot["hit_ratio"],
+                np.log1p(snapshot["resident_pages"]) / 15.0,
+                snapshot["fill_fraction"],
+                1.0,
+            ])
+        out[0, 21:25] = buffer_vec
+        for i, (table, column) in enumerate(table_columns):
+            if i + 1 >= MAX_SYSCOND_ROWS:
+                break
+            stats = self._fresh_column_stats(catalog, table, column)
+            if stats is None:
+                continue
+            out[i + 1, :21] = stats.feature_vector()
+            out[i + 1, 21:25] = buffer_vec
+        return out
+
+    def _fresh_column_stats(self, catalog: Catalog, table: str,
+                            column: str) -> ColumnStats | None:
+        """Sampled statistics over the CURRENT data (drift-aware)."""
+        if not catalog.has_table(table):
+            return None
+        heap = catalog.table(table)
+        schema = heap.schema
+        if not schema.has_column(column):
+            return None
+        idx = schema.index_of(column)
+        values = []
+        step = max(1, len(heap) // self.sample_rows)
+        for i, (_, row) in enumerate(heap.scan()):
+            if i % step == 0:
+                values.append(row[idx])
+        stats = compute_column_stats(column, schema.columns[idx].dtype,
+                                     values)
+        stats.row_count = len(heap)  # true live cardinality, not sample size
+        return stats
+
+
+def referenced_table_columns(bound_query) -> list[tuple[str, str]]:
+    """(table, column) pairs a bound query references, deduplicated."""
+    from repro.sql import ast
+    seen: list[tuple[str, str]] = []
+
+    def add(ref: ast.ColumnRef) -> None:
+        for alias, table in bound_query.bindings.items():
+            if ref.table is not None and ref.table.lower() != alias:
+                continue
+            pair = (table, ref.name.lower())
+            if pair not in seen:
+                seen.append(pair)
+
+    for exprs in bound_query.filters.values():
+        for e in exprs:
+            for ref in ast.referenced_columns(e):
+                add(ref)
+    for left, right, _ in bound_query.join_conditions:
+        add(left)
+        add(right)
+    return seen

@@ -1,0 +1,135 @@
+"""Lero-style learning-to-rank query optimizer baseline.
+
+Lero [Zhu et al., VLDB'23] abandons absolute cost prediction: it generates
+candidate plans (by perturbing cardinality estimates) and trains a *pairwise
+comparator* that predicts which of two plans is faster; the top-ranked plan
+wins.  As in the paper's evaluation we use a stable model: the comparator is
+trained once on the original distribution and frozen, so under data drift
+the pairwise preferences it learned stop matching reality.
+
+The comparator is a small MLP over the concatenated pooled features of the
+two plans, trained with a logistic pairwise loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db import NeurDB
+from repro.learned.qo.features import PLAN_FEATURE_DIM, PlanFeaturizer
+from repro.nn.layers import MLP
+from repro.nn.losses import bce_with_logits
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.sql import parse
+from repro.sql.ast import Select
+
+
+class LeroOptimizer:
+    """Pairwise plan ranker with a frozen comparator."""
+
+    name = "lero"
+
+    def __init__(self, max_candidates: int = 12, hidden: int = 32,
+                 seed: int = 0):
+        self.max_candidates = max_candidates
+        self._featurizer = PlanFeaturizer()
+        rng = np.random.default_rng(seed)
+        self.comparator = MLP([4 * PLAN_FEATURE_DIM, hidden, 1], rng=rng)
+        self._trained = False
+
+    def _pooled(self, candidate) -> np.ndarray:
+        """Order-aware pooling: plain mean plus a depth-weighted mean.
+
+        A flat mean cannot distinguish two join orders over the same
+        tables; weighting nodes by exp(-depth) encodes which table sits
+        where in the tree (Lero's real encoding is tree-structured too).
+        """
+        matrix = self._featurizer.featurize(candidate)
+        mean = matrix.mean(axis=0)
+        depth_col = matrix[:, -2]  # depth/8 feature slot
+        weights = np.exp(-3.0 * depth_col)
+        live = matrix.any(axis=1)
+        weights = weights * live
+        total = max(weights.sum(), 1e-9)
+        weighted = (matrix * weights[:, None]).sum(axis=0) / total
+        return np.concatenate([mean, weighted])
+
+    # -- training -----------------------------------------------------------
+
+    def train(self, db: NeurDB, queries: list[str], epochs: int = 60,
+              lr: float = 2e-3, seed: int = 0) -> list[float]:
+        """Execute all candidates per query; fit the pairwise comparator."""
+        pair_x: list[np.ndarray] = []
+        pair_y: list[float] = []
+        from repro.exec.measure import measure_plan_latency
+        for sql in queries:
+            select = parse(sql)
+            candidates = db.planner.candidate_plans(select,
+                                                    self.max_candidates)
+            cheapest = min(max(c.est_cost, 1e-6) for c in candidates)
+            cap = cheapest * 50.0 + 10e-3
+            measured = []
+            for candidate in candidates:
+                m = measure_plan_latency(db.executor, db.clock, candidate,
+                                         cap_virtual=cap)
+                measured.append((self._pooled(candidate), m.latency))
+            for i in range(len(measured)):
+                for j in range(i + 1, len(measured)):
+                    xi, ti = measured[i]
+                    xj, tj = measured[j]
+                    if abs(np.log(ti) - np.log(tj)) < 0.05:
+                        continue  # ties teach nothing
+                    # symmetrize: candidate_plans returns cost-sorted
+                    # candidates, so one-sided pairs would teach the
+                    # comparator that "the first argument wins"
+                    pair_x.append(np.concatenate([xi, xj]))
+                    pair_y.append(1.0 if ti < tj else 0.0)
+                    pair_x.append(np.concatenate([xj, xi]))
+                    pair_y.append(0.0 if ti < tj else 1.0)
+        if not pair_x:
+            raise RuntimeError("no informative plan pairs collected")
+        X = np.stack(pair_x)
+        y = np.asarray(pair_y)
+        optimizer = Adam(list(self.comparator.parameters()), lr=lr)
+        rng = np.random.default_rng(seed)
+        losses = []
+        for _ in range(epochs):
+            order = rng.permutation(len(y))
+            optimizer.zero_grad()
+            logits = self.comparator(Tensor(X[order]))
+            loss = bce_with_logits(logits.reshape(len(y)), y[order])
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        self._trained = True
+        return losses
+
+    # -- inference (frozen) -------------------------------------------------------
+
+    def _beats(self, a: np.ndarray, b: np.ndarray) -> bool:
+        """Comparator verdict: does plan a beat plan b?
+
+        Evaluated in both argument orders and averaged, enforcing
+        antisymmetry at inference time."""
+        forward = np.concatenate([a, b])[None, :]
+        backward = np.concatenate([b, a])[None, :]
+        logit_fwd = self.comparator(Tensor(forward)).data.reshape(-1)[0]
+        logit_bwd = self.comparator(Tensor(backward)).data.reshape(-1)[0]
+        return (logit_fwd - logit_bwd) > 0
+
+    def choose_plan(self, db: NeurDB, select: Select):
+        if not self._trained:
+            raise RuntimeError("LeroOptimizer.train must run first")
+        candidates = db.planner.candidate_plans(select, self.max_candidates)
+        pooled = [self._pooled(c) for c in candidates]
+        best = 0
+        for i in range(1, len(candidates)):
+            if self._beats(pooled[i], pooled[best]):
+                best = i
+        return candidates[best]
+
+    def execute(self, db: NeurDB, sql: str):
+        select = parse(sql)
+        chosen = self.choose_plan(db, select)
+        return db.executor.run(chosen)

@@ -1,0 +1,90 @@
+"""The dual-module learned query optimizer model (paper Fig. 5).
+
+Encoder: the candidate plan's node sequence goes through a tree transformer
+(self-attention over plan nodes); the result cross-attends over the system-
+condition sequence (buffer info + per-attribute distribution sketches) to
+produce a unified embedding.  Analyzer: multi-head attention over the fused
+sequence followed by an MLP emits a scalar predicted log-latency.
+
+Selecting a plan = scoring every candidate and taking the argmin, which is
+the filter-and-refine structure the paper highlights (cheap encoder pass
+filters; the analyzer refines the survivors — here we score all candidates
+because candidate sets are small).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learned.qo.features import (
+    PLAN_FEATURE_DIM,
+    SYSCOND_FEATURE_DIM,
+)
+from repro.nn.attention import CrossAttentionBlock, MultiHeadAttention, TransformerBlock
+from repro.nn.layers import MLP, LayerNorm, Linear, Module
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+
+
+class QOModel(Module):
+    """Encoder (tree transformer + cross-attention) + analyzer (MHA + MLP)."""
+
+    def __init__(self, d_model: int = 32, num_heads: int = 4, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.d_model = d_model
+        self.plan_proj = Linear(PLAN_FEATURE_DIM, d_model, rng=rng)
+        self.cond_proj = Linear(SYSCOND_FEATURE_DIM, d_model, rng=rng)
+        self.tree_transformer = TransformerBlock(d_model, num_heads, rng=rng)
+        self.cross_attention = CrossAttentionBlock(d_model, num_heads,
+                                                   rng=rng)
+        self.analyzer_attention = MultiHeadAttention(d_model, num_heads,
+                                                     rng=rng)
+        self.analyzer_norm = LayerNorm(d_model)
+        self.analyzer_mlp = MLP([d_model, d_model, 1], rng=rng)
+
+    def forward(self, plan_features: np.ndarray,
+                cond_features: np.ndarray) -> Tensor:
+        """(batch, nodes, PLAN_DIM) x (batch, rows, COND_DIM) -> (batch,)
+        predicted log-latency."""
+        plan_seq = self.plan_proj(Tensor(plan_features))
+        plan_seq = self.tree_transformer(plan_seq)
+        cond_seq = self.cond_proj(Tensor(cond_features))
+        fused = self.cross_attention(plan_seq, cond_seq)
+        analyzed = fused + self.analyzer_attention(self.analyzer_norm(fused))
+        pooled = analyzed.mean(axis=1)
+        out = self.analyzer_mlp(pooled)
+        return out.reshape(out.shape[0])
+
+    # -- training --------------------------------------------------------------
+
+    def fit(self, plan_features: np.ndarray, cond_features: np.ndarray,
+            log_latencies: np.ndarray, epochs: int = 30,
+            batch_size: int = 32, lr: float = 1e-3,
+            seed: int = 0) -> list[float]:
+        """Supervised regression on log-latency; returns per-epoch losses."""
+        from repro.nn.losses import mse_loss
+        optimizer = Adam(list(self.parameters()), lr=lr)
+        n = len(log_latencies)
+        rng = np.random.default_rng(seed)
+        losses = []
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n, batch_size):
+                idx = order[start:start + batch_size]
+                optimizer.zero_grad()
+                predictions = self.forward(plan_features[idx],
+                                           cond_features[idx])
+                loss = mse_loss(predictions, log_latencies[idx])
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            losses.append(epoch_loss / max(1, batches))
+        return losses
+
+    def predict(self, plan_features: np.ndarray,
+                cond_features: np.ndarray) -> np.ndarray:
+        return self.forward(plan_features, cond_features).data

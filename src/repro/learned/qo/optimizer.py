@@ -1,0 +1,172 @@
+"""The fast-adaptive learned query optimizer (NeurDB side of Fig. 8).
+
+Workflow (paper §4.2):
+
+1. the classical planner enumerates candidate plans for query Q;
+2. each candidate is featurized together with the live system conditions
+   (buffer info + per-attribute distribution sketches);
+3. the dual-module model scores candidates; the best one executes.
+
+Pre-training "generates various synthetic data distributions and workloads
+using Bayesian optimization" — :class:`QOPretrainer` perturbs the data-
+generation knobs, executes candidate plans on each synthetic database to get
+ground-truth virtual latencies, and trains the model across all of them, so
+at evaluation time the model has seen many (conditions -> best plan)
+mappings and generalizes to drifted databases it never trained on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.db import NeurDB
+from repro.learned.qo.features import (
+    PlanFeaturizer,
+    SystemConditionFeaturizer,
+    referenced_table_columns,
+)
+from repro.learned.qo.model import QOModel
+from repro.sql import parse
+from repro.sql.ast import Select
+
+
+@dataclass
+class PlanChoice:
+    """Outcome of one learned plan selection."""
+
+    chosen_index: int
+    predicted_log_latencies: np.ndarray
+    candidate_count: int
+    plan_text: str
+
+
+@dataclass
+class TrainingSample:
+    plan_features: np.ndarray
+    cond_features: np.ndarray
+    log_latency: float
+
+
+class LearnedQueryOptimizer:
+    """Scores candidate plans with the QO model under live conditions."""
+
+    def __init__(self, model: QOModel | None = None,
+                 max_candidates: int = 12):
+        self.model = model if model is not None else QOModel()
+        self.max_candidates = max_candidates
+        self.plan_featurizer = PlanFeaturizer()
+        self.cond_featurizer = SystemConditionFeaturizer()
+
+    # -- selection ----------------------------------------------------------
+
+    def choose_plan(self, db: NeurDB, select: Select):
+        """Pick a plan for ``select``; returns (plan, PlanChoice)."""
+        planner = db.planner
+        candidates = planner.candidate_plans(select, self.max_candidates)
+        if len(candidates) == 1:
+            return candidates[0], PlanChoice(0, np.zeros(1), 1,
+                                             candidates[0].pretty())
+        bound = planner.bind(select)
+        cond = self.cond_featurizer.featurize(
+            db.catalog, referenced_table_columns(bound), db.buffer_pool)
+        plan_mats = np.stack([self.plan_featurizer.featurize(c)
+                              for c in candidates])
+        cond_mats = np.repeat(cond[None, :, :], len(candidates), axis=0)
+        predictions = self.model.predict(plan_mats, cond_mats)
+        best = int(np.argmin(predictions))
+        return candidates[best], PlanChoice(best, predictions,
+                                            len(candidates),
+                                            candidates[best].pretty())
+
+    def execute(self, db: NeurDB, sql: str):
+        """Full path: parse -> learned plan choice -> execute."""
+        select = parse(sql)
+        if not isinstance(select, Select):
+            raise TypeError("learned QO only handles SELECT statements")
+        chosen, choice = self.choose_plan(db, select)
+        result = db.executor.run(chosen)
+        result.extra["plan_choice"] = choice
+        return result
+
+    # -- sample collection --------------------------------------------------------
+
+    def collect_samples(self, db: NeurDB, sql: str,
+                        max_candidates: int | None = None,
+                        cap_multiplier: float = 50.0
+                        ) -> list[TrainingSample]:
+        """Execute EVERY candidate plan of a query and record
+        (features, conditions, measured log-latency) triples.
+
+        Candidates are measured under a virtual-time budget of
+        ``cap_multiplier`` times the cheapest estimate, so pathological
+        plans get right-censored labels instead of burning wall-clock.
+        """
+        from repro.exec.measure import measure_plan_latency
+        select = parse(sql)
+        planner = db.planner
+        candidates = planner.candidate_plans(
+            select, max_candidates or self.max_candidates)
+        bound = planner.bind(select)
+        cond = self.cond_featurizer.featurize(
+            db.catalog, referenced_table_columns(bound), db.buffer_pool)
+        cheapest = min(max(c.est_cost, 1e-6) for c in candidates)
+        cap = cheapest * cap_multiplier + 10e-3
+        samples = []
+        for candidate in candidates:
+            measured = measure_plan_latency(db.executor, db.clock,
+                                            candidate, cap_virtual=cap)
+            samples.append(TrainingSample(
+                plan_features=self.plan_featurizer.featurize(candidate),
+                cond_features=cond,
+                log_latency=float(np.log(measured.latency))))
+        return samples
+
+    def fit(self, samples: Sequence[TrainingSample], epochs: int = 30,
+            lr: float = 1e-3, seed: int = 0) -> list[float]:
+        plan_mats = np.stack([s.plan_features for s in samples])
+        cond_mats = np.stack([s.cond_features for s in samples])
+        targets = np.array([s.log_latency for s in samples])
+        return self.model.fit(plan_mats, cond_mats, targets, epochs=epochs,
+                              lr=lr, seed=seed)
+
+
+@dataclass
+class QOPretrainer:
+    """Synthetic-distribution pre-training (the paper's BO-driven sweep).
+
+    ``make_db`` builds a database from a knob vector; the pretrainer samples
+    knob vectors (Sobol-style jittered grid + exploitation around the
+    highest-loss configurations — the Bayesian-optimization flavour),
+    collects candidate-plan latencies on each database, and fits one model
+    across everything.
+    """
+
+    make_db: Callable[[np.ndarray], NeurDB]
+    queries: Sequence[str]
+    knob_ranges: Sequence[tuple[float, float]]
+    seed: int = 0
+    samples: list[TrainingSample] = field(default_factory=list)
+
+    def sample_knobs(self, count: int) -> list[np.ndarray]:
+        rng = np.random.default_rng(self.seed)
+        out = []
+        for i in range(count):
+            knobs = np.array([
+                low + (high - low) * ((i + rng.random()) / count)
+                for low, high in self.knob_ranges])
+            out.append(knobs)
+        return out
+
+    def pretrain(self, optimizer: LearnedQueryOptimizer,
+                 distributions: int = 4, epochs: int = 40,
+                 lr: float = 2e-3) -> list[float]:
+        """Build ``distributions`` synthetic DBs, harvest samples, fit."""
+        for knobs in self.sample_knobs(distributions):
+            db = self.make_db(knobs)
+            for sql in self.queries:
+                self.samples.extend(optimizer.collect_samples(db, sql))
+        return optimizer.fit(self.samples, epochs=epochs, lr=lr,
+                             seed=self.seed)

@@ -1,0 +1,186 @@
+"""Autonomous knob tuning driven by the monitor.
+
+Paper §3: "the monitor can trigger autonomous knob tuning when suboptimal
+knob settings are detected, ensuring that the system remains well-configured
+to handle data and workload drift effectively."
+
+This module provides a small but genuine knob tuner following the same
+filter-and-refine principle as the other learned components: candidate knob
+configurations are proposed around the current one, filtered by a
+cheap predicted score, and the survivors are evaluated with a caller-
+supplied workload probe (e.g. replaying a query mix and reading the virtual
+clock).  Knobs are declared with ranges and step semantics so the tuner is
+reusable for any numeric configuration surface (buffer pool pages,
+streaming window, batch size, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+ProbeFn = Callable[[Mapping[str, float]], float]
+"""Evaluates a knob configuration; returns a COST (lower is better)."""
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One tunable configuration parameter."""
+
+    name: str
+    low: float
+    high: float
+    integer: bool = True
+    log_scale: bool = False
+
+    def __post_init__(self) -> None:
+        if self.low >= self.high:
+            raise ValueError(f"knob {self.name!r}: low must be < high")
+
+    def clamp(self, value: float) -> float:
+        value = min(self.high, max(self.low, value))
+        return float(round(value)) if self.integer else float(value)
+
+    def neighbors(self, value: float, rng: np.random.Generator,
+                  count: int, spread: float = 0.8) -> list[float]:
+        """Propose nearby candidate values (log-space for log knobs)."""
+        out = []
+        for _ in range(count):
+            if self.log_scale:
+                factor = float(np.exp(rng.normal(0.0, spread)))
+                out.append(self.clamp(value * factor))
+            else:
+                span = (self.high - self.low) * spread * 0.25
+                out.append(self.clamp(value + rng.normal(0.0, span)))
+        return out
+
+
+@dataclass
+class TuningReport:
+    initial_cost: float
+    best_cost: float
+    evaluations: int
+    best_config: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def improvement(self) -> float:
+        if self.initial_cost <= 0:
+            return 0.0
+        return 1.0 - self.best_cost / self.initial_cost
+
+
+class KnobTuner:
+    """Filter-and-refine tuner over a declared knob space."""
+
+    def __init__(self, knobs: list[Knob], seed: int = 0,
+                 exploration: float = 1.0):
+        if not knobs:
+            raise ValueError("KnobTuner needs at least one knob")
+        names = [k.name for k in knobs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate knob names")
+        self.knobs = {k.name: k for k in knobs}
+        self.rng = np.random.default_rng(seed)
+        self.exploration = exploration
+        self.history: list[tuple[dict[str, float], float]] = []
+
+    # -- candidate generation -------------------------------------------------
+
+    def _propose(self, current: Mapping[str, float],
+                 count: int) -> list[dict[str, float]]:
+        """Local perturbations of the incumbent plus a share of global
+        uniform samples — without the global share the search can never
+        leave a cost plateau wider than the local step size."""
+        candidates = []
+        globals_count = max(1, count // 3)
+        for i in range(count):
+            candidate = {}
+            for name, knob in self.knobs.items():
+                if i < globals_count:
+                    if knob.log_scale:
+                        raw = float(np.exp(self.rng.uniform(
+                            np.log(max(knob.low, 1e-9)),
+                            np.log(knob.high))))
+                    else:
+                        raw = float(self.rng.uniform(knob.low, knob.high))
+                    candidate[name] = knob.clamp(raw)
+                else:
+                    candidate[name] = knob.neighbors(current[name],
+                                                     self.rng, 1)[0]
+            candidates.append(candidate)
+        return candidates
+
+    def _predicted_cost(self, config: Mapping[str, float]) -> float:
+        """Nearest-neighbour cost prediction minus an exploration bonus.
+
+        On cost plateaus (every probed configuration equally bad) the
+        bonus pushes the filter toward unexplored regions instead of
+        re-probing the neighbourhood forever — the same UCB idea the CC
+        adaptation's surrogate uses."""
+        if not self.history:
+            return 0.0
+
+        def distance(other: Mapping[str, float]) -> float:
+            total = 0.0
+            for name, knob in self.knobs.items():
+                span = knob.high - knob.low
+                total += ((config[name] - other[name]) / span) ** 2
+            return total
+
+        distances = [distance(entry[0]) for entry in self.history]
+        nearest_idx = int(np.argmin(distances))
+        predicted = self.history[nearest_idx][1]
+        costs = [cost for _, cost in self.history]
+        scale = max(costs) - min(costs) or max(abs(costs[0]), 1.0)
+        return predicted - self.exploration * scale * np.sqrt(
+            distances[nearest_idx])
+
+    # -- tuning loop -----------------------------------------------------------
+
+    def tune(self, current: Mapping[str, float], probe: ProbeFn,
+             rounds: int = 3, proposals: int = 8,
+             evaluate_top: int = 3) -> TuningReport:
+        """Iteratively improve the configuration.
+
+        Each round proposes ``proposals`` candidates, filters them to
+        ``evaluate_top`` by predicted cost, probes those, and adopts the
+        best seen so far.
+        """
+        current = {name: self.knobs[name].clamp(value)
+                   for name, value in current.items()}
+        missing = set(self.knobs) - set(current)
+        if missing:
+            raise KeyError(f"configuration missing knobs {sorted(missing)}")
+
+        initial_cost = probe(current)
+        self.history.append((dict(current), initial_cost))
+        best_config, best_cost = dict(current), initial_cost
+        evaluations = 1
+
+        for _ in range(rounds):
+            candidates = self._propose(best_config, proposals)
+            candidates.sort(key=self._predicted_cost)
+            for candidate in candidates[:evaluate_top]:
+                cost = probe(candidate)
+                evaluations += 1
+                self.history.append((dict(candidate), cost))
+                if cost < best_cost:
+                    best_config, best_cost = dict(candidate), cost
+        return TuningReport(initial_cost=initial_cost, best_cost=best_cost,
+                            evaluations=evaluations,
+                            best_config=best_config)
+
+
+def buffer_pool_probe(make_db: Callable[[int], "object"],
+                      workload: list[str]) -> ProbeFn:
+    """A ready-made probe: virtual time to replay a query mix on a database
+    built with the candidate buffer-pool size."""
+    def probe(config: Mapping[str, float]) -> float:
+        db = make_db(int(config["buffer_pages"]))
+        start = db.clock.now
+        for sql in workload:
+            db.execute(sql)
+        return db.clock.now - start
+    return probe

@@ -1,0 +1,103 @@
+"""Attention modules: multi-head self-attention and cross-attention.
+
+The learned query optimizer (paper Fig. 5) feeds plan encodings and system
+conditions into cross-attention layers, then an analyzer with multi-head
+attention + MLP.  These modules implement those blocks generically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import LayerNorm, Linear, Module
+from repro.nn.tensor import Tensor
+
+
+class MultiHeadAttention(Module):
+    """Standard scaled-dot-product multi-head attention.
+
+    Inputs are (batch, seq, dim); query/key/value may differ for
+    cross-attention use.  No masking — plan node sequences are fully visible.
+    """
+
+    def __init__(self, dim: int, num_heads: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by heads {num_heads}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.w_q = Linear(dim, dim, rng=rng)
+        self.w_k = Linear(dim, dim, rng=rng)
+        self.w_v = Linear(dim, dim, rng=rng)
+        self.w_o = Linear(dim, dim, rng=rng)
+
+    def forward(self, query: Tensor, key: Tensor | None = None,
+                value: Tensor | None = None) -> Tensor:
+        key = key if key is not None else query
+        value = value if value is not None else key
+
+        q = self._split_heads(self.w_q(query))
+        k = self._split_heads(self.w_k(key))
+        v = self._split_heads(self.w_v(value))
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+        weights = scores.softmax(axis=-1)
+        attended = weights @ v
+
+        merged = self._merge_heads(attended)
+        return self.w_o(merged)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        return (x.reshape(batch, seq, self.num_heads, self.head_dim)
+                 .transpose(0, 2, 1, 3))
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, heads, seq, head_dim = x.shape
+        return (x.transpose(0, 2, 1, 3)
+                 .reshape(batch, seq, heads * head_dim))
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block: MHA + feed-forward with residuals."""
+
+    def __init__(self, dim: int, num_heads: int, ff_mult: int = 2,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, num_heads, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.ff1 = Linear(dim, dim * ff_mult, rng=rng)
+        self.ff2 = Linear(dim * ff_mult, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.norm1(x))
+        hidden = self.ff1(self.norm2(x)).relu()
+        return x + self.ff2(hidden)
+
+
+class CrossAttentionBlock(Module):
+    """Query sequence attends over a context sequence (paper Fig. 5's
+    "cross-attention layers" fusing plan encodings with system conditions)."""
+
+    def __init__(self, dim: int, num_heads: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.norm_q = LayerNorm(dim)
+        self.norm_ctx = LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, num_heads, rng=rng)
+        self.norm_ff = LayerNorm(dim)
+        self.ff1 = Linear(dim, dim * 2, rng=rng)
+        self.ff2 = Linear(dim * 2, dim, rng=rng)
+
+    def forward(self, query: Tensor, context: Tensor) -> Tensor:
+        attended = self.attn(self.norm_q(query), self.norm_ctx(context))
+        x = query + attended
+        hidden = self.ff1(self.norm_ff(x)).relu()
+        return x + self.ff2(hidden)

@@ -1,0 +1,40 @@
+"""Query planning: logical/physical plans, cardinality, cost, optimizer."""
+
+from repro.plan.cardinality import CardinalityEstimator
+from repro.plan.cost import PlanCoster
+from repro.plan.logical import (
+    Aggregate,
+    Distinct,
+    Filter,
+    HashJoin,
+    IndexScan,
+    Limit,
+    NestedLoopJoin,
+    PlanNode,
+    Project,
+    SeqScan,
+    Sort,
+    plan_signature,
+)
+from repro.plan.optimizer import BoundQuery, Planner, conjoin, split_conjuncts
+
+__all__ = [
+    "Aggregate",
+    "BoundQuery",
+    "CardinalityEstimator",
+    "Distinct",
+    "Filter",
+    "HashJoin",
+    "IndexScan",
+    "Limit",
+    "NestedLoopJoin",
+    "PlanCoster",
+    "PlanNode",
+    "Planner",
+    "Project",
+    "SeqScan",
+    "Sort",
+    "conjoin",
+    "plan_signature",
+    "split_conjuncts",
+]

@@ -1,0 +1,6 @@
+"""SQL frontend: lexer, AST, and parser (standard SQL + PREDICT)."""
+
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse, parse_script
+
+__all__ = ["Token", "TokenType", "parse", "parse_script", "tokenize"]

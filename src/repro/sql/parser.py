@@ -1,0 +1,502 @@
+"""Recursive-descent parser for the SQL dialect plus the PREDICT extension."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import ParseError
+from repro.sql import ast
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.storage.types import DataType
+
+
+def parse(sql: str) -> ast.Statement:
+    """Parse a single SQL statement (a trailing ``;`` is allowed)."""
+    return _Parser(tokenize(sql)).parse_statement()
+
+
+def parse_script(sql: str) -> list[ast.Statement]:
+    """Parse a ``;``-separated script into a list of statements."""
+    statements = []
+    for piece in sql.split(";"):
+        if piece.strip():
+            statements.append(parse(piece))
+    return statements
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _expect_keyword(self, *names: str) -> Token:
+        token = self._advance()
+        if not token.is_keyword(*names):
+            raise ParseError(
+                f"expected {' or '.join(names)}, got {token.value!r}",
+                token.position)
+        return token
+
+    def _expect_punct(self, value: str) -> Token:
+        token = self._advance()
+        if token.type is not TokenType.PUNCT or token.value != value:
+            raise ParseError(f"expected {value!r}, got {token.value!r}",
+                             token.position)
+        return token
+
+    def _expect_ident(self) -> str:
+        token = self._advance()
+        if token.type is TokenType.IDENT:
+            return token.value
+        # Allow non-reserved keywords as identifiers where unambiguous.
+        if token.type is TokenType.KEYWORD and token.value in ("VALUE", "CLASS"):
+            return token.value.lower()
+        raise ParseError(f"expected identifier, got {token.value!r}",
+                         token.position)
+
+    def _match_keyword(self, *names: str) -> bool:
+        if self._peek().is_keyword(*names):
+            self._advance()
+            return True
+        return False
+
+    def _match_punct(self, value: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.PUNCT and token.value == value:
+            self._advance()
+            return True
+        return False
+
+    def _match_operator(self, *ops: str) -> Optional[str]:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in ops:
+            self._advance()
+            return token.value
+        return None
+
+    # -- statements ------------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.is_keyword("SELECT"):
+            stmt = self._parse_select()
+        elif token.is_keyword("INSERT"):
+            stmt = self._parse_insert()
+        elif token.is_keyword("UPDATE"):
+            stmt = self._parse_update()
+        elif token.is_keyword("DELETE"):
+            stmt = self._parse_delete()
+        elif token.is_keyword("CREATE"):
+            stmt = self._parse_create()
+        elif token.is_keyword("DROP"):
+            stmt = self._parse_drop()
+        elif token.is_keyword("PREDICT"):
+            stmt = self._parse_predict()
+        elif token.is_keyword("ANALYZE"):
+            self._advance()
+            table = None
+            if self._peek().type is TokenType.IDENT:
+                table = self._expect_ident()
+            stmt = ast.Analyze(table)
+        elif token.is_keyword("BEGIN"):
+            self._advance()
+            stmt = ast.Begin()
+        elif token.is_keyword("COMMIT"):
+            self._advance()
+            stmt = ast.Commit()
+        elif token.is_keyword("ROLLBACK"):
+            self._advance()
+            stmt = ast.Rollback()
+        else:
+            raise ParseError(f"unexpected token {token.value!r} at start of "
+                             "statement", token.position)
+        self._match_punct(";")
+        tail = self._peek()
+        if tail.type is not TokenType.EOF:
+            raise ParseError(f"unexpected trailing input {tail.value!r}",
+                             tail.position)
+        return stmt
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def _parse_select(self) -> ast.Select:
+        self._expect_keyword("SELECT")
+        distinct = self._match_keyword("DISTINCT")
+        items = [self._parse_select_item()]
+        while self._match_punct(","):
+            items.append(self._parse_select_item())
+
+        from_table = None
+        joins: list[ast.Join] = []
+        if self._match_keyword("FROM"):
+            from_table = self._parse_table_ref()
+            while True:
+                if self._match_keyword("CROSS"):
+                    self._expect_keyword("JOIN")
+                    joins.append(ast.Join("cross", self._parse_table_ref()))
+                elif self._peek().is_keyword("INNER", "JOIN"):
+                    self._match_keyword("INNER")
+                    self._expect_keyword("JOIN")
+                    table = self._parse_table_ref()
+                    self._expect_keyword("ON")
+                    condition = self._parse_expr()
+                    joins.append(ast.Join("inner", table, condition))
+                elif self._match_punct(","):
+                    joins.append(ast.Join("cross", self._parse_table_ref()))
+                else:
+                    break
+
+        where = self._parse_expr() if self._match_keyword("WHERE") else None
+
+        group_by: list[ast.Expr] = []
+        if self._match_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._parse_expr())
+            while self._match_punct(","):
+                group_by.append(self._parse_expr())
+
+        order_by: list[ast.OrderItem] = []
+        if self._match_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._match_punct(","):
+                order_by.append(self._parse_order_item())
+
+        limit = offset = None
+        if self._match_keyword("LIMIT"):
+            limit = self._parse_int_literal()
+        if self._match_keyword("OFFSET"):
+            offset = self._parse_int_literal()
+
+        return ast.Select(items=tuple(items), from_table=from_table,
+                          joins=tuple(joins), where=where,
+                          group_by=tuple(group_by), order_by=tuple(order_by),
+                          limit=limit, offset=offset, distinct=distinct)
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        if self._peek().type is TokenType.OPERATOR and self._peek().value == "*":
+            self._advance()
+            return ast.SelectItem(ast.Star())
+        expr = self._parse_expr()
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._expect_ident()
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._expect_ident()
+        return ast.SelectItem(expr, alias)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self._parse_expr()
+        descending = False
+        if self._match_keyword("DESC"):
+            descending = True
+        else:
+            self._match_keyword("ASC")
+        return ast.OrderItem(expr, descending)
+
+    def _parse_table_ref(self) -> ast.TableRef:
+        name = self._expect_ident()
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._expect_ident()
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._expect_ident()
+        return ast.TableRef(name, alias)
+
+    def _parse_int_literal(self) -> int:
+        token = self._advance()
+        if token.type is not TokenType.NUMBER:
+            raise ParseError(f"expected integer, got {token.value!r}",
+                             token.position)
+        try:
+            return int(token.value)
+        except ValueError:
+            raise ParseError(f"expected integer, got {token.value!r}",
+                             token.position) from None
+
+    # -- INSERT / UPDATE / DELETE ----------------------------------------------
+
+    def _parse_insert(self) -> ast.Insert:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_ident()
+        columns: list[str] = []
+        if self._match_punct("("):
+            columns.append(self._expect_ident())
+            while self._match_punct(","):
+                columns.append(self._expect_ident())
+            self._expect_punct(")")
+        self._expect_keyword("VALUES")
+        rows = [self._parse_value_row()]
+        while self._match_punct(","):
+            rows.append(self._parse_value_row())
+        return ast.Insert(table, tuple(columns), tuple(rows))
+
+    def _parse_value_row(self) -> tuple[ast.Expr, ...]:
+        self._expect_punct("(")
+        exprs = [self._parse_expr()]
+        while self._match_punct(","):
+            exprs.append(self._parse_expr())
+        self._expect_punct(")")
+        return tuple(exprs)
+
+    def _parse_update(self) -> ast.Update:
+        self._expect_keyword("UPDATE")
+        table = self._expect_ident()
+        self._expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self._match_punct(","):
+            assignments.append(self._parse_assignment())
+        where = self._parse_expr() if self._match_keyword("WHERE") else None
+        return ast.Update(table, tuple(assignments), where)
+
+    def _parse_assignment(self) -> tuple[str, ast.Expr]:
+        column = self._expect_ident()
+        op = self._match_operator("=")
+        if op is None:
+            token = self._peek()
+            raise ParseError(f"expected '=' in SET, got {token.value!r}",
+                             token.position)
+        return column, self._parse_expr()
+
+    def _parse_delete(self) -> ast.Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_ident()
+        where = self._parse_expr() if self._match_keyword("WHERE") else None
+        return ast.Delete(table, where)
+
+    # -- CREATE / DROP --------------------------------------------------------
+
+    def _parse_create(self) -> ast.Statement:
+        self._expect_keyword("CREATE")
+        if self._match_keyword("TABLE"):
+            table = self._expect_ident()
+            self._expect_punct("(")
+            columns = [self._parse_column_def()]
+            while self._match_punct(","):
+                columns.append(self._parse_column_def())
+            self._expect_punct(")")
+            return ast.CreateTable(table, tuple(columns))
+        if self._match_keyword("INDEX"):
+            name = self._expect_ident()
+            self._expect_keyword("ON")
+            table = self._expect_ident()
+            self._expect_punct("(")
+            column = self._expect_ident()
+            self._expect_punct(")")
+            kind = "btree"
+            if self._match_keyword("USING"):
+                kind = self._expect_ident()
+            return ast.CreateIndex(name, table, column, kind)
+        token = self._peek()
+        raise ParseError(f"expected TABLE or INDEX after CREATE, got "
+                         f"{token.value!r}", token.position)
+
+    def _parse_column_def(self) -> ast.ColumnDef:
+        name = self._expect_ident()
+        type_token = self._advance()
+        if type_token.type not in (TokenType.IDENT, TokenType.KEYWORD):
+            raise ParseError(f"expected type name, got {type_token.value!r}",
+                             type_token.position)
+        dtype = DataType.from_name(type_token.value)
+        unique = False
+        nullable = True
+        while True:
+            if self._match_keyword("UNIQUE"):
+                unique = True
+            elif self._match_keyword("NOT"):
+                self._expect_keyword("NULL")
+                nullable = False
+            else:
+                break
+        return ast.ColumnDef(name, dtype, unique, nullable)
+
+    def _parse_drop(self) -> ast.DropTable:
+        self._expect_keyword("DROP")
+        self._expect_keyword("TABLE")
+        if_exists = False
+        if self._match_keyword("IF"):
+            self._expect_keyword("EXISTS")
+            if_exists = True
+        return ast.DropTable(self._expect_ident(), if_exists)
+
+    # -- PREDICT (paper §2.3) ---------------------------------------------------
+
+    def _parse_predict(self) -> ast.Predict:
+        self._expect_keyword("PREDICT")
+        kind = self._expect_keyword("VALUE", "CLASS")
+        task = "regression" if kind.value == "VALUE" else "classification"
+        self._expect_keyword("OF")
+        target = self._expect_ident()
+        self._expect_keyword("FROM")
+        table = self._expect_ident()
+        where = self._parse_expr() if self._match_keyword("WHERE") else None
+
+        train_on: tuple[str, ...] = ("*",)
+        if self._match_keyword("TRAIN"):
+            self._expect_keyword("ON")
+            train_on = tuple(self._parse_train_columns())
+
+        train_filter = self._parse_expr() if self._match_keyword("WITH") else None
+
+        inline_rows: list[tuple[ast.Expr, ...]] = []
+        if self._match_keyword("VALUES"):
+            inline_rows.append(self._parse_value_row())
+            while self._match_punct(","):
+                inline_rows.append(self._parse_value_row())
+
+        return ast.Predict(task=task, target=target, table=table, where=where,
+                           train_on=train_on, train_filter=train_filter,
+                           inline_rows=tuple(inline_rows))
+
+    def _parse_train_columns(self) -> list[str]:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return ["*"]
+        columns = [self._expect_ident()]
+        while self._match_punct(","):
+            columns.append(self._expect_ident())
+        return columns
+
+    # -- expressions (precedence climbing) --------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._match_keyword("OR"):
+            left = ast.BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._match_keyword("AND"):
+            left = ast.BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._match_keyword("NOT"):
+            return ast.UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        op = self._match_operator("=", "<>", "!=", "<", "<=", ">", ">=")
+        if op is not None:
+            if op == "!=":
+                op = "<>"
+            return ast.BinaryOp(op, left, self._parse_additive())
+        if self._match_keyword("IS"):
+            negated = self._match_keyword("NOT")
+            self._expect_keyword("NULL")
+            return ast.IsNull(left, negated)
+        negated = self._match_keyword("NOT")
+        if self._match_keyword("IN"):
+            self._expect_punct("(")
+            items = [self._parse_expr()]
+            while self._match_punct(","):
+                items.append(self._parse_expr())
+            self._expect_punct(")")
+            return ast.InList(left, tuple(items), negated)
+        if self._match_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return ast.Between(left, low, high, negated)
+        if self._match_keyword("LIKE"):
+            return ast.BinaryOp("LIKE", left, self._parse_additive())
+        if negated:
+            token = self._peek()
+            raise ParseError(f"expected IN or BETWEEN after NOT, got "
+                             f"{token.value!r}", token.position)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            op = self._match_operator("+", "-")
+            if op is None:
+                return left
+            left = ast.BinaryOp(op, left, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            op = self._match_operator("*", "/", "%")
+            if op is None:
+                return left
+            left = ast.BinaryOp(op, left, self._parse_unary())
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._match_operator("-"):
+            return ast.UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.value
+            if any(c in text for c in ".eE"):
+                return ast.Literal(float(text))
+            return ast.Literal(int(text))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(False)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.Literal(None)
+        if token.type is TokenType.PUNCT and token.value == "(":
+            self._advance()
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+        if token.type is TokenType.IDENT or token.is_keyword("VALUE", "CLASS"):
+            return self._parse_name_or_call()
+        raise ParseError(f"unexpected token {token.value!r} in expression",
+                         token.position)
+
+    def _parse_name_or_call(self) -> ast.Expr:
+        name = self._expect_ident()
+        if self._match_punct("("):
+            # function call
+            distinct = self._match_keyword("DISTINCT")
+            args: list[ast.Expr] = []
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value == "*":
+                self._advance()
+                args.append(ast.Star())
+            elif not (token.type is TokenType.PUNCT and token.value == ")"):
+                args.append(self._parse_expr())
+                while self._match_punct(","):
+                    args.append(self._parse_expr())
+            self._expect_punct(")")
+            return ast.FuncCall(name, tuple(args), distinct)
+        if self._match_punct("."):
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value == "*":
+                self._advance()
+                return ast.Star(table=name)
+            column = self._expect_ident()
+            return ast.ColumnRef(column, table=name)
+        return ast.ColumnRef(name)

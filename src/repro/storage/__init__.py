@@ -1,0 +1,38 @@
+"""Storage substrate: types, schemas, pages, heaps, buffer pool, indexes,
+statistics, and the system catalog."""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.catalog import Catalog, IndexEntry
+from repro.storage.heap import HeapTable
+from repro.storage.index import BPlusTreeIndex, HashIndex
+from repro.storage.page import PAGE_CAPACITY_BYTES, HeapPage, RecordId
+from repro.storage.schema import Column, TableSchema
+from repro.storage.stats import (
+    ColumnStats,
+    TableStats,
+    compute_column_stats,
+    compute_table_stats,
+)
+from repro.storage.types import DataType, coerce_value, is_numeric, value_size_bytes
+
+__all__ = [
+    "BPlusTreeIndex",
+    "BufferPool",
+    "Catalog",
+    "Column",
+    "ColumnStats",
+    "DataType",
+    "HashIndex",
+    "HeapPage",
+    "HeapTable",
+    "IndexEntry",
+    "PAGE_CAPACITY_BYTES",
+    "RecordId",
+    "TableSchema",
+    "TableStats",
+    "coerce_value",
+    "compute_column_stats",
+    "compute_table_stats",
+    "is_numeric",
+    "value_size_bytes",
+]

@@ -1,0 +1,88 @@
+"""Buffer pool with LRU replacement and hit-ratio accounting.
+
+The learned query optimizer consumes "buffer information depicting buffer
+usage" (paper §4.2, Fig. 5) as part of its system-condition representation,
+so the pool exposes per-table hit ratios and residency fractions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.common.simtime import CostModel, SimClock
+
+
+class BufferPool:
+    """Tracks which (table, page_no) pages are memory-resident.
+
+    Pages in this engine always have their Python objects in memory; the pool
+    models which of them would be hot in a bounded buffer, charging
+    virtual-time misses against the :class:`SimClock` so scans over cold
+    tables cost more than scans over cached ones — the effect Fig. 5's
+    "buffer info" feature captures.
+    """
+
+    def __init__(self, capacity_pages: int = 1024, clock: SimClock | None = None):
+        if capacity_pages <= 0:
+            raise ValueError("buffer pool needs capacity >= 1 page")
+        self.capacity_pages = capacity_pages
+        self.clock = clock if clock is not None else SimClock()
+        self._lru: OrderedDict[tuple[str, int], None] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._table_hits: dict[str, int] = {}
+        self._table_misses: dict[str, int] = {}
+
+    def access(self, table: str, page_no: int) -> bool:
+        """Record an access; returns True on hit.  Charges the clock."""
+        key = (table, page_no)
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self._hits += 1
+            self._table_hits[table] = self._table_hits.get(table, 0) + 1
+            self.clock.advance(CostModel.PAGE_HIT, "buffer-hit")
+            return True
+        self._misses += 1
+        self._table_misses[table] = self._table_misses.get(table, 0) + 1
+        self.clock.advance(CostModel.PAGE_READ, "buffer-miss")
+        self._lru[key] = None
+        if len(self._lru) > self.capacity_pages:
+            self._lru.popitem(last=False)
+        return False
+
+    def evict_table(self, table: str) -> int:
+        """Drop every cached page of ``table`` (e.g. after DROP TABLE)."""
+        victims = [k for k in self._lru if k[0] == table]
+        for key in victims:
+            del self._lru[key]
+        return len(victims)
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._lru)
+
+    def hit_ratio(self) -> float:
+        total = self._hits + self._misses
+        return self._hits / total if total else 1.0
+
+    def table_hit_ratio(self, table: str) -> float:
+        hits = self._table_hits.get(table, 0)
+        misses = self._table_misses.get(table, 0)
+        total = hits + misses
+        return hits / total if total else 1.0
+
+    def table_residency(self, table: str, table_pages: int) -> float:
+        """Fraction of a table's pages currently resident (0 if empty)."""
+        if table_pages <= 0:
+            return 0.0
+        resident = sum(1 for t, _ in self._lru if t == table)
+        return min(1.0, resident / table_pages)
+
+    def snapshot(self) -> dict[str, float]:
+        """Summary used as the optimizer's buffer-info feature block."""
+        return {
+            "hit_ratio": self.hit_ratio(),
+            "resident_pages": float(self.resident_pages),
+            "capacity_pages": float(self.capacity_pages),
+            "fill_fraction": self.resident_pages / self.capacity_pages,
+        }

@@ -1,0 +1,145 @@
+"""The system catalog: tables, indexes, statistics, and registered models.
+
+Mirrors PostgreSQL's pg_class/pg_attribute/pg_statistic split at a much
+smaller scale.  The AI model metadata tables (Fig. 3's Models/Layers) live in
+:mod:`repro.ai.model_manager`; the catalog only tracks which model names are
+bound to which prediction targets so PREDICT can find a reusable model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.errors import CatalogError
+from repro.common.simtime import SimClock
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapTable
+from repro.storage.index import BPlusTreeIndex, HashIndex
+from repro.storage.schema import TableSchema
+from repro.storage.stats import TableStats, compute_table_stats
+
+
+@dataclass
+class IndexEntry:
+    name: str
+    table: str
+    column: str
+    index: BPlusTreeIndex | HashIndex
+    kind: str  # "btree" | "hash"
+
+
+class Catalog:
+    """Registry of all persistent objects in one database instance."""
+
+    def __init__(self, buffer_pool: BufferPool | None = None,
+                 clock: SimClock | None = None):
+        self.clock = clock if clock is not None else SimClock()
+        self.buffer_pool = (buffer_pool if buffer_pool is not None
+                            else BufferPool(clock=self.clock))
+        self._tables: dict[str, HeapTable] = {}
+        self._indexes: dict[str, IndexEntry] = {}
+        self._stats: dict[str, TableStats] = {}
+        self._stats_version = 0
+        # prediction-target -> model name bindings for PREDICT reuse
+        self._model_bindings: dict[tuple[str, str], str] = {}
+
+    # -- tables --------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> HeapTable:
+        name = schema.table_name
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = HeapTable(schema, buffer_pool=self.buffer_pool, clock=self.clock)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        name = name.lower()
+        if name not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[name]
+        self._stats.pop(name, None)
+        self.buffer_pool.evict_table(name)
+        for index_name in [n for n, e in self._indexes.items()
+                           if e.table == name]:
+            del self._indexes[index_name]
+
+    def table(self, name: str) -> HeapTable:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> Iterator[HeapTable]:
+        return iter(self._tables.values())
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- indexes ---------------------------------------------------------------
+
+    def create_index(self, name: str, table: str, column: str,
+                     kind: str = "btree") -> IndexEntry:
+        name, table = name.lower(), table.lower()
+        if name in self._indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        heap = self.table(table)
+        col_idx = heap.schema.index_of(column)
+        if kind == "btree":
+            index: BPlusTreeIndex | HashIndex = BPlusTreeIndex(name, table, column)
+        elif kind == "hash":
+            index = HashIndex(name, table, column)
+        else:
+            raise CatalogError(f"unknown index kind {kind!r}")
+        for rid, row in heap.scan():
+            index.insert(row[col_idx], rid)
+        entry = IndexEntry(name=name, table=table, column=column.lower(),
+                           index=index, kind=kind)
+        self._indexes[name] = entry
+        return entry
+
+    def drop_index(self, name: str) -> None:
+        name = name.lower()
+        if name not in self._indexes:
+            raise CatalogError(f"index {name!r} does not exist")
+        del self._indexes[name]
+
+    def indexes_on(self, table: str, column: str | None = None) -> list[IndexEntry]:
+        table = table.lower()
+        out = [e for e in self._indexes.values() if e.table == table]
+        if column is not None:
+            out = [e for e in out if e.column == column.lower()]
+        return out
+
+    # -- statistics ---------------------------------------------------------
+
+    def analyze(self, table_name: str | None = None) -> None:
+        """Recompute statistics for one table or every table."""
+        names = [table_name.lower()] if table_name else list(self._tables)
+        self._stats_version += 1
+        for name in names:
+            heap = self.table(name)
+            rows = (row for _, row in heap.scan())
+            self._stats[name] = compute_table_stats(
+                heap.schema, rows, page_count=heap.page_count,
+                version=self._stats_version)
+
+    def stats(self, table_name: str) -> TableStats | None:
+        return self._stats.get(table_name.lower())
+
+    def stats_version(self) -> int:
+        return self._stats_version
+
+    # -- model bindings -------------------------------------------------------
+
+    def bind_model(self, table: str, target_column: str, model_name: str) -> None:
+        self._model_bindings[(table.lower(), target_column.lower())] = model_name
+
+    def bound_model(self, table: str, target_column: str) -> str | None:
+        return self._model_bindings.get((table.lower(), target_column.lower()))

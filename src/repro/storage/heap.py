@@ -1,0 +1,134 @@
+"""Heap tables: unordered tuple storage over slotted pages."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.common.errors import ConstraintViolation
+from repro.common.simtime import CostModel, SimClock
+from repro.storage.buffer import BufferPool
+from repro.storage.page import HeapPage, RecordId
+from repro.storage.schema import TableSchema
+
+
+class HeapTable:
+    """An append-mostly heap of tuples for one table.
+
+    Uniqueness constraints declared on the schema are enforced here with
+    in-memory unique maps (a real engine would use unique indexes; the
+    observable behaviour is the same).
+    """
+
+    def __init__(self, schema: TableSchema,
+                 buffer_pool: BufferPool | None = None,
+                 clock: SimClock | None = None):
+        self.schema = schema
+        self.name = schema.table_name
+        self._pages: list[HeapPage] = []
+        self._live_rows = 0
+        self._buffer_pool = buffer_pool
+        self._clock = clock
+        self._unique_maps: dict[int, dict[Any, RecordId]] = {
+            i: {} for i, col in enumerate(schema.columns) if col.unique
+        }
+
+    # -- basic properties -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._live_rows
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> RecordId:
+        """Coerce, constraint-check, and store one row; returns its RID."""
+        row = self.schema.coerce_row(values)
+        self._check_unique(row, exclude_rid=None)
+        row_bytes = self.schema.row_size_bytes(row)
+        page = self._page_with_room(row_bytes)
+        rid = page.insert(row, row_bytes)
+        for col_idx, uniq in self._unique_maps.items():
+            if row[col_idx] is not None:
+                uniq[row[col_idx]] = rid
+        self._live_rows += 1
+        self._charge(CostModel.TUPLE_CPU, "heap-insert")
+        return rid
+
+    def update(self, rid: RecordId, values: Sequence[Any]) -> None:
+        row = self.schema.coerce_row(values)
+        old = self.read(rid)
+        if old is None:
+            raise KeyError(f"update of missing rid {rid}")
+        self._check_unique(row, exclude_rid=rid)
+        for col_idx, uniq in self._unique_maps.items():
+            if old[col_idx] is not None:
+                uniq.pop(old[col_idx], None)
+            if row[col_idx] is not None:
+                uniq[row[col_idx]] = rid
+        self._pages[rid.page_no].update(rid.slot_no, row)
+        self._charge(CostModel.TUPLE_CPU, "heap-update")
+
+    def delete(self, rid: RecordId) -> None:
+        old = self.read(rid)
+        if old is None:
+            raise KeyError(f"delete of missing rid {rid}")
+        for col_idx, uniq in self._unique_maps.items():
+            if old[col_idx] is not None:
+                uniq.pop(old[col_idx], None)
+        self._pages[rid.page_no].delete(rid.slot_no)
+        self._live_rows -= 1
+        self._charge(CostModel.TUPLE_CPU, "heap-delete")
+
+    # -- access ------------------------------------------------------------
+
+    def read(self, rid: RecordId) -> tuple | None:
+        if not (0 <= rid.page_no < len(self._pages)):
+            return None
+        self._touch_page(rid.page_no)
+        return self._pages[rid.page_no].read(rid.slot_no)
+
+    def scan(self) -> Iterator[tuple[RecordId, tuple]]:
+        """Full scan in page order, touching the buffer pool per page."""
+        for page in self._pages:
+            self._touch_page(page.page_no)
+            yield from page.scan()
+
+    def lookup_unique(self, column_name: str, value: Any) -> RecordId | None:
+        """RID for ``value`` in a unique column, or None."""
+        col_idx = self.schema.index_of(column_name)
+        if col_idx not in self._unique_maps:
+            raise ConstraintViolation(
+                f"column {column_name!r} of {self.name!r} is not UNIQUE")
+        return self._unique_maps[col_idx].get(value)
+
+    # -- internals ----------------------------------------------------------
+
+    def _check_unique(self, row: tuple, exclude_rid: RecordId | None) -> None:
+        for col_idx, uniq in self._unique_maps.items():
+            value = row[col_idx]
+            if value is None:
+                continue
+            existing = uniq.get(value)
+            if existing is not None and existing != exclude_rid:
+                col = self.schema.columns[col_idx].name
+                raise ConstraintViolation(
+                    f"duplicate value {value!r} for UNIQUE column "
+                    f"{col!r} of table {self.name!r}")
+
+    def _page_with_room(self, row_bytes: int) -> HeapPage:
+        if self._pages and self._pages[-1].has_room(row_bytes):
+            return self._pages[-1]
+        page = HeapPage(len(self._pages))
+        self._pages.append(page)
+        return page
+
+    def _touch_page(self, page_no: int) -> None:
+        if self._buffer_pool is not None:
+            self._buffer_pool.access(self.name, page_no)
+
+    def _charge(self, seconds: float, category: str) -> None:
+        if self._clock is not None:
+            self._clock.advance(seconds, category)

@@ -1,0 +1,87 @@
+"""Slotted heap pages.
+
+A page holds up to :data:`PAGE_CAPACITY_BYTES` of tuple payload.  Tuples are
+stored in slots; a deleted slot leaves a tombstone so record ids (page_no,
+slot_no) stay stable, matching how a real slotted page behaves and letting
+indexes point at stable RIDs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+PAGE_CAPACITY_BYTES = 8192
+_TOMBSTONE = object()
+
+
+class RecordId:
+    """Stable address of a tuple: (page number, slot number)."""
+
+    __slots__ = ("page_no", "slot_no")
+
+    def __init__(self, page_no: int, slot_no: int):
+        self.page_no = page_no
+        self.slot_no = slot_no
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, RecordId)
+                and self.page_no == other.page_no
+                and self.slot_no == other.slot_no)
+
+    def __hash__(self) -> int:
+        return hash((self.page_no, self.slot_no))
+
+    def __repr__(self) -> str:
+        return f"RecordId({self.page_no}, {self.slot_no})"
+
+    def __lt__(self, other: "RecordId") -> bool:
+        return (self.page_no, self.slot_no) < (other.page_no, other.slot_no)
+
+
+class HeapPage:
+    """One slotted page of tuples."""
+
+    def __init__(self, page_no: int):
+        self.page_no = page_no
+        self._slots: list[Any] = []
+        self._used_bytes = 0
+        self.live_count = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    def has_room(self, row_bytes: int) -> bool:
+        return self._used_bytes + row_bytes <= PAGE_CAPACITY_BYTES
+
+    def insert(self, row: tuple, row_bytes: int) -> RecordId:
+        """Append a tuple; caller must have checked :meth:`has_room`."""
+        self._slots.append(row)
+        self._used_bytes += row_bytes
+        self.live_count += 1
+        return RecordId(self.page_no, len(self._slots) - 1)
+
+    def read(self, slot_no: int) -> tuple | None:
+        """The tuple at ``slot_no``, or None if deleted / out of range."""
+        if 0 <= slot_no < len(self._slots):
+            row = self._slots[slot_no]
+            if row is not _TOMBSTONE:
+                return row
+        return None
+
+    def update(self, slot_no: int, row: tuple) -> None:
+        if not (0 <= slot_no < len(self._slots)) or self._slots[slot_no] is _TOMBSTONE:
+            raise KeyError(f"no live tuple in slot {slot_no} of page {self.page_no}")
+        self._slots[slot_no] = row
+
+    def delete(self, slot_no: int) -> None:
+        if not (0 <= slot_no < len(self._slots)) or self._slots[slot_no] is _TOMBSTONE:
+            raise KeyError(f"no live tuple in slot {slot_no} of page {self.page_no}")
+        self._slots[slot_no] = _TOMBSTONE
+        self.live_count -= 1
+
+    def scan(self) -> Iterator[tuple[RecordId, tuple]]:
+        """Yield (rid, row) for every live tuple in slot order."""
+        for slot_no, row in enumerate(self._slots):
+            if row is not _TOMBSTONE:
+                yield RecordId(self.page_no, slot_no), row

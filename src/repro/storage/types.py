@@ -1,0 +1,102 @@
+"""Column types and value coercion.
+
+The engine supports four scalar types which cover everything the paper's
+workloads need: 64-bit integers, double-precision floats, text, and booleans.
+NULL is represented by Python ``None`` and is a member of every type.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.common.errors import TypeMismatchError
+
+
+class DataType(enum.Enum):
+    """Scalar column types."""
+
+    INT = "INT"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    BOOL = "BOOL"
+
+    @classmethod
+    def from_name(cls, name: str) -> "DataType":
+        normalized = name.strip().upper()
+        aliases = {
+            "INTEGER": "INT",
+            "BIGINT": "INT",
+            "SMALLINT": "INT",
+            "DOUBLE": "FLOAT",
+            "REAL": "FLOAT",
+            "NUMERIC": "FLOAT",
+            "DECIMAL": "FLOAT",
+            "VARCHAR": "TEXT",
+            "CHAR": "TEXT",
+            "STRING": "TEXT",
+            "BOOLEAN": "BOOL",
+        }
+        normalized = aliases.get(normalized, normalized)
+        try:
+            return cls(normalized)
+        except ValueError:
+            raise TypeMismatchError(f"unknown type name {name!r}") from None
+
+
+_PYTHON_TYPES = {
+    DataType.INT: int,
+    DataType.FLOAT: float,
+    DataType.TEXT: str,
+    DataType.BOOL: bool,
+}
+
+
+def coerce_value(value: Any, dtype: DataType) -> Any:
+    """Coerce a Python value to the storage representation of ``dtype``.
+
+    NULL (``None``) passes through for every type.  Numeric widening
+    (int -> float) is allowed; lossy or cross-kind coercions raise
+    :class:`TypeMismatchError`.
+    """
+    if value is None:
+        return None
+    if dtype is DataType.INT:
+        if isinstance(value, bool):
+            raise TypeMismatchError(f"cannot store BOOL {value!r} in INT column")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise TypeMismatchError(f"cannot store {value!r} in INT column")
+    if dtype is DataType.FLOAT:
+        if isinstance(value, bool):
+            raise TypeMismatchError(f"cannot store BOOL {value!r} in FLOAT column")
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise TypeMismatchError(f"cannot store {value!r} in FLOAT column")
+    if dtype is DataType.TEXT:
+        if isinstance(value, str):
+            return value
+        raise TypeMismatchError(f"cannot store {value!r} in TEXT column")
+    if dtype is DataType.BOOL:
+        if isinstance(value, bool):
+            return value
+        raise TypeMismatchError(f"cannot store {value!r} in BOOL column")
+    raise TypeMismatchError(f"unhandled type {dtype}")  # pragma: no cover
+
+
+def value_size_bytes(value: Any, dtype: DataType) -> int:
+    """Approximate on-wire size of a value, used by the streaming protocol
+    and the page-capacity accounting."""
+    if value is None:
+        return 1
+    if dtype in (DataType.INT, DataType.FLOAT):
+        return 8
+    if dtype is DataType.BOOL:
+        return 1
+    return len(value.encode("utf-8")) + 4
+
+
+def is_numeric(dtype: DataType) -> bool:
+    return dtype in (DataType.INT, DataType.FLOAT)

@@ -1,0 +1,6 @@
+"""Transaction substrate: lock manager and MVCC primitives."""
+
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.mvcc import MVCCStore, Version
+
+__all__ = ["LockManager", "LockMode", "MVCCStore", "Version"]

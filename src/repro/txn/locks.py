@@ -1,0 +1,135 @@
+"""A standalone shared/exclusive lock manager with deadlock detection.
+
+This is the classical substrate the learned concurrency control replaces:
+S/X modes, FIFO wait queues, and a wait-for graph checked for cycles on each
+block.  The discrete-event simulator embeds its own virtual-time variant; this
+synchronous version backs the 2PL unit tests and is a reusable component.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.common.errors import TransactionAborted
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+@dataclass
+class _LockEntry:
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    queue: list[tuple[int, LockMode]] = field(default_factory=list)
+
+    def compatible(self, txn_id: int, mode: LockMode) -> bool:
+        others = {t: m for t, m in self.holders.items() if t != txn_id}
+        if not others:
+            return True
+        if mode is LockMode.SHARED:
+            return all(m is LockMode.SHARED for m in others.values())
+        return False
+
+
+class LockManager:
+    """Synchronous lock manager.
+
+    ``acquire`` returns True when granted immediately; False means the
+    caller must wait (it is placed in the queue).  A wait that would create
+    a cycle in the wait-for graph raises :class:`TransactionAborted`
+    (reason ``"deadlock"``) for the requesting transaction.
+    """
+
+    def __init__(self) -> None:
+        self._table: dict[Hashable, _LockEntry] = defaultdict(_LockEntry)
+        self._waits_for: dict[int, set[int]] = defaultdict(set)
+        self._held_keys: dict[int, set[Hashable]] = defaultdict(set)
+
+    # -- acquire / release ----------------------------------------------------
+
+    def acquire(self, txn_id: int, key: Hashable, mode: LockMode) -> bool:
+        entry = self._table[key]
+        held = entry.holders.get(txn_id)
+        if held is LockMode.EXCLUSIVE or held is mode:
+            return True  # already held at sufficient strength
+        if held is LockMode.SHARED and mode is LockMode.EXCLUSIVE:
+            # upgrade: allowed only if sole holder
+            if len(entry.holders) == 1:
+                entry.holders[txn_id] = LockMode.EXCLUSIVE
+                return True
+        if entry.compatible(txn_id, mode) and not entry.queue:
+            entry.holders[txn_id] = mode
+            self._held_keys[txn_id].add(key)
+            return True
+        blockers = {t for t in entry.holders if t != txn_id}
+        blockers.update(t for t, _ in entry.queue if t != txn_id)
+        self._waits_for[txn_id] = blockers
+        if self._creates_cycle(txn_id):
+            del self._waits_for[txn_id]
+            raise TransactionAborted("deadlock",
+                                     f"txn {txn_id} waiting on {key!r}")
+        entry.queue.append((txn_id, mode))
+        return False
+
+    def release_all(self, txn_id: int) -> list[tuple[Hashable, int]]:
+        """Release every lock of a transaction; returns (key, granted_txn)
+        pairs for waiters promoted to holders."""
+        granted: list[tuple[Hashable, int]] = []
+        for key in list(self._held_keys.get(txn_id, ())):
+            entry = self._table[key]
+            entry.holders.pop(txn_id, None)
+            granted.extend((key, t) for t in self._promote(key))
+        self._held_keys.pop(txn_id, None)
+        self._waits_for.pop(txn_id, None)
+        # remove the txn from any queues it still sits in
+        for entry in self._table.values():
+            entry.queue = [(t, m) for t, m in entry.queue if t != txn_id]
+        return granted
+
+    def _promote(self, key: Hashable) -> list[int]:
+        """Grant queued requests that are now compatible (FIFO order)."""
+        entry = self._table[key]
+        promoted: list[int] = []
+        while entry.queue:
+            txn_id, mode = entry.queue[0]
+            if not entry.compatible(txn_id, mode):
+                break
+            entry.queue.pop(0)
+            entry.holders[txn_id] = mode
+            self._held_keys[txn_id].add(key)
+            self._waits_for.pop(txn_id, None)
+            promoted.append(txn_id)
+            if mode is LockMode.EXCLUSIVE:
+                break
+        return promoted
+
+    # -- introspection -----------------------------------------------------------
+
+    def holders(self, key: Hashable) -> dict[int, LockMode]:
+        return dict(self._table[key].holders)
+
+    def queue_length(self, key: Hashable) -> int:
+        return len(self._table[key].queue)
+
+    def held_keys(self, txn_id: int) -> set[Hashable]:
+        return set(self._held_keys.get(txn_id, ()))
+
+    # -- deadlock detection ----------------------------------------------------------
+
+    def _creates_cycle(self, start: int) -> bool:
+        """DFS over the wait-for graph looking for a cycle through start."""
+        stack = list(self._waits_for.get(start, ()))
+        seen: set[int] = set()
+        while stack:
+            current = stack.pop()
+            if current == start:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._waits_for.get(current, ()))
+        return False

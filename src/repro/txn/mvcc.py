@@ -1,0 +1,119 @@
+"""A multi-version key-value store with snapshot reads.
+
+Backs the snapshot-isolation side of the CC experiments: every write creates
+a version stamped with the writer's commit timestamp; a reader at snapshot
+``ts`` sees the newest version committed at or before ``ts``.  First-updater-
+wins write conflicts surface as :class:`TransactionAborted` at write time,
+matching PostgreSQL's SI behaviour.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.common.errors import TransactionAborted
+
+
+@dataclass
+class Version:
+    commit_ts: int
+    value: Any
+    writer: int
+
+
+@dataclass
+class _KeyVersions:
+    versions: list[Version] = field(default_factory=list)  # sorted by ts
+    uncommitted_writer: int | None = None
+    uncommitted_value: Any = None
+
+
+class MVCCStore:
+    """Versioned store with per-transaction write buffering."""
+
+    def __init__(self) -> None:
+        self._data: dict[Hashable, _KeyVersions] = {}
+        self._next_ts = 1
+        self._txn_writes: dict[int, dict[Hashable, Any]] = {}
+        self._txn_snapshots: dict[int, int] = {}
+
+    # -- transactions --------------------------------------------------------
+
+    def begin(self, txn_id: int) -> int:
+        """Start a transaction; returns its snapshot timestamp."""
+        snapshot = self._next_ts - 1
+        self._txn_snapshots[txn_id] = snapshot
+        self._txn_writes[txn_id] = {}
+        return snapshot
+
+    def read(self, txn_id: int, key: Hashable) -> Any:
+        """Snapshot read: own uncommitted write, else newest version <= snapshot."""
+        writes = self._txn_writes.get(txn_id)
+        if writes is not None and key in writes:
+            return writes[key]
+        snapshot = self._txn_snapshots.get(txn_id)
+        if snapshot is None:
+            raise KeyError(f"transaction {txn_id} not begun")
+        entry = self._data.get(key)
+        if entry is None:
+            return None
+        timestamps = [v.commit_ts for v in entry.versions]
+        idx = bisect_right(timestamps, snapshot) - 1
+        return entry.versions[idx].value if idx >= 0 else None
+
+    def write(self, txn_id: int, key: Hashable, value: Any) -> None:
+        """Buffer a write; first-updater-wins against concurrent committers."""
+        snapshot = self._txn_snapshots.get(txn_id)
+        if snapshot is None:
+            raise KeyError(f"transaction {txn_id} not begun")
+        entry = self._data.setdefault(key, _KeyVersions())
+        if (entry.uncommitted_writer is not None
+                and entry.uncommitted_writer != txn_id):
+            raise TransactionAborted(
+                "ww-conflict", f"key {key!r} has an uncommitted writer")
+        if entry.versions and entry.versions[-1].commit_ts > snapshot:
+            raise TransactionAborted(
+                "ww-conflict",
+                f"key {key!r} was committed after txn {txn_id}'s snapshot")
+        entry.uncommitted_writer = txn_id
+        entry.uncommitted_value = value
+        self._txn_writes[txn_id][key] = value
+
+    def commit(self, txn_id: int) -> int:
+        """Install buffered writes at a fresh commit timestamp."""
+        writes = self._txn_writes.pop(txn_id, {})
+        self._txn_snapshots.pop(txn_id, None)
+        commit_ts = self._next_ts
+        self._next_ts += 1
+        for key, value in writes.items():
+            entry = self._data[key]
+            entry.versions.append(Version(commit_ts, value, txn_id))
+            entry.uncommitted_writer = None
+            entry.uncommitted_value = None
+        return commit_ts
+
+    def abort(self, txn_id: int) -> None:
+        writes = self._txn_writes.pop(txn_id, {})
+        self._txn_snapshots.pop(txn_id, None)
+        for key in writes:
+            entry = self._data.get(key)
+            if entry is not None and entry.uncommitted_writer == txn_id:
+                entry.uncommitted_writer = None
+                entry.uncommitted_value = None
+
+    # -- introspection -----------------------------------------------------------
+
+    def committed_value(self, key: Hashable) -> Any:
+        entry = self._data.get(key)
+        if entry is None or not entry.versions:
+            return None
+        return entry.versions[-1].value
+
+    def version_count(self, key: Hashable) -> int:
+        entry = self._data.get(key)
+        return len(entry.versions) if entry else 0
+
+    def active_transactions(self) -> set[int]:
+        return set(self._txn_snapshots)

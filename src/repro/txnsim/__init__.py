@@ -1,0 +1,31 @@
+"""Discrete-event concurrency simulator and static CC policies."""
+
+from repro.txnsim.core import (
+    ActionType,
+    CCPolicy,
+    GlobalState,
+    KeyState,
+    Operation,
+    SimResult,
+    Transaction,
+    TxnSimulator,
+)
+from repro.txnsim.policies import (
+    OptimisticCC,
+    SerializableSnapshotIsolation,
+    TwoPhaseLocking,
+)
+
+__all__ = [
+    "ActionType",
+    "CCPolicy",
+    "GlobalState",
+    "KeyState",
+    "Operation",
+    "OptimisticCC",
+    "SerializableSnapshotIsolation",
+    "SimResult",
+    "Transaction",
+    "TwoPhaseLocking",
+    "TxnSimulator",
+]

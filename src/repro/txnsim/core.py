@@ -1,0 +1,481 @@
+"""Discrete-event transaction simulator under a virtual clock.
+
+Fig. 7's experiments compare concurrency-control *policies* under
+contention.  Real multi-threaded execution in Python cannot show this (the
+GIL serializes everything), so the simulator executes N logical worker
+threads over a virtual timeline: each operation has a service time, lock
+waits park a worker until the lock is granted, aborts pay a penalty and
+restart the same transaction after a backoff.  All CC decisions are
+delegated per-operation to a pluggable :class:`CCPolicy` — the learned CC,
+the Polyjuice-style baseline, SSI, 2PL, and OCC all plug into the same loop,
+so throughput differences come purely from their decisions.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.common.simtime import CostModel
+
+
+class ActionType(enum.Enum):
+    """Per-operation CC actions (paper Fig. 4's action space)."""
+
+    ACQUIRE_LOCK = "lock"        # pessimistic: S for reads, X for writes
+    OPTIMISTIC = "optimistic"    # execute now, validate at commit
+    ABORT = "abort"              # give up immediately (doomed transaction)
+
+
+@dataclass
+class Operation:
+    key: int
+    is_write: bool
+
+
+@dataclass
+class Transaction:
+    txn_id: int
+    type_id: int                       # workload-defined transaction type
+    ops: list[Operation]
+    start_time: float = 0.0
+    op_index: int = 0
+    restarts: int = 0
+    held_locks: set[int] = field(default_factory=set)
+    optimistic_reads: dict[int, int] = field(default_factory=dict)   # key -> version seen
+    optimistic_writes: dict[int, int] = field(default_factory=dict)  # key -> version seen
+
+    @property
+    def length(self) -> int:
+        return len(self.ops)
+
+    @property
+    def remaining(self) -> int:
+        return len(self.ops) - self.op_index
+
+    def reset_for_restart(self) -> None:
+        self.op_index = 0
+        self.restarts += 1
+        self.held_locks.clear()
+        self.optimistic_reads.clear()
+        self.optimistic_writes.clear()
+
+
+@dataclass
+class KeyState:
+    """Per-record contention bookkeeping the policies can inspect."""
+
+    version: int = 0
+    lock_holders: dict[int, bool] = field(default_factory=dict)  # txn -> exclusive?
+    wait_queue: list[tuple[int, bool]] = field(default_factory=list)
+    recent_accesses: float = 0.0      # EMA of accesses (hotness)
+    recent_writes: float = 0.0        # EMA of writes
+    last_access_time: float = 0.0
+
+    def exclusive_held(self) -> bool:
+        return any(self.lock_holders.values())
+
+    def compatible(self, txn_id: int, exclusive: bool) -> bool:
+        others = {t: x for t, x in self.lock_holders.items() if t != txn_id}
+        if not others:
+            return True
+        if exclusive:
+            return False
+        return not any(others.values())
+
+
+@dataclass
+class GlobalState:
+    """System-level signals exposed to policies (and the drift monitor)."""
+
+    now: float = 0.0
+    committed: int = 0
+    aborted: int = 0
+    active_txns: int = 0
+
+    def abort_ratio(self) -> float:
+        total = self.committed + self.aborted
+        return self.aborted / total if total else 0.0
+
+
+class CCPolicy:
+    """Interface every concurrency-control algorithm implements."""
+
+    name = "base"
+
+    def choose_action(self, txn: Transaction, op: Operation,
+                      key_state: KeyState,
+                      global_state: GlobalState) -> ActionType:
+        raise NotImplementedError
+
+    def on_commit(self, txn: Transaction, global_state: GlobalState) -> None:
+        """Called after a successful commit (for reward bookkeeping)."""
+
+    def on_abort(self, txn: Transaction, reason: str,
+                 global_state: GlobalState) -> None:
+        """Called after an abort."""
+
+    def validate_reads(self) -> bool:
+        """Whether optimistic reads must pass version validation at commit.
+        Snapshot-based schemes return False (reads never invalidate)."""
+        return True
+
+    def wait_discipline(self) -> str:
+        """How lock conflicts block:
+
+        * ``"wait-die"`` — younger requesters abort immediately (classic
+          deadlock avoidance, used by our 2PL baseline);
+        * ``"timeout"`` — requesters queue and wait; a deadlock-detection
+          timeout aborts them if the lock never arrives (PostgreSQL-style,
+          used by SSI and the learned policies).
+        """
+        return "wait-die"
+
+    def wait_timeout(self) -> float:
+        """Deadlock-detection timeout for the "timeout" discipline."""
+        return 1e-3
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    duration: float
+    committed: int
+    aborted: int
+    throughput: float                  # committed txns / virtual second
+    abort_rate: float
+    timeline: list[tuple[float, float]]  # (window end, window throughput)
+    latencies_p50: float = 0.0
+    latencies_p99: float = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SimResult(tput={self.throughput:.0f}/s, "
+                f"aborts={self.abort_rate:.1%})")
+
+
+_OP_STEP = 0      # (re)enter the execution loop for the worker's current txn
+_TXN_START = 1    # worker picks up a fresh transaction
+_WAIT_TIMEOUT = 2  # deadlock-detection timer for a parked transaction
+
+
+class TxnSimulator:
+    """N-worker discrete-event simulator over virtual time."""
+
+    def __init__(self, num_threads: int, policy: CCPolicy,
+                 txn_factory: Callable[[np.random.Generator], Transaction],
+                 seed: int = 0, read_service: float = 3e-6,
+                 write_service: float = 5e-6,
+                 restart_backoff: float = 30e-6):
+        self.num_threads = num_threads
+        self.policy = policy
+        self.txn_factory = txn_factory
+        self.rng = np.random.default_rng(seed)
+        self.read_service = read_service
+        self.write_service = write_service
+        self.restart_backoff = restart_backoff
+        self.keys: dict[int, KeyState] = {}
+        self.state = GlobalState()
+        self._event_heap: list[tuple[float, int, int, int]] = []
+        self._sequence = itertools.count()
+        self._txn_counter = itertools.count(1)
+        self._latencies: list[float] = []
+        self._worker_txn: dict[int, Transaction] = {}
+        self._parked: dict[int, list[tuple[Transaction, int]]] = {}
+        self._worker_epoch: dict[int, int] = {}
+
+    # -- public -----------------------------------------------------------------
+
+    def run(self, duration: float, window: float = 0.1) -> SimResult:
+        """Simulate ``duration`` virtual seconds."""
+        self.state = GlobalState()
+        self._latencies = []
+        self._event_heap = []
+        self._worker_txn = {}
+        self._parked = {}
+        self._worker_epoch = {}
+        timeline: list[tuple[float, float]] = []
+        window_end = window
+        window_commits = 0
+
+        for worker in range(self.num_threads):
+            self._schedule(0.0, _TXN_START, worker)
+
+        while self._event_heap:
+            time, _, kind, worker, payload = heapq.heappop(self._event_heap)
+            if time > duration:
+                break
+            self.state.now = time
+            while time > window_end:
+                timeline.append((window_end, window_commits / window))
+                window_commits = 0
+                window_end += window
+
+            if kind == _WAIT_TIMEOUT:
+                self._handle_wait_timeout(worker, payload, time)
+                continue
+
+            if kind == _TXN_START:
+                txn = self.txn_factory(self.rng)
+                txn.txn_id = next(self._txn_counter)
+                txn.start_time = time
+                self._worker_txn[worker] = txn
+                self.state.active_txns += 1
+                self._schedule_step(time + CostModel.TXN_BEGIN, worker)
+                continue
+
+            # _OP_STEP: drop stale continuations from superseded epochs
+            if payload is not None and payload[0] != self._worker_epoch.get(
+                    worker, 0):
+                continue
+            txn = self._worker_txn[worker]
+            outcome = self._execute_step(txn, time, worker)
+            if outcome in ("parked", "scheduled"):
+                continue
+            if outcome == "committed":
+                window_commits += 1
+                self._latencies.append(self.state.now - txn.start_time)
+                self.state.active_txns -= 1
+                self._schedule(self.state.now, _TXN_START, worker)
+            else:  # aborted: retry the same transaction after a backoff
+                txn.reset_for_restart()
+                self._schedule_step(self.state.now + CostModel.ABORT_PENALTY
+                                    + self.restart_backoff, worker)
+
+        while window_end <= duration + 1e-12:
+            timeline.append((window_end, window_commits / window))
+            window_commits = 0
+            window_end += window
+
+        elapsed = max(duration, 1e-9)
+        latencies = sorted(self._latencies)
+        return SimResult(
+            duration=duration,
+            committed=self.state.committed,
+            aborted=self.state.aborted,
+            throughput=self.state.committed / elapsed,
+            abort_rate=self.state.abort_ratio(),
+            timeline=timeline,
+            latencies_p50=latencies[len(latencies) // 2] if latencies else 0.0,
+            latencies_p99=(latencies[int(len(latencies) * 0.99)]
+                           if latencies else 0.0))
+
+    # -- internals -----------------------------------------------------------------
+
+    def _schedule(self, time: float, kind: int, worker: int,
+                  payload: tuple | None = None) -> None:
+        heapq.heappush(self._event_heap,
+                       (time, next(self._sequence), kind, worker, payload))
+
+    def _bump_epoch(self, worker: int) -> int:
+        """Invalidate all in-flight continuation events for a worker.
+
+        Every scheduled _OP_STEP carries the worker's epoch at scheduling
+        time; any state transition (park, grant, abort, new txn) bumps the
+        epoch so stale events — e.g. a deadlock timer firing after its
+        transaction was granted, aborted elsewhere, and re-parked on the
+        same key — are dropped instead of double-driving the worker.
+        """
+        epoch = self._worker_epoch.get(worker, 0) + 1
+        self._worker_epoch[worker] = epoch
+        return epoch
+
+    def _schedule_step(self, time: float, worker: int) -> None:
+        """Schedule the worker's next op under a fresh epoch."""
+        self._schedule(time, _OP_STEP, worker,
+                       payload=(self._bump_epoch(worker),))
+
+    def _key_state(self, key: int) -> KeyState:
+        state = self.keys.get(key)
+        if state is None:
+            state = KeyState()
+            self.keys[key] = state
+        return state
+
+    def _touch(self, key_state: KeyState, is_write: bool,
+               time: float) -> None:
+        """Update hotness EMAs (exponential decay by inter-access gap)."""
+        gap = max(0.0, time - key_state.last_access_time)
+        decay = float(np.exp(-gap * 1e4))  # ~100 microsecond decay scale
+        key_state.recent_accesses = key_state.recent_accesses * decay + 1.0
+        if is_write:
+            key_state.recent_writes = key_state.recent_writes * decay + 1.0
+        else:
+            key_state.recent_writes *= decay
+        key_state.last_access_time = time
+
+    def _execute_step(self, txn: Transaction, time: float,
+                      worker: int) -> str:
+        """Execute the transaction's current operation (one event).
+
+        Returns "parked", "committed", "aborted", or "scheduled" (the next
+        operation's event was placed on the heap).  Executing one op per
+        event is what lets concurrent transactions genuinely interleave —
+        and therefore conflict — on the virtual timeline.
+        """
+        if txn.op_index >= len(txn.ops):
+            return self._try_commit(txn, time)
+
+        op = txn.ops[txn.op_index]
+        key_state = self._key_state(op.key)
+        self._touch(key_state, op.is_write, time)
+        action = self.policy.choose_action(txn, op, key_state, self.state)
+
+        if action is ActionType.ABORT:
+            self._abort(txn, "policy", time)
+            self.state.now = time
+            return "aborted"
+
+        if action is ActionType.ACQUIRE_LOCK:
+            needs_exclusive = op.is_write
+            holds_exclusive = key_state.lock_holders.get(txn.txn_id, False)
+            already_sufficient = (op.key in txn.held_locks
+                                  and (holds_exclusive or not needs_exclusive))
+            if already_sufficient:
+                pass
+            elif key_state.compatible(txn.txn_id, needs_exclusive):
+                key_state.lock_holders[txn.txn_id] = (
+                    needs_exclusive or holds_exclusive)
+                txn.held_locks.add(op.key)
+                time += CostModel.LOCK_ACQUIRE
+            else:
+                discipline = self.policy.wait_discipline()
+                if discipline == "wait-die":
+                    # older (smaller id) waits, younger dies — cycle-free
+                    blockers = [t for t in key_state.lock_holders
+                                if t != txn.txn_id]
+                    if blockers and txn.txn_id > min(blockers):
+                        self._abort(txn, "wait-die", time)
+                        self.state.now = time
+                        return "aborted"
+                    park_epoch = self._bump_epoch(worker)
+                else:
+                    # timeout discipline: always queue; a deadlock timer
+                    # aborts the wait if the grant never comes.  The timer
+                    # carries the park epoch so it can only fire for THIS
+                    # wait, not a later re-park on the same key.
+                    park_epoch = self._bump_epoch(worker)
+                    self._schedule(time + self.policy.wait_timeout(),
+                                   _WAIT_TIMEOUT, worker,
+                                   payload=(txn.txn_id, op.key, park_epoch))
+                key_state.wait_queue.append((txn.txn_id, needs_exclusive))
+                self._parked.setdefault(op.key, []).append((txn, worker))
+                self.state.now = time
+                return "parked"
+        elif action is ActionType.OPTIMISTIC:
+            if op.is_write:
+                txn.optimistic_writes.setdefault(op.key, key_state.version)
+            else:
+                txn.optimistic_reads.setdefault(op.key, key_state.version)
+
+        time += (self.write_service if op.is_write else self.read_service)
+        txn.op_index += 1
+        self.state.now = time
+        self._schedule_step(time, worker)
+        return "scheduled"
+
+    def _handle_wait_timeout(self, worker: int, payload: tuple,
+                             time: float) -> None:
+        """Deadlock-detection timer fired: if the epoch still matches the
+        park that armed the timer, abort and restart the transaction."""
+        txn_id, key, park_epoch = payload
+        if self._worker_epoch.get(worker, 0) != park_epoch:
+            return  # stale timer: the wait it guarded is over
+        txn = self._worker_txn.get(worker)
+        if txn is None or txn.txn_id != txn_id:
+            return
+        self._abort(txn, "lock-timeout", time)
+        txn.reset_for_restart()
+        self._schedule_step(time + CostModel.ABORT_PENALTY
+                            + self.restart_backoff, worker)
+
+    def _grant_waiters(self, key: int, time: float) -> None:
+        """After a release, grant compatible queued requests in FIFO order
+        and wake their parked workers."""
+        key_state = self._key_state(key)
+        parked = self._parked.get(key, [])
+        while key_state.wait_queue:
+            txn_id, exclusive = key_state.wait_queue[0]
+            if not key_state.compatible(txn_id, exclusive):
+                break
+            key_state.wait_queue.pop(0)
+            match = next(((t, w) for t, w in parked if t.txn_id == txn_id),
+                         None)
+            if match is None:
+                continue  # waiter was aborted while parked
+            parked.remove(match)
+            waiting_txn, worker = match
+            key_state.lock_holders[txn_id] = exclusive
+            waiting_txn.held_locks.add(key)
+            # lock op completes, then the txn resumes from the op AFTER the
+            # one that blocked (the lock op is the current op: advance past
+            # it with its service charge)
+            op = waiting_txn.ops[waiting_txn.op_index]
+            service = (self.write_service if op.is_write
+                       else self.read_service)
+            waiting_txn.op_index += 1
+            self._schedule_step(time + CostModel.LOCK_ACQUIRE + service,
+                                worker)
+            if exclusive:
+                break
+
+    def _try_commit(self, txn: Transaction, time: float) -> str:
+        if self.policy.validate_reads():
+            for key, seen_version in txn.optimistic_reads.items():
+                time += CostModel.VALIDATE_OP
+                if self._key_state(key).version != seen_version:
+                    self._abort(txn, "validation", time)
+                    self.state.now = time
+                    return "aborted"
+        for key, seen_version in txn.optimistic_writes.items():
+            key_state = self._key_state(key)
+            time += CostModel.VALIDATE_OP
+            # first-updater-wins: another committed writer bumped the
+            # version, or a locker currently holds the record
+            if (key_state.version != seen_version
+                    or not key_state.compatible(txn.txn_id, True)):
+                self._abort(txn, "write-conflict", time)
+                self.state.now = time
+                return "aborted"
+        time += CostModel.TXN_COMMIT
+        for key in txn.optimistic_writes:
+            self._key_state(key).version += 1
+        for key in txn.held_locks:
+            key_state = self._key_state(key)
+            if key_state.lock_holders.get(txn.txn_id, False):
+                key_state.version += 1
+        self._release_locks(txn, time)
+        self.state.committed += 1
+        self.state.now = time
+        self.policy.on_commit(txn, self.state)
+        return "committed"
+
+    def _abort(self, txn: Transaction, reason: str, time: float) -> None:
+        self._release_locks(txn, time)
+        self._drop_queued(txn)
+        self.state.aborted += 1
+        self.policy.on_abort(txn, reason, self.state)
+
+    def _release_locks(self, txn: Transaction, time: float) -> None:
+        held = list(txn.held_locks)
+        txn.held_locks.clear()
+        for key in held:
+            key_state = self._key_state(key)
+            key_state.lock_holders.pop(txn.txn_id, None)
+            self._grant_waiters(key, time)
+        txn.optimistic_reads.clear()
+        txn.optimistic_writes.clear()
+
+    def _drop_queued(self, txn: Transaction) -> None:
+        for key_state in self.keys.values():
+            if key_state.wait_queue:
+                key_state.wait_queue = [
+                    (t, x) for t, x in key_state.wait_queue
+                    if t != txn.txn_id]
+        for parked in self._parked.values():
+            parked[:] = [(t, w) for t, w in parked if t.txn_id != txn.txn_id]

@@ -1,0 +1,22 @@
+"""Workload generators standing in for the paper's datasets and benchmarks:
+Avazu (E), Diabetes (H), YCSB, TPC-C, and STATS."""
+
+from repro.workloads.avazu import AvazuGenerator
+from repro.workloads.diabetes import DiabetesGenerator
+from repro.workloads.stats import QUERIES as STATS_QUERIES
+from repro.workloads.stats import StatsGenerator, StatsScale, build_stats_db
+from repro.workloads.tpcc import TPCCConfig, TPCCWorkload
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+__all__ = [
+    "AvazuGenerator",
+    "DiabetesGenerator",
+    "STATS_QUERIES",
+    "StatsGenerator",
+    "StatsScale",
+    "TPCCConfig",
+    "TPCCWorkload",
+    "YCSBConfig",
+    "YCSBWorkload",
+    "build_stats_db",
+]

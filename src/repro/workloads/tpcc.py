@@ -1,0 +1,117 @@
+"""TPC-C-style workload for the concurrency-control drift experiment.
+
+Fig. 7(b) drives a "drift workload based on TPCC by varying the number of
+warehouses and threads": (8 threads, 1 warehouse) -> (8 threads,
+2 warehouses) -> (16 threads, 1 warehouse).  Fewer warehouses = more
+contention on the per-warehouse rows (warehouse YTD, district next-order-id),
+which is the classic TPC-C hotspot.
+
+The simulator operates on abstract keys, so this module lays out a key space
+mirroring TPC-C's contention structure:
+
+* warehouse rows  — 1 per warehouse, written by Payment (hot);
+* district rows   — 10 per warehouse, written by NewOrder and Payment (hot);
+* customer rows   — 3000 per district (mild);
+* stock rows      — 100k per warehouse, NewOrder writes ~10 (mild);
+* item rows       — 100k shared read-only (cold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.txnsim.core import Operation, Transaction
+
+DISTRICTS_PER_WAREHOUSE = 10
+CUSTOMERS_PER_DISTRICT = 3000
+STOCK_PER_WAREHOUSE = 100_000
+ITEMS = 100_000
+
+NEW_ORDER = 0
+PAYMENT = 1
+
+# key-space segment bases (disjoint ranges, far apart)
+_WAREHOUSE_BASE = 0
+_DISTRICT_BASE = 10_000
+_CUSTOMER_BASE = 1_000_000
+_STOCK_BASE = 100_000_000
+_ITEM_BASE = 900_000_000
+
+
+@dataclass
+class TPCCConfig:
+    warehouses: int = 1
+    new_order_fraction: float = 0.5   # remainder is Payment
+    items_per_order: int = 10
+
+    def __post_init__(self) -> None:
+        if self.warehouses <= 0:
+            raise ValueError("warehouses must be positive")
+        if not 0.0 <= self.new_order_fraction <= 1.0:
+            raise ValueError("new_order_fraction must be in [0, 1]")
+
+
+class TPCCWorkload:
+    """Factory producing NewOrder/Payment transactions."""
+
+    def __init__(self, config: TPCCConfig | None = None):
+        self.config = config if config is not None else TPCCConfig()
+
+    # -- key layout -----------------------------------------------------------
+
+    @staticmethod
+    def warehouse_key(w: int) -> int:
+        return _WAREHOUSE_BASE + w
+
+    @staticmethod
+    def district_key(w: int, d: int) -> int:
+        return _DISTRICT_BASE + w * DISTRICTS_PER_WAREHOUSE + d
+
+    @staticmethod
+    def customer_key(w: int, d: int, c: int) -> int:
+        return (_CUSTOMER_BASE
+                + (w * DISTRICTS_PER_WAREHOUSE + d) * CUSTOMERS_PER_DISTRICT
+                + c)
+
+    @staticmethod
+    def stock_key(w: int, i: int) -> int:
+        return _STOCK_BASE + w * STOCK_PER_WAREHOUSE + i
+
+    @staticmethod
+    def item_key(i: int) -> int:
+        return _ITEM_BASE + i
+
+    # -- transaction generation ---------------------------------------------------
+
+    def __call__(self, rng: np.random.Generator) -> Transaction:
+        if rng.random() < self.config.new_order_fraction:
+            return self._new_order(rng)
+        return self._payment(rng)
+
+    def _new_order(self, rng: np.random.Generator) -> Transaction:
+        w = int(rng.integers(self.config.warehouses))
+        d = int(rng.integers(DISTRICTS_PER_WAREHOUSE))
+        c = int(rng.integers(CUSTOMERS_PER_DISTRICT))
+        ops = [
+            Operation(self.warehouse_key(w), is_write=False),
+            Operation(self.district_key(w, d), is_write=True),  # next_o_id
+            Operation(self.customer_key(w, d, c), is_write=False),
+        ]
+        for _ in range(self.config.items_per_order):
+            item = int(rng.integers(ITEMS))
+            ops.append(Operation(self.item_key(item), is_write=False))
+            ops.append(Operation(self.stock_key(w, item), is_write=True))
+        return Transaction(txn_id=0, type_id=NEW_ORDER, ops=ops)
+
+    def _payment(self, rng: np.random.Generator) -> Transaction:
+        w = int(rng.integers(self.config.warehouses))
+        d = int(rng.integers(DISTRICTS_PER_WAREHOUSE))
+        c = int(rng.integers(CUSTOMERS_PER_DISTRICT))
+        ops = [
+            Operation(self.warehouse_key(w), is_write=True),   # w_ytd (hot!)
+            Operation(self.district_key(w, d), is_write=True),  # d_ytd
+            Operation(self.customer_key(w, d, c), is_write=True),
+        ]
+        return Transaction(txn_id=0, type_id=PAYMENT, ops=ops)

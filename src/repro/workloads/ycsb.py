@@ -1,0 +1,72 @@
+"""YCSB-style transactional micro-benchmark.
+
+Paper §5.1.1: "a transactional benchmark based on YCSB, which generates
+synthetic workloads for large-scale Internet applications.  Each transaction
+performs 5 selects and 5 updates on a table with 1 million records."
+
+Key popularity follows the standard YCSB zipfian; ``theta`` controls
+contention (0 = uniform, 0.99 = the YCSB default hotspot skew).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.txnsim.core import Operation, Transaction
+
+DEFAULT_RECORDS = 1_000_000
+DEFAULT_READS = 5
+DEFAULT_WRITES = 5
+
+
+@dataclass
+class YCSBConfig:
+    records: int = DEFAULT_RECORDS
+    reads_per_txn: int = DEFAULT_READS
+    writes_per_txn: int = DEFAULT_WRITES
+    zipf_theta: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.records <= 0:
+            raise ValueError("records must be positive")
+        if self.reads_per_txn < 0 or self.writes_per_txn < 0:
+            raise ValueError("op counts must be non-negative")
+
+
+class YCSBWorkload:
+    """Factory producing YCSB transactions for the simulator."""
+
+    TXN_TYPE = 0
+
+    def __init__(self, config: YCSBConfig | None = None):
+        self.config = config if config is not None else YCSBConfig()
+        # precompute the zipfian CDF once (1M-entry weights are cheap)
+        ranks = np.arange(1, self.config.records + 1, dtype=np.float64)
+        weights = ranks ** (-self.config.zipf_theta)
+        self._cdf = np.cumsum(weights / weights.sum())
+
+    def _sample_keys(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        picks = rng.random(count)
+        return np.searchsorted(self._cdf, picks)
+
+    def __call__(self, rng: np.random.Generator) -> Transaction:
+        """The txn_factory interface used by :class:`TxnSimulator`."""
+        config = self.config
+        total = config.reads_per_txn + config.writes_per_txn
+        keys = self._sample_keys(rng, total)
+        # interleave reads and writes the way YCSB's client does
+        ops: list[Operation] = []
+        reads_left = config.reads_per_txn
+        writes_left = config.writes_per_txn
+        for key in keys:
+            if reads_left and (not writes_left
+                               or rng.random() < reads_left
+                               / (reads_left + writes_left)):
+                ops.append(Operation(int(key), is_write=False))
+                reads_left -= 1
+            else:
+                ops.append(Operation(int(key), is_write=True))
+                writes_left -= 1
+        return Transaction(txn_id=0, type_id=self.TXN_TYPE, ops=ops)

@@ -1,0 +1,135 @@
+"""Tests for the plan cost model, including the hash-spill mechanics that
+drive the Fig. 8 stale-statistics traps."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.common.simtime import CostModel
+from repro.exec.measure import measure_plan_latency
+from repro.plan import HashJoin, Planner, SeqScan, plan_signature
+from repro.plan.cardinality import CardinalityEstimator
+from repro.sql import ast, parse
+
+
+@pytest.fixture
+def sized_db():
+    """Two tables straddling the hash-spill threshold."""
+    db = repro.connect()
+    db.execute("CREATE TABLE small (k INT, pad INT)")
+    db.execute("CREATE TABLE large (k INT, pad INT)")
+    small = db.catalog.table("small")
+    large = db.catalog.table("large")
+    rng = np.random.default_rng(0)
+    for i in range(300):
+        small.insert((i % 100, int(rng.integers(100))))
+    for i in range(3000):  # beyond HASH_SPILL_ROWS
+        large.insert((i % 100, int(rng.integers(100))))
+    db.execute("ANALYZE")
+    return db
+
+
+class TestHashSpill:
+    def test_threshold_constant_sane(self):
+        assert 100 < CostModel.HASH_SPILL_ROWS < 100_000
+
+    def test_estimator_penalizes_large_build_side(self, sized_db):
+        select = parse("SELECT count(*) FROM small s JOIN large l "
+                       "ON s.k = l.k")
+        candidates = sized_db.planner.candidate_plans(select, 8)
+        small_build = next(
+            c for c in candidates
+            if "hj(seq(small)" in plan_signature(c))
+        large_build = next(
+            c for c in candidates
+            if "hj(seq(large)" in plan_signature(c))
+        assert small_build.est_cost < large_build.est_cost
+
+    def test_executor_charges_spill(self, sized_db):
+        select = parse("SELECT count(*) FROM small s JOIN large l "
+                       "ON s.k = l.k")
+        candidates = sized_db.planner.candidate_plans(select, 8)
+        small_build = next(c for c in candidates
+                           if "hj(seq(small)" in plan_signature(c))
+        large_build = next(c for c in candidates
+                           if "hj(seq(large)" in plan_signature(c))
+        fast = measure_plan_latency(sized_db.executor, sized_db.clock,
+                                    small_build).latency
+        slow = measure_plan_latency(sized_db.executor, sized_db.clock,
+                                    large_build).latency
+        assert slow > fast * 2  # spilling genuinely hurts
+
+    def test_planner_picks_non_spilling_side(self, sized_db):
+        select = parse("SELECT count(*) FROM small s JOIN large l "
+                       "ON s.k = l.k")
+        best = sized_db.planner.plan_select(select)
+        joins = [n for n in best.walk() if isinstance(n, HashJoin)]
+        assert joins
+        build = joins[0].left
+        assert isinstance(build, SeqScan) and build.table == "small"
+
+
+class TestCardinalityEstimator:
+    def test_table_rows_from_stats(self, sized_db):
+        est = CardinalityEstimator(sized_db.catalog)
+        assert est.table_rows("large") == 3000
+
+    def test_unknown_table_fallback(self, sized_db):
+        est = CardinalityEstimator(sized_db.catalog)
+        assert est.table_rows("ghost") > 0
+
+    def test_selectivity_none_is_one(self, sized_db):
+        est = CardinalityEstimator(sized_db.catalog)
+        assert est.selectivity(None, {}) == 1.0
+
+    def test_or_selectivity_inclusion_exclusion(self, sized_db):
+        est = CardinalityEstimator(sized_db.catalog)
+        bindings = {"large": "large"}
+        single = parse("SELECT 1 FROM large WHERE k < 50").where
+        both = parse("SELECT 1 FROM large WHERE k < 50 OR k < 50").where
+        s1 = est.selectivity(single, bindings)
+        s2 = est.selectivity(both, bindings)
+        assert s2 == pytest.approx(s1 + s1 - s1 * s1, abs=0.01)
+
+    def test_not_inverts(self, sized_db):
+        est = CardinalityEstimator(sized_db.catalog)
+        bindings = {"large": "large"}
+        pos = parse("SELECT 1 FROM large WHERE k < 50").where
+        neg = parse("SELECT 1 FROM large WHERE NOT k < 50").where
+        assert (est.selectivity(pos, bindings)
+                + est.selectivity(neg, bindings)) == pytest.approx(1.0,
+                                                                   abs=0.02)
+
+    def test_join_selectivity_uses_ndv(self, sized_db):
+        est = CardinalityEstimator(sized_db.catalog)
+        bindings = {"s": "small", "l": "large"}
+        sel = est.join_selectivity(ast.ColumnRef("k", "s"),
+                                   ast.ColumnRef("k", "l"), bindings)
+        # both sides have 100 distinct keys
+        assert sel == pytest.approx(1 / 100, rel=0.2)
+
+    def test_selectivity_clamped(self, sized_db):
+        est = CardinalityEstimator(sized_db.catalog)
+        bindings = {"large": "large"}
+        impossible = parse("SELECT 1 FROM large WHERE k < -100").where
+        assert est.selectivity(impossible, bindings) >= 1e-6
+
+    def test_in_list_sums(self, sized_db):
+        est = CardinalityEstimator(sized_db.catalog)
+        bindings = {"large": "large"}
+        one = parse("SELECT 1 FROM large WHERE k IN (5)").where
+        three = parse("SELECT 1 FROM large WHERE k IN (5, 6, 7)").where
+        assert (est.selectivity(three, bindings)
+                > est.selectivity(one, bindings))
+
+    def test_is_null_selectivity(self):
+        db = repro.connect()
+        db.execute("CREATE TABLE n (v INT)")
+        table = db.catalog.table("n")
+        for i in range(100):
+            table.insert((None if i < 25 else i,))
+        db.execute("ANALYZE")
+        est = CardinalityEstimator(db.catalog)
+        expr = parse("SELECT 1 FROM n WHERE v IS NULL").where
+        assert est.selectivity(expr, {"n": "n"}) == pytest.approx(0.25,
+                                                                  abs=0.02)

@@ -1,0 +1,256 @@
+"""Tests for expression evaluation and query execution correctness."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.common.errors import BindError, ExecutionError
+from repro.exec.expr import RowLayout, compile_expr, to_bool
+from repro.exec.measure import measure_plan_latency
+from repro.sql import ast, parse
+
+
+class TestRowLayout:
+    def test_resolve_qualified(self):
+        layout = RowLayout([("a", "x"), ("b", "x")])
+        assert layout.resolve("x", "a") == 0
+        assert layout.resolve("x", "b") == 1
+
+    def test_ambiguous_unqualified(self):
+        layout = RowLayout([("a", "x"), ("b", "x")])
+        with pytest.raises(BindError):
+            layout.resolve("x")
+
+    def test_unknown_column(self):
+        layout = RowLayout([("a", "x")])
+        with pytest.raises(BindError):
+            layout.resolve("zzz")
+
+    def test_concat(self):
+        layout = RowLayout([("a", "x")]).concat(RowLayout([("b", "y")]))
+        assert layout.resolve("y") == 1
+
+
+def _eval(expr_sql: str, layout=None, row=()):
+    layout = layout if layout is not None else RowLayout([])
+    stmt = parse(f"SELECT 1 FROM t WHERE {expr_sql}")
+    return compile_expr(stmt.where, layout)(row)
+
+
+class TestExpressionEvaluation:
+    def test_arithmetic(self):
+        assert _eval("1 + 2 * 3 = 7")
+        assert _eval("10 / 4 = 2.5")
+        assert _eval("10 % 3 = 1")
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            _eval("1 / 0 = 1")
+
+    def test_three_valued_logic_null_comparison(self):
+        assert _eval("NULL = 1") is None
+        assert _eval("NULL <> 1") is None
+
+    def test_and_or_kleene(self):
+        assert _eval("FALSE AND NULL") is False     # short circuit
+        assert _eval("TRUE OR NULL") is True
+        assert _eval("TRUE AND NULL") is None
+        assert _eval("FALSE OR NULL") is None
+
+    def test_not_null(self):
+        assert _eval("NOT NULL") is None
+
+    def test_is_null(self):
+        assert _eval("NULL IS NULL") is True
+        assert _eval("1 IS NOT NULL") is True
+
+    def test_in_list(self):
+        assert _eval("2 IN (1, 2, 3)") is True
+        assert _eval("9 NOT IN (1, 2)") is True
+        assert _eval("NULL IN (1)") is None
+
+    def test_between(self):
+        assert _eval("2 BETWEEN 1 AND 3") is True
+        assert _eval("0 NOT BETWEEN 1 AND 3") is True
+
+    def test_like(self):
+        assert _eval("'hello' LIKE 'he%'") is True
+        assert _eval("'hello' LIKE 'h_llo'") is True
+        assert _eval("'hello' LIKE 'x%'") is False
+
+    def test_like_escapes_regex_chars(self):
+        assert _eval("'a.c' LIKE 'a.c'") is True
+        assert _eval("'abc' LIKE 'a.c'") is False  # '.' is literal
+
+    def test_scalar_functions(self):
+        assert _eval("abs(-3) = 3")
+        assert _eval("lower('AB') = 'ab'")
+        assert _eval("length('abc') = 3")
+        assert _eval("coalesce(NULL, NULL, 5) = 5")
+
+    def test_unknown_function(self):
+        with pytest.raises(BindError):
+            _eval("nosuchfn(1) = 1")
+
+    def test_column_reference(self):
+        layout = RowLayout([("t", "a")])
+        stmt = parse("SELECT 1 FROM t WHERE a * 2 = 10")
+        assert compile_expr(stmt.where, layout)((5,)) is True
+
+    def test_to_bool(self):
+        assert to_bool(None) is False
+        assert to_bool(True) is True
+        assert to_bool(0) is False
+
+
+class TestQueryExecution:
+    def test_count_star(self, users_orders_db):
+        assert users_orders_db.execute(
+            "SELECT count(*) FROM users").scalar() == 60
+
+    def test_filter_correctness(self, users_orders_db):
+        result = users_orders_db.execute(
+            "SELECT count(*) FROM users WHERE age >= 30")
+        expected = sum(1 for i in range(60) if 20 + i % 40 >= 30)
+        assert result.scalar() == expected
+
+    def test_projection_names(self, users_orders_db):
+        result = users_orders_db.execute(
+            "SELECT name AS who, age FROM users LIMIT 1")
+        assert result.columns == ["who", "age"]
+
+    def test_join_matches_bruteforce(self, users_orders_db):
+        result = users_orders_db.execute(
+            "SELECT count(*) FROM users u JOIN orders o "
+            "ON u.id = o.user_id WHERE u.age < 30")
+        users = [(i, 20 + i % 40) for i in range(60)]
+        orders = [(i, i % 60) for i in range(200)]
+        expected = sum(1 for uid, age in users for _, ouid in orders
+                       if uid == ouid and age < 30)
+        assert result.scalar() == expected
+
+    def test_group_by_aggregates(self, users_orders_db):
+        result = users_orders_db.execute(
+            "SELECT status, count(*), sum(amount) FROM orders "
+            "GROUP BY status ORDER BY status")
+        assert len(result.rows) == 3
+        assert sum(row[1] for row in result.rows) == 200
+
+    def test_avg_min_max(self, users_orders_db):
+        result = users_orders_db.execute(
+            "SELECT avg(age), min(age), max(age) FROM users")
+        ages = [20 + i % 40 for i in range(60)]
+        avg, lo, hi = result.rows[0]
+        assert avg == pytest.approx(sum(ages) / len(ages))
+        assert (lo, hi) == (min(ages), max(ages))
+
+    def test_aggregate_arithmetic(self, users_orders_db):
+        result = users_orders_db.execute(
+            "SELECT max(age) - min(age) FROM users")
+        assert result.scalar() == 39
+
+    def test_order_by_desc_limit_offset(self, users_orders_db):
+        result = users_orders_db.execute(
+            "SELECT age FROM users ORDER BY age DESC LIMIT 3 OFFSET 1")
+        ages = sorted((20 + i % 40 for i in range(60)), reverse=True)
+        assert result.column("age") == ages[1:4]
+
+    def test_distinct(self, users_orders_db):
+        result = users_orders_db.execute(
+            "SELECT DISTINCT city FROM users")
+        assert len(result.rows) == 4
+
+    def test_index_point_lookup(self, users_orders_db):
+        result = users_orders_db.execute("SELECT name FROM users WHERE id = 7")
+        assert result.rows == [("user7",)]
+
+    def test_empty_result(self, users_orders_db):
+        result = users_orders_db.execute(
+            "SELECT * FROM users WHERE age > 1000")
+        assert result.rows == []
+
+    def test_count_on_empty_is_zero(self, users_orders_db):
+        result = users_orders_db.execute(
+            "SELECT count(*) FROM users WHERE age > 1000")
+        assert result.scalar() == 0
+
+    def test_tableless_select(self, users_orders_db):
+        assert users_orders_db.execute("SELECT 2 + 3").scalar() == 5
+
+    def test_virtual_time_positive(self, users_orders_db):
+        result = users_orders_db.execute("SELECT count(*) FROM orders")
+        assert result.virtual_seconds > 0
+
+    def test_three_way_join(self, users_orders_db):
+        users_orders_db.execute(
+            "CREATE TABLE cities (code TEXT UNIQUE, country TEXT)")
+        for code, country in [("sg", "SG"), ("ny", "US"), ("ldn", "UK"),
+                              ("tok", "JP")]:
+            users_orders_db.execute(
+                f"INSERT INTO cities VALUES ('{code}', '{country}')")
+        users_orders_db.execute("ANALYZE")
+        result = users_orders_db.execute(
+            "SELECT count(*) FROM users u JOIN orders o ON u.id = o.user_id "
+            "JOIN cities c ON u.city = c.code WHERE c.country = 'US'")
+        expected = sum(1 for i in range(200) if (i % 60) % 4 == 1)
+        assert result.scalar() == expected
+
+
+class TestCandidatePlansAgree:
+    """Every candidate plan for a query must produce the same answer."""
+
+    @pytest.mark.parametrize("sql", [
+        "SELECT count(*) FROM users u JOIN orders o ON u.id = o.user_id",
+        "SELECT count(*) FROM users u JOIN orders o ON u.id = o.user_id "
+        "WHERE u.age > 30 AND o.amount < 200",
+    ])
+    def test_all_candidates_same_result(self, users_orders_db, sql):
+        select = parse(sql)
+        candidates = users_orders_db.planner.candidate_plans(select, 12)
+        assert len(candidates) >= 2
+        results = set()
+        for candidate in candidates:
+            result = users_orders_db.executor.run(candidate)
+            results.add(result.rows[0][0])
+        assert len(results) == 1
+
+
+class TestMeasurePlanLatency:
+    def test_uncapped(self, users_orders_db):
+        select = parse("SELECT count(*) FROM users")
+        node = users_orders_db.planner.plan_select(select)
+        measured = measure_plan_latency(users_orders_db.executor,
+                                        users_orders_db.clock, node)
+        assert not measured.censored
+        assert measured.latency > 0
+
+    def test_cap_censors_pathological_plan(self, users_orders_db):
+        select = parse("SELECT count(*) FROM users, orders")  # cross join
+        candidates = users_orders_db.planner.candidate_plans(select, 8)
+        worst = max(candidates, key=lambda c: c.est_cost)
+        measured = measure_plan_latency(users_orders_db.executor,
+                                        users_orders_db.clock, worst,
+                                        cap_virtual=1e-6)
+        assert measured.censored
+        assert measured.latency == pytest.approx(1e-6)
+
+
+@given(st.lists(st.integers(0, 20), min_size=0, max_size=60),
+       st.lists(st.integers(0, 20), min_size=0, max_size=60))
+@settings(max_examples=15, deadline=None)
+def test_join_equivalent_to_bruteforce_property(left_keys, right_keys):
+    """Hash-join output multiplicity equals the nested-loop definition."""
+    db = repro.connect()
+    db.execute("CREATE TABLE l (k INT)")
+    db.execute("CREATE TABLE r (k INT)")
+    for k in left_keys:
+        db.execute(f"INSERT INTO l VALUES ({k})")
+    for k in right_keys:
+        db.execute(f"INSERT INTO r VALUES ({k})")
+    db.execute("ANALYZE")
+    got = db.execute("SELECT count(*) FROM l JOIN r ON l.k = r.k").scalar()
+    expected = sum(1 for a in left_keys for b in right_keys if a == b)
+    assert got == expected

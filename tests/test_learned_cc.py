@@ -1,0 +1,304 @@
+"""Tests for the learned concurrency control: encoder, decision model,
+two-phase adaptation, and the Polyjuice baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learned.cc import (
+    ARCHETYPES,
+    FEATURE_DIM,
+    PARAM_COUNT,
+    ContentionEncoder,
+    DecisionModel,
+    LearnedCCPolicy,
+    PolyjuicePolicy,
+    PolyjuiceTrainer,
+    SurrogateModel,
+    TwoPhaseAdapter,
+    archetype_params,
+)
+from repro.txnsim import (
+    ActionType,
+    GlobalState,
+    KeyState,
+    Operation,
+    Transaction,
+    TxnSimulator,
+)
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+
+def make_context(is_write=True, hotness=0.0, write_hotness=0.0,
+                 exclusive=False, waiters=0, remaining=5, length=10,
+                 aborted=0, committed=100):
+    txn = Transaction(txn_id=1, type_id=0,
+                      ops=[Operation(0, is_write)] * length)
+    txn.op_index = length - remaining
+    key = KeyState(recent_accesses=hotness, recent_writes=write_hotness)
+    if exclusive:
+        key.lock_holders[99] = True
+    key.wait_queue = [(i, True) for i in range(waiters)]
+    state = GlobalState(committed=committed, aborted=aborted)
+    op = Operation(0, is_write)
+    return txn, op, key, state
+
+
+class TestContentionEncoder:
+    def test_dimension(self):
+        encoder = ContentionEncoder()
+        features = encoder.encode(*make_context())
+        assert features.shape == (FEATURE_DIM,)
+
+    def test_all_features_bounded(self):
+        encoder = ContentionEncoder()
+        features = encoder.encode(*make_context(
+            hotness=1e6, write_hotness=1e6, waiters=100, length=1000))
+        assert (features >= 0).all() and (features <= 1).all()
+
+    def test_write_flag(self):
+        encoder = ContentionEncoder()
+        assert encoder.encode(*make_context(is_write=True))[0] == 1.0
+        assert encoder.encode(*make_context(is_write=False))[0] == 0.0
+
+    def test_hotness_monotone(self):
+        encoder = ContentionEncoder()
+        cold = encoder.encode(*make_context(hotness=0.0))[1]
+        warm = encoder.encode(*make_context(hotness=4.0))[1]
+        hot = encoder.encode(*make_context(hotness=50.0))[1]
+        assert cold < warm <= hot
+
+    def test_exclusive_and_waiters(self):
+        encoder = ContentionEncoder()
+        features = encoder.encode(*make_context(exclusive=True, waiters=2))
+        assert features[3] == 1.0
+        assert features[4] == pytest.approx(0.5)
+
+    def test_abort_ratio(self):
+        encoder = ContentionEncoder()
+        features = encoder.encode(*make_context(aborted=50, committed=50))
+        assert features[7] == pytest.approx(0.5)
+
+    def test_reuses_output_buffer(self):
+        encoder = ContentionEncoder()
+        buffer = np.empty(FEATURE_DIM)
+        out = encoder.encode(*make_context(), out=buffer)
+        assert out is buffer
+
+
+class TestDecisionModel:
+    def test_param_roundtrip(self):
+        model = DecisionModel()
+        params = model.get_params()
+        assert params.shape == (PARAM_COUNT,)
+        model2 = DecisionModel(params)
+        assert np.array_equal(model2.get_params(), params)
+
+    def test_wrong_param_count(self):
+        with pytest.raises(ValueError):
+            DecisionModel(np.zeros(5))
+
+    def test_decide_returns_action(self):
+        model = DecisionModel()
+        features = np.zeros(FEATURE_DIM)
+        assert isinstance(model.decide(features), ActionType)
+
+    def test_default_policy_optimistic_on_cold_reads(self):
+        model = DecisionModel()
+        encoder = ContentionEncoder()
+        features = encoder.encode(*make_context(is_write=False,
+                                                hotness=0.0))
+        assert model.decide(features) is ActionType.OPTIMISTIC
+
+    def test_archetypes_behave_distinctly(self):
+        encoder = ContentionEncoder()
+        hot_write = encoder.encode(*make_context(
+            is_write=True, hotness=20.0, write_hotness=20.0,
+            exclusive=True, waiters=3, remaining=9, length=10,
+            aborted=30, committed=70))
+        opt = DecisionModel(archetype_params("optimistic"))
+        lock = DecisionModel(archetype_params("lock-writes"))
+        shed = DecisionModel(archetype_params("shed-hot"))
+        assert opt.decide(hot_write) is ActionType.OPTIMISTIC
+        assert lock.decide(hot_write) is ActionType.ACQUIRE_LOCK
+        assert shed.decide(hot_write) is ActionType.ABORT
+
+    def test_unknown_archetype(self):
+        with pytest.raises(KeyError):
+            archetype_params("bogus")
+
+    @given(st.lists(st.floats(0, 1), min_size=FEATURE_DIM,
+                    max_size=FEATURE_DIM))
+    @settings(max_examples=30)
+    def test_decide_total_property(self, values):
+        model = DecisionModel()
+        action = model.decide(np.asarray(values))
+        assert isinstance(action, ActionType)
+
+
+class TestLearnedCCPolicy:
+    def test_snapshot_reads(self):
+        assert LearnedCCPolicy().validate_reads() is False
+
+    def test_timeout_discipline(self):
+        assert LearnedCCPolicy().wait_discipline() == "timeout"
+
+    def test_starvation_guard(self):
+        policy = LearnedCCPolicy(DecisionModel(archetype_params("shed-hot")))
+        txn, op, key, state = make_context(
+            is_write=True, hotness=20.0, write_hotness=20.0,
+            exclusive=True, waiters=3, aborted=40, committed=60)
+        txn.restarts = 5  # beyond MAX_POLICY_RESTARTS
+        action = policy.choose_action(txn, op, key, state)
+        assert action is not ActionType.ABORT
+
+    def test_decision_counters(self):
+        policy = LearnedCCPolicy()
+        context = make_context(is_write=False)
+        policy.choose_action(*context)
+        assert sum(policy.decisions.values()) == 1
+
+
+class TestSurrogate:
+    def test_cold_start_explores(self):
+        surrogate = SurrogateModel()
+        assert surrogate.acquisition(np.zeros(PARAM_COUNT)) == float("inf")
+
+    def test_prefers_high_reward_region(self):
+        surrogate = SurrogateModel(exploration=0.0)
+        rng = np.random.default_rng(0)
+        good = rng.normal(0, 1, PARAM_COUNT)
+        bad = -good
+        for _ in range(5):
+            surrogate.observe(good + rng.normal(0, 0.05, PARAM_COUNT), 100.0)
+            surrogate.observe(bad + rng.normal(0, 0.05, PARAM_COUNT), 10.0)
+        assert surrogate.acquisition(good) > surrogate.acquisition(bad)
+
+
+class TestTwoPhaseAdapter:
+    def test_improves_quadratic_toy(self):
+        """Reward = negative distance to a hidden optimum: the adapter
+        must move toward it."""
+        rng = np.random.default_rng(0)
+        target = rng.normal(0, 1, PARAM_COUNT)
+
+        def reward(params):
+            return -float(np.linalg.norm(params - target))
+
+        adapter = TwoPhaseAdapter(candidates=5, refine_steps=4, seed=1,
+                                  anchors=[np.zeros(PARAM_COUNT)])
+        start = np.zeros(PARAM_COUNT)
+        adapted, report = adapter.adapt(start, reward)
+        assert reward(adapted) > reward(start)
+        assert report.refined_reward >= report.filtered_reward * 0.999
+
+    def test_report_counts_evaluations(self):
+        calls = []
+
+        def reward(params):
+            calls.append(1)
+            return 0.0
+
+        adapter = TwoPhaseAdapter(candidates=4, refine_steps=2, seed=0)
+        _, report = adapter.adapt(np.zeros(PARAM_COUNT), reward)
+        assert report.evaluations == len(calls)
+
+    def test_anchors_always_evaluated(self):
+        seen = []
+
+        def reward(params):
+            seen.append(params.copy())
+            return 0.0
+
+        anchor = np.full(PARAM_COUNT, 7.0)
+        adapter = TwoPhaseAdapter(candidates=3, refine_steps=1, seed=0,
+                                  anchors=[anchor])
+        adapter.adapt(np.zeros(PARAM_COUNT), reward)
+        assert any(np.array_equal(s, anchor) for s in seen)
+
+    def test_keeps_current_when_nothing_better(self):
+        def reward(params):
+            # current (zeros) is the unique optimum
+            return -float(np.abs(params).sum())
+
+        adapter = TwoPhaseAdapter(candidates=4, refine_steps=2, seed=3,
+                                  anchors=[])
+        adapted, report = adapter.adapt(np.zeros(PARAM_COUNT), reward)
+        assert report.refined_reward >= report.initial_reward
+
+
+class TestPolyjuice:
+    def test_table_lookup_by_type_and_op(self):
+        policy = PolyjuicePolicy(max_types=2, max_ops=4)
+        policy.table[:] = 0
+        policy.table[1 * 4 + 2] = 1  # type 1, op 2 -> lock
+        txn = Transaction(txn_id=1, type_id=1,
+                          ops=[Operation(0, True)] * 4)
+        txn.op_index = 2
+        action = policy.choose_action(txn, txn.ops[2], KeyState(),
+                                      GlobalState())
+        assert action is ActionType.ACQUIRE_LOCK
+
+    def test_op_index_clamped(self):
+        policy = PolyjuicePolicy(max_types=1, max_ops=2)
+        txn = Transaction(txn_id=1, type_id=0,
+                          ops=[Operation(0, True)] * 10)
+        txn.op_index = 9  # beyond max_ops: reuses last column
+        action = policy.choose_action(txn, txn.ops[9], KeyState(),
+                                      GlobalState())
+        assert isinstance(action, ActionType)
+
+    def test_set_params_clamps(self):
+        policy = PolyjuicePolicy(max_types=1, max_ops=3)
+        policy.set_params(np.array([-5.0, 1.4, 99.0]))
+        assert policy.table.tolist() == [0, 1, 2]
+
+    def test_trainer_improves_on_toy_reward(self):
+        policy = PolyjuicePolicy(max_types=1, max_ops=8)
+
+        def reward(table):
+            return -float(np.abs(np.rint(table) - 1).sum())  # all-lock best
+
+        trainer = PolyjuiceTrainer(policy, population=8,
+                                   mutation_rate=0.3, seed=0)
+        first = trainer.evolve(reward, generations=1).best_reward
+        last = trainer.evolve(reward, generations=10).best_reward
+        assert last >= first
+
+    def test_trainer_installs_best_table(self):
+        policy = PolyjuicePolicy(max_types=1, max_ops=4)
+
+        def reward(table):
+            return float((np.rint(table) == 1).sum())
+
+        trainer = PolyjuiceTrainer(policy, population=10,
+                                   mutation_rate=0.5, seed=0)
+        trainer.evolve(reward, generations=15)
+        assert (policy.table == 1).sum() >= 3
+
+
+class TestLearnedCCEndToEnd:
+    def test_learned_policy_runs_in_simulator(self):
+        workload = YCSBWorkload(YCSBConfig(records=10_000, zipf_theta=0.9))
+        policy = LearnedCCPolicy()
+        result = TxnSimulator(4, policy, workload, seed=1).run(0.005)
+        assert result.committed > 0
+        assert sum(policy.decisions.values()) > 0
+
+    def test_adaptation_beats_bad_start_on_real_sim(self):
+        """Start from the lock-everything archetype on a workload where
+        optimistic wins; adaptation must recover most of the gap."""
+        workload = YCSBWorkload(YCSBConfig(records=1_000_000,
+                                           zipf_theta=0.9))
+
+        def evaluate(params):
+            policy = LearnedCCPolicy(DecisionModel(params.copy()))
+            sim = TxnSimulator(16, policy, workload, seed=2)
+            return sim.run(0.004).throughput
+
+        start = archetype_params("lock-writes")
+        adapter = TwoPhaseAdapter(candidates=4, sigma=2.0, refine_steps=2,
+                                  seed=0)
+        adapted, report = adapter.adapt(start.copy(), evaluate)
+        assert report.refined_reward > report.initial_reward * 1.2

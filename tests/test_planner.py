@@ -1,0 +1,204 @@
+"""Tests for the planner: binding, access paths, join enumeration, costing."""
+
+import pytest
+
+import repro
+from repro.common.errors import PlanError
+from repro.plan import (
+    Aggregate,
+    Filter,
+    HashJoin,
+    IndexScan,
+    Limit,
+    NestedLoopJoin,
+    Planner,
+    Project,
+    SeqScan,
+    Sort,
+    conjoin,
+    plan_signature,
+    split_conjuncts,
+)
+from repro.sql import ast, parse
+
+
+class TestConjuncts:
+    def test_split_flat(self):
+        where = parse("SELECT 1 FROM t WHERE a = 1 AND b = 2 AND c = 3").where
+        assert len(split_conjuncts(where)) == 3
+
+    def test_split_none(self):
+        assert split_conjuncts(None) == []
+
+    def test_or_not_split(self):
+        where = parse("SELECT 1 FROM t WHERE a = 1 OR b = 2").where
+        assert len(split_conjuncts(where)) == 1
+
+    def test_conjoin_roundtrip(self):
+        where = parse("SELECT 1 FROM t WHERE a = 1 AND b = 2").where
+        parts = split_conjuncts(where)
+        rebuilt = conjoin(parts)
+        assert split_conjuncts(rebuilt) == parts
+
+    def test_conjoin_empty(self):
+        assert conjoin([]) is None
+
+
+class TestBinding:
+    def test_bind_classifies_predicates(self, users_orders_db):
+        planner = users_orders_db.planner
+        select = parse("SELECT count(*) FROM users u JOIN orders o "
+                       "ON u.id = o.user_id WHERE u.age > 5 AND "
+                       "o.amount < 10")
+        bound = planner.bind(select)
+        assert bound.bindings == {"u": "users", "o": "orders"}
+        assert len(bound.join_conditions) == 1
+        assert len(bound.filters["u"]) == 1
+        assert len(bound.filters["o"]) == 1
+
+    def test_unqualified_column_resolution(self, users_orders_db):
+        select = parse("SELECT count(*) FROM users u JOIN orders o "
+                       "ON u.id = o.user_id WHERE age > 5")
+        bound = users_orders_db.planner.bind(select)
+        assert bound.filters["u"]  # 'age' only exists in users
+
+    def test_unknown_table(self, users_orders_db):
+        with pytest.raises(PlanError):
+            users_orders_db.planner.bind(parse("SELECT 1 FROM nope"))
+
+    def test_unknown_column(self, users_orders_db):
+        with pytest.raises(PlanError):
+            users_orders_db.planner.bind(
+                parse("SELECT 1 FROM users WHERE banana = 1"))
+
+    def test_duplicate_alias(self, users_orders_db):
+        with pytest.raises(PlanError):
+            users_orders_db.planner.bind(
+                parse("SELECT 1 FROM users u, orders u"))
+
+
+class TestAccessPaths:
+    def test_index_chosen_for_unique_eq(self, users_orders_db):
+        node = users_orders_db.planner.plan_select(
+            parse("SELECT * FROM users WHERE id = 5"))
+        kinds = [type(n) for n in node.walk()]
+        assert IndexScan in kinds
+
+    def test_seqscan_with_pushdown_without_index(self, users_orders_db):
+        node = users_orders_db.planner.plan_select(
+            parse("SELECT * FROM orders WHERE amount > 100"))
+        scans = [n for n in node.walk() if isinstance(n, SeqScan)]
+        assert scans and scans[0].predicate is not None
+
+    def test_range_index_scan(self, users_orders_db):
+        node = users_orders_db.planner.plan_select(
+            parse("SELECT * FROM users WHERE id < 5"))
+        index_nodes = [n for n in node.walk() if isinstance(n, IndexScan)]
+        if index_nodes:  # chosen only if estimated cheaper
+            assert index_nodes[0].high == 5
+
+
+class TestJoinPlanning:
+    def test_equi_join_uses_hash(self, users_orders_db):
+        node = users_orders_db.planner.plan_select(
+            parse("SELECT count(*) FROM users u JOIN orders o "
+                  "ON u.id = o.user_id"))
+        assert any(isinstance(n, HashJoin) for n in node.walk())
+
+    def test_cross_join_uses_nlj(self, users_orders_db):
+        node = users_orders_db.planner.plan_select(
+            parse("SELECT count(*) FROM users, orders"))
+        assert any(isinstance(n, NestedLoopJoin) for n in node.walk())
+
+    def test_candidates_are_unique_and_costed(self, users_orders_db):
+        candidates = users_orders_db.planner.candidate_plans(
+            parse("SELECT count(*) FROM users u JOIN orders o "
+                  "ON u.id = o.user_id"), 16)
+        signatures = [plan_signature(c) for c in candidates]
+        assert len(signatures) == len(set(signatures))
+        assert all(c.est_cost > 0 for c in candidates)
+
+    def test_candidates_sorted_by_estimated_cost(self, users_orders_db):
+        candidates = users_orders_db.planner.candidate_plans(
+            parse("SELECT count(*) FROM users u JOIN orders o "
+                  "ON u.id = o.user_id WHERE u.age > 30"), 16)
+        costs = [c.est_cost for c in candidates]
+        assert costs == sorted(costs)
+
+    def test_best_plan_is_first_candidate(self, users_orders_db):
+        select = parse("SELECT count(*) FROM users u JOIN orders o "
+                       "ON u.id = o.user_id")
+        best = users_orders_db.planner.plan_select(select)
+        first = users_orders_db.planner.candidate_plans(select, 8)[0]
+        assert plan_signature(best) == plan_signature(first)
+
+
+class TestUpperPlan:
+    def test_aggregate_node_for_group_by(self, users_orders_db):
+        node = users_orders_db.planner.plan_select(
+            parse("SELECT city, count(*) FROM users GROUP BY city"))
+        assert isinstance(node, Aggregate)
+
+    def test_plain_select_gets_project(self, users_orders_db):
+        node = users_orders_db.planner.plan_select(
+            parse("SELECT name FROM users"))
+        assert isinstance(node, Project)
+
+    def test_sort_and_limit_stack(self, users_orders_db):
+        node = users_orders_db.planner.plan_select(
+            parse("SELECT name FROM users ORDER BY age LIMIT 3"))
+        assert isinstance(node, Limit)
+        assert isinstance(node.child, Sort)
+
+    def test_estimates_populated(self, users_orders_db):
+        node = users_orders_db.planner.plan_select(
+            parse("SELECT count(*) FROM users WHERE age > 30"))
+        for sub in node.walk():
+            assert sub.est_cost >= 0
+
+    def test_pretty_renders(self, users_orders_db):
+        node = users_orders_db.planner.plan_select(
+            parse("SELECT count(*) FROM users"))
+        text = node.pretty()
+        assert "SeqScan" in text
+
+
+class TestCardinality:
+    def test_selectivity_shrinks_estimate(self, users_orders_db):
+        planner = users_orders_db.planner
+        all_rows = planner.plan_select(parse("SELECT * FROM users"))
+        narrow = planner.plan_select(
+            parse("SELECT * FROM users WHERE age > 55"))
+        assert narrow.est_rows < all_rows.est_rows
+
+    def test_eq_more_selective_than_range(self, users_orders_db):
+        planner = users_orders_db.planner
+        eq = planner.plan_select(
+            parse("SELECT * FROM users WHERE age = 30"))
+        rng = planner.plan_select(
+            parse("SELECT * FROM users WHERE age > 21"))
+        assert eq.est_rows < rng.est_rows
+
+    def test_conjunction_multiplies(self, users_orders_db):
+        planner = users_orders_db.planner
+        one = planner.plan_select(
+            parse("SELECT * FROM users WHERE age > 30"))
+        two = planner.plan_select(
+            parse("SELECT * FROM users WHERE age > 30 AND city = 'sg'"))
+        assert two.est_rows < one.est_rows
+
+    def test_stale_stats_after_growth(self):
+        db = repro.connect()
+        db.execute("CREATE TABLE g (v INT)")
+        for i in range(50):
+            db.execute(f"INSERT INTO g VALUES ({i})")
+        db.execute("ANALYZE")
+        before = db.planner.plan_select(parse("SELECT * FROM g")).est_rows
+        for i in range(500):
+            db.execute(f"INSERT INTO g VALUES ({i})")
+        # without re-ANALYZE the estimate stays stale
+        stale = db.planner.plan_select(parse("SELECT * FROM g")).est_rows
+        assert stale == before
+        db.execute("ANALYZE")
+        fresh = db.planner.plan_select(parse("SELECT * FROM g")).est_rows
+        assert fresh > stale

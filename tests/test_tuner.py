@@ -1,0 +1,101 @@
+"""Tests for the autonomous knob tuner."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.learned.tuner import Knob, KnobTuner, buffer_pool_probe
+
+
+class TestKnob:
+    def test_clamp(self):
+        knob = Knob("k", 10, 100)
+        assert knob.clamp(5) == 10
+        assert knob.clamp(500) == 100
+        assert knob.clamp(42.4) == 42
+
+    def test_float_knob(self):
+        knob = Knob("k", 0.0, 1.0, integer=False)
+        assert knob.clamp(0.123) == pytest.approx(0.123)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            Knob("k", 10, 10)
+
+    def test_neighbors_within_range(self):
+        knob = Knob("k", 1, 1000, log_scale=True)
+        rng = np.random.default_rng(0)
+        for value in knob.neighbors(100, rng, 50):
+            assert 1 <= value <= 1000
+
+
+class TestKnobTuner:
+    def test_requires_knobs(self):
+        with pytest.raises(ValueError):
+            KnobTuner([])
+
+    def test_duplicate_knobs(self):
+        with pytest.raises(ValueError):
+            KnobTuner([Knob("a", 0, 1), Knob("a", 0, 1)])
+
+    def test_missing_config_key(self):
+        tuner = KnobTuner([Knob("a", 0, 10)])
+        with pytest.raises(KeyError):
+            tuner.tune({}, lambda c: 0.0)
+
+    def test_minimizes_quadratic(self):
+        """Cost = (a - 70)^2 + (b - 3)^2: the tuner must move toward the
+        optimum from a bad start."""
+        tuner = KnobTuner([Knob("a", 0, 100), Knob("b", 0, 10)], seed=0)
+
+        def probe(config):
+            return (config["a"] - 70) ** 2 + (config["b"] - 3) ** 2
+
+        report = tuner.tune({"a": 10, "b": 9}, probe, rounds=8,
+                            proposals=10, evaluate_top=4)
+        assert report.best_cost < report.initial_cost
+        assert report.improvement > 0.5
+        assert abs(report.best_config["a"] - 70) < 40
+
+    def test_never_regresses(self):
+        tuner = KnobTuner([Knob("a", 0, 100)], seed=1)
+        report = tuner.tune({"a": 50}, lambda c: abs(c["a"] - 50),
+                            rounds=3)
+        # the start is already optimal: best must remain the start
+        assert report.best_cost == 0.0
+        assert report.best_config["a"] == 50
+
+    def test_evaluation_budget(self):
+        calls = []
+        tuner = KnobTuner([Knob("a", 0, 100)], seed=0)
+        tuner.tune({"a": 5}, lambda c: calls.append(1) or 1.0,
+                   rounds=2, proposals=6, evaluate_top=2)
+        assert len(calls) == 1 + 2 * 2
+
+    def test_history_accumulates(self):
+        tuner = KnobTuner([Knob("a", 0, 100)], seed=0)
+        tuner.tune({"a": 5}, lambda c: 1.0, rounds=1, evaluate_top=2)
+        assert len(tuner.history) == 3
+
+
+class TestBufferPoolTuning:
+    def test_tuner_grows_undersized_buffer(self):
+        """An undersized buffer pool thrashes on repeated scans; the tuner
+        should discover that more pages reduce virtual latency."""
+        def make_db(buffer_pages: int):
+            db = repro.connect(buffer_pages=buffer_pages)
+            db.execute("CREATE TABLE big (a INT, payload TEXT)")
+            heap = db.catalog.table("big")
+            for i in range(4000):
+                heap.insert((i, "x" * 100))
+            db.execute("ANALYZE")
+            return db
+
+        workload = ["SELECT count(*) FROM big WHERE a > 100"] * 3
+        probe = buffer_pool_probe(make_db, workload)
+        tuner = KnobTuner([Knob("buffer_pages", 2, 512, log_scale=True)],
+                          seed=0)
+        report = tuner.tune({"buffer_pages": 4}, probe, rounds=6,
+                            proposals=8, evaluate_top=3)
+        assert report.best_config["buffer_pages"] > 4
+        assert report.improvement > 0.1

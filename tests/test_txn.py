@@ -1,0 +1,231 @@
+"""Tests for the transaction substrate: lock manager, MVCC, and the
+discrete-event concurrency simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import TransactionAborted
+from repro.txn import LockManager, LockMode, MVCCStore
+from repro.txnsim import (
+    ActionType,
+    OptimisticCC,
+    Operation,
+    SerializableSnapshotIsolation,
+    Transaction,
+    TwoPhaseLocking,
+    TxnSimulator,
+)
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+
+class TestLockManager:
+    def test_shared_locks_compatible(self):
+        lm = LockManager()
+        assert lm.acquire(1, "k", LockMode.SHARED)
+        assert lm.acquire(2, "k", LockMode.SHARED)
+
+    def test_exclusive_conflicts(self):
+        lm = LockManager()
+        assert lm.acquire(1, "k", LockMode.EXCLUSIVE)
+        assert lm.acquire(2, "k", LockMode.SHARED) is False
+
+    def test_reacquire_held_lock(self):
+        lm = LockManager()
+        lm.acquire(1, "k", LockMode.SHARED)
+        assert lm.acquire(1, "k", LockMode.SHARED)
+
+    def test_upgrade_when_sole_holder(self):
+        lm = LockManager()
+        lm.acquire(1, "k", LockMode.SHARED)
+        assert lm.acquire(1, "k", LockMode.EXCLUSIVE)
+        assert lm.holders("k")[1] is LockMode.EXCLUSIVE
+
+    def test_release_grants_waiter(self):
+        lm = LockManager()
+        lm.acquire(1, "k", LockMode.EXCLUSIVE)
+        assert lm.acquire(2, "k", LockMode.EXCLUSIVE) is False
+        granted = lm.release_all(1)
+        assert ("k", 2) in granted
+        assert 2 in lm.holders("k")
+
+    def test_fifo_grant_order(self):
+        lm = LockManager()
+        lm.acquire(1, "k", LockMode.EXCLUSIVE)
+        lm.acquire(2, "k", LockMode.EXCLUSIVE)
+        lm.acquire(3, "k", LockMode.EXCLUSIVE)
+        granted = lm.release_all(1)
+        assert granted == [("k", 2)]  # only the head of the queue
+
+    def test_shared_waiters_granted_together(self):
+        lm = LockManager()
+        lm.acquire(1, "k", LockMode.EXCLUSIVE)
+        lm.acquire(2, "k", LockMode.SHARED)
+        lm.acquire(3, "k", LockMode.SHARED)
+        granted = lm.release_all(1)
+        assert {t for _, t in granted} == {2, 3}
+
+    def test_deadlock_detected(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.EXCLUSIVE)
+        lm.acquire(2, "b", LockMode.EXCLUSIVE)
+        lm.acquire(1, "b", LockMode.EXCLUSIVE)  # 1 waits on 2
+        with pytest.raises(TransactionAborted) as excinfo:
+            lm.acquire(2, "a", LockMode.EXCLUSIVE)  # would close cycle
+        assert excinfo.value.reason == "deadlock"
+
+    def test_queue_length(self):
+        lm = LockManager()
+        lm.acquire(1, "k", LockMode.EXCLUSIVE)
+        lm.acquire(2, "k", LockMode.SHARED)
+        assert lm.queue_length("k") == 1
+
+
+class TestMVCC:
+    def test_snapshot_isolation_reads(self):
+        store = MVCCStore()
+        store.begin(1)
+        store.write(1, "k", "v1")
+        store.commit(1)
+
+        store.begin(2)            # snapshot sees v1
+        store.begin(3)
+        store.write(3, "k2", "x")
+        store.commit(3)
+        assert store.read(2, "k") == "v1"
+        assert store.read(2, "k2") is None  # committed after 2's snapshot
+
+    def test_read_own_writes(self):
+        store = MVCCStore()
+        store.begin(1)
+        store.write(1, "k", "mine")
+        assert store.read(1, "k") == "mine"
+
+    def test_first_updater_wins(self):
+        store = MVCCStore()
+        store.begin(1)
+        store.begin(2)
+        store.write(1, "k", "a")
+        with pytest.raises(TransactionAborted):
+            store.write(2, "k", "b")
+
+    def test_write_after_concurrent_commit_aborts(self):
+        store = MVCCStore()
+        store.begin(1)
+        store.begin(2)
+        store.write(1, "k", "a")
+        store.commit(1)
+        with pytest.raises(TransactionAborted):
+            store.write(2, "k", "b")
+
+    def test_abort_discards(self):
+        store = MVCCStore()
+        store.begin(1)
+        store.write(1, "k", "x")
+        store.abort(1)
+        assert store.committed_value("k") is None
+        store.begin(2)
+        store.write(2, "k", "y")  # no lingering uncommitted writer
+        store.commit(2)
+        assert store.committed_value("k") == "y"
+
+    def test_version_history_grows(self):
+        store = MVCCStore()
+        for i in range(3):
+            store.begin(i)
+            store.write(i, "k", i)
+            store.commit(i)
+        assert store.version_count("k") == 3
+
+    def test_read_without_begin(self):
+        with pytest.raises(KeyError):
+            MVCCStore().read(9, "k")
+
+
+def _hot_workload(keys=3, reads=2, writes=2):
+    """All transactions hammer a tiny key set — guaranteed conflicts."""
+    def factory(rng: np.random.Generator) -> Transaction:
+        ops = []
+        for _ in range(reads):
+            ops.append(Operation(int(rng.integers(keys)), is_write=False))
+        for _ in range(writes):
+            ops.append(Operation(int(rng.integers(keys)), is_write=True))
+        return Transaction(txn_id=0, type_id=0, ops=ops)
+    return factory
+
+
+class TestTxnSimulator:
+    def test_deterministic_under_seed(self):
+        workload = YCSBWorkload(YCSBConfig(records=1000, zipf_theta=0.9))
+        a = TxnSimulator(4, TwoPhaseLocking(), workload, seed=5).run(0.005)
+        b = TxnSimulator(4, TwoPhaseLocking(), workload, seed=5).run(0.005)
+        assert a.committed == b.committed
+        assert a.aborted == b.aborted
+
+    def test_throughput_scales_with_threads_uncontended(self):
+        workload = YCSBWorkload(YCSBConfig(records=1_000_000,
+                                           zipf_theta=0.0))
+        one = TxnSimulator(1, OptimisticCC(), workload, seed=1).run(0.01)
+        four = TxnSimulator(4, OptimisticCC(), workload, seed=1).run(0.01)
+        assert four.throughput > 3 * one.throughput
+
+    def test_hot_keys_cause_conflicts(self):
+        sim = TxnSimulator(8, OptimisticCC(), _hot_workload(), seed=1)
+        result = sim.run(0.01)
+        assert result.aborted > 0
+
+    def test_2pl_serializes_hot_keys_without_validation_aborts(self):
+        sim = TxnSimulator(4, TwoPhaseLocking(), _hot_workload(keys=50),
+                           seed=1)
+        result = sim.run(0.01)
+        assert result.committed > 0
+
+    def test_ssi_no_read_validation(self):
+        assert SerializableSnapshotIsolation().validate_reads() is False
+        assert OptimisticCC().validate_reads() is True
+
+    def test_timeline_windows_cover_duration(self):
+        workload = YCSBWorkload(YCSBConfig(records=1000))
+        result = TxnSimulator(2, OptimisticCC(), workload,
+                              seed=1).run(0.01, window=0.002)
+        assert len(result.timeline) == 5
+        assert result.timeline[-1][0] == pytest.approx(0.01)
+
+    def test_latency_percentiles_ordered(self):
+        workload = YCSBWorkload(YCSBConfig(records=1000, zipf_theta=0.9))
+        result = TxnSimulator(4, TwoPhaseLocking(), workload,
+                              seed=1).run(0.01)
+        assert result.latencies_p99 >= result.latencies_p50 > 0
+
+    def test_abort_rate_consistency(self):
+        sim = TxnSimulator(8, OptimisticCC(), _hot_workload(), seed=2)
+        result = sim.run(0.01)
+        total = result.committed + result.aborted
+        assert result.abort_rate == pytest.approx(result.aborted / total)
+
+    def test_policy_abort_action_respected(self):
+        class AlwaysAbortFirst(OptimisticCC):
+            def choose_action(self, txn, op, key_state, global_state):
+                if txn.restarts == 0:
+                    return ActionType.ABORT
+                return ActionType.OPTIMISTIC
+
+        workload = YCSBWorkload(YCSBConfig(records=1000))
+        result = TxnSimulator(2, AlwaysAbortFirst(), workload,
+                              seed=1).run(0.005)
+        assert result.aborted >= result.committed  # every txn aborts once
+
+    def test_committed_writes_bump_versions(self):
+        sim = TxnSimulator(2, TwoPhaseLocking(), _hot_workload(keys=2),
+                           seed=1)
+        sim.run(0.005)
+        assert any(ks.version > 0 for ks in sim.keys.values())
+
+    @given(st.integers(1, 8), st.sampled_from([0.0, 0.9]))
+    @settings(max_examples=10, deadline=None)
+    def test_no_crash_property(self, threads, theta):
+        workload = YCSBWorkload(YCSBConfig(records=500, zipf_theta=theta))
+        result = TxnSimulator(threads, SerializableSnapshotIsolation(),
+                              workload, seed=0).run(0.003)
+        assert result.committed >= 0

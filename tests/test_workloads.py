@@ -1,0 +1,227 @@
+"""Tests for the workload generators: Avazu, Diabetes, YCSB, TPC-C, STATS."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.workloads.avazu import (
+    FIELD_COUNT as AVAZU_FIELDS,
+    NUM_CLUSTERS,
+    AvazuGenerator,
+    load_into_db as load_avazu,
+)
+from repro.workloads.diabetes import (
+    FIELD_COUNT as DIABETES_FIELDS,
+    DiabetesGenerator,
+    load_into_db as load_diabetes,
+)
+from repro.workloads.stats import QUERIES, StatsGenerator, StatsScale, build_stats_db
+from repro.workloads.tpcc import NEW_ORDER, PAYMENT, TPCCConfig, TPCCWorkload
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+SMALL_SCALE = StatsScale(users=80, posts=200, comments=300, votes=400,
+                         badges=120, posthistory=200, postlinks=60, tags=20)
+
+
+class TestAvazu:
+    def test_record_shape(self):
+        batch = AvazuGenerator(seed=0).generate(0, 100)
+        assert len(batch.rows) == 100
+        assert all(len(row) == AVAZU_FIELDS for row in batch.rows)
+
+    def test_click_rate_calibrated(self):
+        generator = AvazuGenerator(seed=0, click_rate=0.17)
+        batch = generator.generate(0, 20_000)
+        assert batch.labels.mean() == pytest.approx(0.17, abs=0.03)
+
+    def test_deterministic(self):
+        a = AvazuGenerator(seed=3).generate(1, 50, seed=9)
+        b = AvazuGenerator(seed=3).generate(1, 50, seed=9)
+        assert a.rows == b.rows
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_clusters_have_different_concepts(self):
+        """Same feature row must get different click probabilities under
+        different clusters (concept drift, not just covariate shift)."""
+        generator = AvazuGenerator(seed=0)
+        w0 = generator._label_weights[0]
+        w1 = generator._label_weights[1]
+        assert not np.allclose(w0, w1)
+
+    def test_invalid_cluster(self):
+        with pytest.raises(ValueError):
+            AvazuGenerator().generate(NUM_CLUSTERS, 10)
+
+    def test_drift_stream_schedule(self):
+        generator = AvazuGenerator(seed=0)
+        clusters = [c for _, _, c in generator.drift_stream(100, 40)]
+        assert clusters == [0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3, 4, 4, 4]
+
+    def test_load_into_db_runs_table1_query(self):
+        db = repro.connect()
+        load_avazu(db, AvazuGenerator(seed=0), cluster=0, count=300)
+        assert db.execute("SELECT count(*) FROM avazu").scalar() == 300
+        # the Table 1 Workload E statement, verbatim
+        result = db.execute(
+            "PREDICT VALUE OF click_rate FROM avazu TRAIN ON *")
+        assert len(result.rows) == 300
+
+
+class TestDiabetes:
+    def test_record_shape(self):
+        batch = DiabetesGenerator(seed=0).generate(50)
+        assert all(len(row) == DIABETES_FIELDS for row in batch.rows)
+
+    def test_positive_rate(self):
+        batch = DiabetesGenerator(seed=0, positive_rate=0.35).generate(10_000)
+        assert batch.labels.mean() == pytest.approx(0.35, abs=0.05)
+
+    def test_signal_learnable(self):
+        """Informative features must actually predict the label."""
+        generator = DiabetesGenerator(seed=0)
+        batch = generator.generate(4000)
+        X = np.asarray(batch.rows)
+        informative = X[:, generator._informative_idx]
+        standardized = ((informative
+                         - generator._means[generator._informative_idx])
+                        / generator._scales[generator._informative_idx])
+        scores = standardized @ generator._weights
+        from repro.nn.losses import auc_score
+        assert auc_score(scores, batch.labels) > 0.75
+
+    def test_load_into_db_runs_table1_query(self):
+        db = repro.connect()
+        load_diabetes(db, DiabetesGenerator(seed=0), count=300)
+        result = db.execute(
+            "PREDICT CLASS OF outcome FROM diabetes TRAIN ON *")
+        assert len(result.rows) == 300
+        assert set(row[-1] for row in result.rows) <= {0, 1}
+
+
+class TestYCSB:
+    def test_transaction_shape(self):
+        workload = YCSBWorkload(YCSBConfig(records=1000))
+        txn = workload(np.random.default_rng(0))
+        assert len(txn.ops) == 10
+        assert sum(op.is_write for op in txn.ops) == 5
+
+    def test_keys_in_range(self):
+        workload = YCSBWorkload(YCSBConfig(records=500))
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            txn = workload(rng)
+            assert all(0 <= op.key < 500 for op in txn.ops)
+
+    def test_zipf_skew(self):
+        workload = YCSBWorkload(YCSBConfig(records=10_000, zipf_theta=0.99))
+        rng = np.random.default_rng(0)
+        keys = [op.key for _ in range(2000) for op in workload(rng).ops]
+        hot_fraction = sum(1 for k in keys if k < 10) / len(keys)
+        assert hot_fraction > 0.15  # top-10 of 10k keys dominate
+
+    def test_uniform_when_theta_zero(self):
+        workload = YCSBWorkload(YCSBConfig(records=10_000, zipf_theta=0.0))
+        rng = np.random.default_rng(0)
+        keys = [op.key for _ in range(2000) for op in workload(rng).ops]
+        hot_fraction = sum(1 for k in keys if k < 10) / len(keys)
+        assert hot_fraction < 0.01
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            YCSBConfig(records=0)
+
+
+class TestTPCC:
+    def test_key_segments_disjoint(self):
+        w = TPCCWorkload(TPCCConfig(warehouses=4))
+        assert w.warehouse_key(3) < w.district_key(0, 0)
+        assert w.district_key(3, 9) < w.customer_key(0, 0, 0)
+        assert w.customer_key(3, 9, 2999) < w.stock_key(0, 0)
+        assert w.stock_key(3, 99_999) < w.item_key(0)
+
+    def test_transaction_mix(self):
+        workload = TPCCWorkload(TPCCConfig(warehouses=1,
+                                           new_order_fraction=0.5))
+        rng = np.random.default_rng(0)
+        types = [workload(rng).type_id for _ in range(400)]
+        new_order_fraction = types.count(NEW_ORDER) / len(types)
+        assert 0.4 < new_order_fraction < 0.6
+
+    def test_payment_writes_warehouse_hotspot(self):
+        workload = TPCCWorkload(TPCCConfig(warehouses=1,
+                                           new_order_fraction=0.0))
+        rng = np.random.default_rng(0)
+        txn = workload(rng)
+        assert txn.type_id == PAYMENT
+        assert txn.ops[0].key == workload.warehouse_key(0)
+        assert txn.ops[0].is_write
+
+    def test_new_order_structure(self):
+        config = TPCCConfig(warehouses=2, new_order_fraction=1.0,
+                            items_per_order=7)
+        workload = TPCCWorkload(config)
+        txn = workload(np.random.default_rng(0))
+        assert txn.type_id == NEW_ORDER
+        assert len(txn.ops) == 3 + 2 * 7
+        writes = [op for op in txn.ops if op.is_write]
+        assert len(writes) == 1 + 7  # district + stock lines
+
+    def test_fewer_warehouses_more_contention(self):
+        from repro.txnsim import TxnSimulator, OptimisticCC
+        one = TxnSimulator(8, OptimisticCC(),
+                           TPCCWorkload(TPCCConfig(warehouses=1)),
+                           seed=1).run(0.005)
+        many = TxnSimulator(8, OptimisticCC(),
+                            TPCCWorkload(TPCCConfig(warehouses=8)),
+                            seed=1).run(0.005)
+        assert one.abort_rate > many.abort_rate
+
+
+class TestStats:
+    def test_build_creates_all_tables(self):
+        db = build_stats_db(scale=SMALL_SCALE, seed=0)
+        from repro.workloads.stats import TABLES
+        for table in TABLES:
+            assert db.catalog.has_table(table)
+        assert len(db.catalog.table("users")) == SMALL_SCALE.users
+
+    def test_queries_run_and_are_deterministic(self):
+        db = build_stats_db(scale=SMALL_SCALE, seed=0)
+        db2 = build_stats_db(scale=SMALL_SCALE, seed=0)
+        for sql in QUERIES:
+            assert db.execute(sql).scalar() == db2.execute(sql).scalar()
+
+    def test_score_reputation_correlation(self):
+        db = build_stats_db(scale=SMALL_SCALE, seed=0)
+        rep = {row[0]: row[1] for _, row in db.catalog.table("users").scan()}
+        pairs = [(rep[row[1]], row[2])
+                 for _, row in db.catalog.table("posts").scan()]
+        reps, scores = zip(*pairs)
+        corr = np.corrcoef(reps, scores)[0, 1]
+        assert corr > 0.3
+
+    def test_mild_drift_modifies_less_than_severe(self):
+        db_mild = build_stats_db(scale=SMALL_SCALE, seed=0)
+        db_severe = build_stats_db(scale=SMALL_SCALE, seed=0)
+        generator = StatsGenerator(scale=SMALL_SCALE, seed=0)
+        mild = generator.apply_drift(db_mild, "mild")
+        severe = generator.apply_drift(db_severe, "severe")
+        assert severe > mild > 0
+
+    def test_severe_drift_grows_posts(self):
+        db = build_stats_db(scale=SMALL_SCALE, seed=0)
+        before = len(db.catalog.table("posts"))
+        StatsGenerator(scale=SMALL_SCALE, seed=0).apply_drift(db, "severe")
+        assert len(db.catalog.table("posts")) > before * 2
+
+    def test_invalid_severity(self):
+        db = build_stats_db(scale=SMALL_SCALE, seed=0)
+        with pytest.raises(ValueError):
+            StatsGenerator(scale=SMALL_SCALE).apply_drift(db, "extreme")
+
+    def test_queries_still_valid_after_drift(self):
+        db = build_stats_db(scale=SMALL_SCALE, seed=0)
+        StatsGenerator(scale=SMALL_SCALE, seed=0).apply_drift(db, "severe")
+        for sql in QUERIES:
+            result = db.execute(sql)
+            assert result.scalar() >= 0
