@@ -9,9 +9,32 @@ the simulator, not wall-clock — see DESIGN.md §5.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.workloads.stats import StatsScale
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark everything under benchmarks/ as ``bench`` and deselect it
+    unless the run opted in (``--bench`` or a markexpr naming bench), so
+    tier-1 ``pytest -x -q`` stays fast."""
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.bench)
+    if config.getoption("--bench"):
+        return
+    if "bench" in (getattr(config.option, "markexpr", "") or ""):
+        return
+    kept, dropped = [], []
+    for item in items:
+        (dropped if item.get_closest_marker("bench") else kept).append(item)
+    if dropped:
+        config.hook.pytest_deselected(items=dropped)
+        items[:] = kept
 
 # scaled-down STATS database used by the Fig. 8 benchmarks
 FIG8_SCALE = StatsScale(users=300, posts=900, comments=1500, votes=2200,

@@ -1,0 +1,15 @@
+"""Repo-level pytest configuration.
+
+Tier-1 verification (``pytest -x -q``) must stay fast, so the figure
+benchmarks under ``benchmarks/`` carry a ``bench`` marker and are
+deselected by default; opt in with ``--bench`` (or ``-m bench``).  The
+marker itself is attached in ``benchmarks/conftest.py``.
+"""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench", action="store_true", default=False,
+        help="run the benchmark suite (tests marked 'bench')")

@@ -4,7 +4,13 @@ the ARM-Net analytics model."""
 
 from repro.ai.armnet import ARMNet, FeatureHasher
 from repro.ai.engine import AIEngine, Dispatcher
-from repro.ai.loader import StreamingDataLoader, table_row_stream
+from repro.ai.loader import (
+    ColumnTrainingSet,
+    StreamingDataLoader,
+    table_column_stream,
+    table_row_stream,
+    table_training_set,
+)
 from repro.ai.model_manager import ModelManager, ModelView
 from repro.ai.monitor import DriftEvent, MetricStream, Monitor
 from repro.ai.runtime import AIRuntime
@@ -33,6 +39,7 @@ __all__ = [
     "AIRuntime",
     "ARMNet",
     "Channel",
+    "ColumnTrainingSet",
     "Dispatcher",
     "DriftEvent",
     "FeatureHasher",
@@ -55,5 +62,7 @@ __all__ = [
     "decode_handshake",
     "encode_batch",
     "encode_handshake",
+    "table_column_stream",
     "table_row_stream",
+    "table_training_set",
 ]

@@ -57,20 +57,57 @@ class FeatureHasher:
                     f"rows have {numeric.shape[1]} fields, expected "
                     f"{self.field_count}")
             if not np.isnan(numeric).any():
-                quantized = np.rint(numeric * 100).astype(np.int64)
-                fields = np.arange(self.field_count, dtype=np.int64)
-                mixed = (quantized * np.int64(0x9E3779B1)
-                         + (fields + 1) * np.int64(0x85EBCA77))
-                mixed ^= mixed >> 15
-                mixed *= np.int64(0xC2B2AE35)
-                mixed ^= mixed >> 13
-                return np.abs(mixed) % self.buckets
+                return self._mix_numeric(numeric)
         out = np.empty((len(rows), self.field_count), dtype=np.int64)
         for i, row in enumerate(rows):
             if len(row) != self.field_count:
                 raise ValueError(
                     f"row has {len(row)} fields, expected {self.field_count}")
             for j, value in enumerate(row):
+                out[i, j] = self._hash_value(j, value)
+        return out
+
+    def _mix_numeric(self, numeric: np.ndarray) -> np.ndarray:
+        """Quantize a NaN-free (n, field_count) float matrix and mix field
+        index and value into bucket ids — the single definition both the
+        row and column transforms share, so their ids cannot diverge."""
+        quantized = np.rint(numeric * 100).astype(np.int64)
+        fields = np.arange(self.field_count, dtype=np.int64)
+        mixed = (quantized * np.int64(0x9E3779B1)
+                 + (fields + 1) * np.int64(0x85EBCA77))
+        mixed ^= mixed >> 15
+        mixed *= np.int64(0xC2B2AE35)
+        mixed ^= mixed >> 13
+        return np.abs(mixed) % self.buckets
+
+    def transform_columns(self, columns: Sequence[Sequence[object]]
+                          ) -> np.ndarray:
+        """Column arrays of raw values -> (n, field_count) int ids.
+
+        The columnar twin of :meth:`transform`, fed straight from the batch
+        engine's column arrays so training matrices never pass through
+        per-row tuples.  Hashing is identical to :meth:`transform` —
+        quantize then integer-mix for all-numeric data, per-value stable
+        hashing otherwise — so a model sees the same ids either way.
+        """
+        if len(columns) != self.field_count:
+            raise ValueError(
+                f"got {len(columns)} columns, expected {self.field_count}")
+        length = len(columns[0]) if columns else 0
+        if length == 0:
+            return np.empty((0, self.field_count), dtype=np.int64)
+        try:
+            numeric = np.column_stack(
+                [np.asarray(col, dtype=np.float64) for col in columns])
+        except (TypeError, ValueError):
+            numeric = None
+        if numeric is not None and not np.isnan(numeric).any():
+            return self._mix_numeric(numeric)
+        out = np.empty((length, self.field_count), dtype=np.int64)
+        for j, col in enumerate(columns):
+            if len(col) != length:
+                raise ValueError("feature columns have unequal lengths")
+            for i, value in enumerate(col):
                 out[i, j] = self._hash_value(j, value)
         return out
 

@@ -29,7 +29,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.ai.armnet import ARMNet
-from repro.ai.loader import StreamingDataLoader
+from repro.ai.loader import ColumnTrainingSet, StreamingDataLoader
 from repro.ai.model_manager import ModelManager
 from repro.ai.monitor import Monitor
 from repro.ai.runtime import AIRuntime
@@ -214,8 +214,9 @@ class AIEngine:
         runtime.accept_handshake(learning_rate=task.learning_rate,
                                  model=model, trainable_params=trainable)
 
-        rows = list(rows)
-        targets = list(targets)
+        if not isinstance(rows, ColumnTrainingSet):
+            rows = list(rows)
+            targets = list(targets)
         samples = 0
         for _ in range(task.epochs):
             loader = StreamingDataLoader(rows, targets, model.hasher,

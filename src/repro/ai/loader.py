@@ -5,10 +5,14 @@ Paper Fig. 2 shows a "Streaming Data Loader" feeding dispatchers, which run
 batches to AI runtimes "in a streaming and pipelining manner to minimize the
 delay in the data preparation steps".
 
-:class:`StreamingDataLoader` pulls rows from any row iterator (usually a
-table scan), hashes features, and yields ready-to-train (ids, targets)
-batches.  It maintains a bounded window of prepared batches (the paper's
-default window is 80 batches of 4096 records).
+:class:`StreamingDataLoader` pulls from either a plain row iterator or a
+:class:`ColumnTrainingSet` (column arrays produced by the batch execution
+engine), hashes features, and yields ready-to-train (ids, targets) batches.
+It maintains a bounded window of prepared batches (the paper's default
+window is 80 batches of 4096 records).  The columnar path slices feature
+columns directly and hashes them with
+:meth:`~repro.ai.armnet.FeatureHasher.transform_columns`, so no per-row
+tuples are built between the storage engine and the training matrix.
 """
 
 from __future__ import annotations
@@ -19,28 +23,86 @@ from typing import Callable, Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.ai.armnet import FeatureHasher
+from repro.exec.batch import RowBlock, schema_kinds
+from repro.exec.expr import RowLayout
+
+
+class ColumnTrainingSet:
+    """Materialized columnar training data: feature columns plus targets.
+
+    The batch engine's hand-off format to the AI layer: ``columns`` is one
+    object array per feature field (original Python values, scan order
+    preserved) and ``targets`` is a float64 array.  Supports ``len`` and
+    row-tuple iteration so existing row-oriented consumers (model
+    selection, inference) keep working.
+    """
+
+    def __init__(self, columns: Sequence[np.ndarray], targets: np.ndarray):
+        self.columns = list(columns)
+        self.targets = np.asarray(targets, dtype=np.float64)
+        for col in self.columns:
+            if len(col) != len(self.targets):
+                raise ValueError("feature columns and targets must have "
+                                 "equal lengths")
+        self._rows: list[tuple] | None = None
+
+    @property
+    def field_count(self) -> int:
+        return len(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.targets)
+
+    def __bool__(self) -> bool:
+        return len(self.targets) > 0
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows())
+
+    def __getitem__(self, index):
+        return self.rows()[index]
+
+    def rows(self) -> list[tuple]:
+        """Row-tuple view, built lazily for row-oriented consumers."""
+        if self._rows is None:
+            self._rows = (list(zip(*self.columns)) if self.columns
+                          else [() for _ in range(len(self.targets))])
+        return self._rows
+
+    def slice_columns(self, start: int, stop: int) -> list[np.ndarray]:
+        return [col[start:stop] for col in self.columns]
 
 
 class StreamingDataLoader:
-    """Windowed, batch-granularity loader over a row stream.
+    """Windowed, batch-granularity loader over a row stream or column set.
 
     Args:
-        rows: iterable of feature rows (raw values).
-        targets: parallel iterable of target values.
+        rows: iterable of feature rows (raw values), or a
+            :class:`ColumnTrainingSet` for the zero-copy columnar path.
+        targets: parallel iterable of target values (ignored for a
+            ``ColumnTrainingSet``, which carries its own).
         hasher: feature hasher shared with the model.
         batch_size: samples per emitted batch.
         window_batches: max prepared-but-unconsumed batches held.
     """
 
-    def __init__(self, rows: Iterable[Sequence[object]],
+    def __init__(self, rows: "Iterable[Sequence[object]] | ColumnTrainingSet",
                  targets: Iterable[float], hasher: FeatureHasher,
                  batch_size: int = 4096, window_batches: int = 80):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if window_batches <= 0:
             raise ValueError("window_batches must be positive")
-        self._rows = iter(rows)
-        self._targets = iter(targets)
+        if isinstance(rows, ColumnTrainingSet):
+            self._columnar: ColumnTrainingSet | None = rows
+            self._cursor = 0
+            self._rows = iter(())
+            self._targets = iter(())
+        else:
+            self._columnar = None
+            self._cursor = 0
+            self._rows = iter(rows)
+            self._targets = iter(targets)
         self._hasher = hasher
         self.batch_size = batch_size
         self.window_batches = window_batches
@@ -54,6 +116,8 @@ class StreamingDataLoader:
         """Prepare one batch into the window; False when input is exhausted."""
         if self._exhausted:
             return False
+        if self._columnar is not None:
+            return self._prepare_columnar()
         raw_rows: list[Sequence[object]] = []
         raw_targets: list[float] = []
         for _ in range(self.batch_size):
@@ -67,6 +131,21 @@ class StreamingDataLoader:
             return False
         ids = self._hasher.transform(raw_rows)
         targets = np.asarray(raw_targets, dtype=np.float64)
+        self._window.append((ids, targets))
+        self.batches_produced += 1
+        return True
+
+    def _prepare_columnar(self) -> bool:
+        """Slice the next batch straight out of the column arrays."""
+        data = self._columnar
+        start = self._cursor
+        stop = min(start + self.batch_size, len(data))
+        if stop <= start:
+            self._exhausted = True
+            return False
+        self._cursor = stop
+        ids = self._hasher.transform_columns(data.slice_columns(start, stop))
+        targets = data.targets[start:stop].copy()
         self._window.append((ids, targets))
         self.batches_produced += 1
         return True
@@ -101,20 +180,78 @@ def table_row_stream(table, feature_columns: list[str],
     """Split a heap table scan into (feature-row stream, target stream).
 
     Rows are materialized once (a scan cursor can't be iterated twice in
-    parallel) and NULL-target rows are skipped, mirroring how the Train
-    operator feeds the loader.
+    parallel) via the page-granular batch scan, and NULL-target rows are
+    skipped, mirroring how the Train operator feeds the loader.
+    """
+    columns, targets = table_column_stream(table, feature_columns,
+                                           target_column,
+                                           row_filter=row_filter)
+    feature_rows = (list(zip(*columns)) if columns
+                    else [() for _ in range(len(targets))])
+    return feature_rows, list(targets)
+
+
+def table_column_stream(table, feature_columns: list[str],
+                        target_column: str,
+                        row_filter: Callable[[tuple], bool] | None = None,
+                        batch_size: int = 4096,
+                        block_predicate: Callable | None = None):
+    """Materialize a heap table as feature column arrays plus a target array.
+
+    The columnar twin of :func:`table_row_stream`: pages are scanned in
+    batches, NULL-target (and filtered) rows are dropped with a boolean
+    mask, and the surviving values are concatenated column-wise — no
+    per-row tuple is ever built for the common path.
+
+    ``row_filter`` is a per-row callable applied over the whole batch;
+    ``block_predicate`` is a vectorized ``RowBlock -> bool mask`` (e.g.
+    from :func:`~repro.exec.expr.compile_predicate_batch`) applied only
+    to rows whose target is non-NULL — matching the row engine's skip
+    order, so a predicate that would error on a NULL-target row never
+    evaluates it.
     """
     schema = table.schema
     feature_idx = [schema.index_of(c) for c in feature_columns]
     target_idx = schema.index_of(target_column)
-    feature_rows: list[tuple] = []
-    targets: list[float] = []
-    for _, row in table.scan():
-        if row_filter is not None and not row_filter(row):
+    layout = RowLayout([(schema.table_name, c.name)
+                        for c in schema.columns])
+    kinds = schema_kinds(schema)
+    parts: list[list[np.ndarray]] = [[] for _ in feature_idx]
+    target_parts: list[np.ndarray] = []
+    for columns, n in table.scan_column_batches(batch_size):
+        block = RowBlock(layout, columns, n, kinds)
+        keep = ~block.null_mask(target_idx)
+        if row_filter is not None:
+            keep &= np.fromiter(
+                (bool(row_filter(row)) for row in block.iter_rows()),
+                dtype=bool, count=n)
+        block = block.select(keep)
+        if not block:
             continue
-        target = row[target_idx]
-        if target is None:
-            continue
-        feature_rows.append(tuple(row[i] for i in feature_idx))
-        targets.append(float(target))
-    return feature_rows, targets
+        if block_predicate is not None:
+            block = block.select(block_predicate(block))
+            if not block:
+                continue
+        target_parts.append(
+            block.column(target_idx).astype(np.float64))
+        for out, idx in zip(parts, feature_idx):
+            out.append(block.column(idx))
+    if not target_parts:
+        return ([np.empty(0, dtype=object) for _ in feature_idx],
+                np.empty(0, dtype=np.float64))
+    merged = [np.concatenate(chunks) for chunks in parts]
+    targets = np.concatenate(target_parts)
+    return merged, targets
+
+
+def table_training_set(table, feature_columns: list[str],
+                       target_column: str,
+                       row_filter: Callable[[tuple], bool] | None = None,
+                       block_predicate: Callable | None = None
+                       ) -> ColumnTrainingSet:
+    """One-call columnar training set for a table (batch-engine fed)."""
+    columns, targets = table_column_stream(table, feature_columns,
+                                           target_column,
+                                           row_filter=row_filter,
+                                           block_predicate=block_predicate)
+    return ColumnTrainingSet(columns, targets)

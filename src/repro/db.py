@@ -25,13 +25,16 @@ from typing import Any, Iterable
 import numpy as np
 
 from repro.ai.engine import AIEngine
+from repro.ai.loader import ColumnTrainingSet, table_training_set
 from repro.ai.model_manager import ModelManager
 from repro.ai.monitor import Monitor
 from repro.ai.tasks import FineTuneTask, InferenceTask, TrainTask
 from repro.common.errors import BindError, ExecutionError, NeurDBError
 from repro.common.simtime import SimClock
+from repro.exec.batch import RowBlock, schema_kinds
 from repro.exec.executor import Executor, ResultSet
-from repro.exec.expr import RowLayout, compile_expr, to_bool
+from repro.exec.expr import (RowLayout, compile_expr,
+                             compile_predicate_batch, to_bool)
 from repro.plan.optimizer import Planner
 from repro.sql import ast
 from repro.sql.parser import parse
@@ -196,13 +199,12 @@ class NeurDB:
         layout = RowLayout([(statement.table, c.name)
                             for c in schema.columns])
         feature_idx = [schema.index_of(c) for c in feature_columns]
-        target_idx = schema.index_of(target)
 
         model_name = self._model_name(statement, feature_columns)
         trained_now = False
         if force_retrain or not self.models.has_model(model_name):
             train_rows, train_targets = self._training_data(
-                statement, table, layout, feature_idx, target_idx)
+                statement, table, layout, feature_columns)
             if not train_rows:
                 raise ExecutionError(
                     "PREDICT has no training rows (check WITH filter and "
@@ -254,18 +256,11 @@ class NeurDB:
         model = self.models.load_model(model_name)
         feature_columns = [c for c in schema.non_unique_column_names()
                            if c != target.lower()][: model.field_count]
-        feature_idx = [schema.index_of(c) for c in feature_columns]
-        target_idx = schema.index_of(target)
-        rows, targets = [], []
-        for _, row in heap.scan():
-            if row[target_idx] is None:
-                continue
-            rows.append(tuple(row[i] for i in feature_idx))
-            targets.append(float(row[target_idx]))
+        data = table_training_set(heap, feature_columns, target)
         task = FineTuneTask(model_name=model_name,
                             tune_last_layers=tune_last_layers, epochs=epochs,
-                            batch_size=min(4096, max(1, len(rows))))
-        self.ai_engine.fine_tune(task, rows, targets)
+                            batch_size=min(4096, max(1, len(data))))
+        self.ai_engine.fine_tune(task, data, data.targets)
 
     # -- PREDICT helpers ----------------------------------------------------------
 
@@ -294,19 +289,16 @@ class NeurDB:
         return (f"predict_{statement.table}_{statement.target}"
                 f"_{signature:08x}").lower()
 
-    def _training_data(self, statement, table, layout, feature_idx,
-                       target_idx):
-        predicate = (compile_expr(statement.train_filter, layout)
+    def _training_data(self, statement, table, layout,
+                       feature_columns) -> tuple[ColumnTrainingSet, Any]:
+        """Columnar training data: the loader scans in page batches, drops
+        NULL-target rows, applies the vectorized WITH filter, and hands
+        the AI layer column arrays instead of per-row tuples."""
+        predicate = (compile_predicate_batch(statement.train_filter, layout)
                      if statement.train_filter is not None else None)
-        rows, targets = [], []
-        for _, row in table.scan():
-            if row[target_idx] is None:
-                continue
-            if predicate is not None and not to_bool(predicate(row)):
-                continue
-            rows.append(tuple(row[i] for i in feature_idx))
-            targets.append(float(row[target_idx]))
-        return rows, targets
+        data = table_training_set(table, feature_columns, statement.target,
+                                  block_predicate=predicate)
+        return data, data.targets
 
     def _prediction_inputs(self, statement, table, layout, feature_idx):
         if statement.inline_rows:
@@ -320,13 +312,17 @@ class NeurDB:
                 rows.append(tuple(compile_expr(e, empty)(())
                                   for e in value_row))
             return rows
-        predicate = (compile_expr(statement.where, layout)
+        predicate = (compile_predicate_batch(statement.where, layout)
                      if statement.where is not None else None)
+        kinds = schema_kinds(table.schema)
         rows = []
-        for _, row in table.scan():
-            if predicate is not None and not to_bool(predicate(row)):
+        for columns, n in table.scan_column_batches():
+            block = RowBlock(layout, columns, n, kinds)
+            if predicate is not None:
+                block = block.select(predicate(block))
+            if not block:
                 continue
-            rows.append(tuple(row[i] for i in feature_idx))
+            rows.extend(zip(*(block.column(i) for i in feature_idx)))
         return rows
 
     def _observe_losses(self, model_name: str,

@@ -1,6 +1,30 @@
-"""Query execution: expression compiler, operators, and the executor."""
+"""Query execution: expression compiler, operators, and the executor.
 
+Two engines share one operator tree: the vectorized batch engine (default)
+and the legacy row-at-a-time engine — see docs/execution.md.
+"""
+
+from repro.exec.batch import DEFAULT_BATCH_SIZE, RowBlock, rows_to_blocks
 from repro.exec.executor import Executor, ResultSet
-from repro.exec.expr import RowLayout, compile_expr, to_bool
+from repro.exec.expr import (
+    RowLayout,
+    compile_expr,
+    compile_expr_cached,
+    compile_expr_vector,
+    compile_predicate_batch,
+    to_bool,
+)
 
-__all__ = ["Executor", "ResultSet", "RowLayout", "compile_expr", "to_bool"]
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "Executor",
+    "ResultSet",
+    "RowBlock",
+    "RowLayout",
+    "compile_expr",
+    "compile_expr_cached",
+    "compile_expr_vector",
+    "compile_predicate_batch",
+    "rows_to_blocks",
+    "to_bool",
+]

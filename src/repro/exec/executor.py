@@ -46,11 +46,28 @@ class ResultSet:
 
 
 class Executor:
-    """Instantiates operators from plan nodes and runs them to completion."""
+    """Instantiates operators from plan nodes and runs them to completion.
 
-    def __init__(self, catalog: Catalog, clock: SimClock | None = None):
+    ``engine`` selects the execution strategy:
+
+    * ``"batch"`` (default) — vectorized: operators exchange
+      :class:`~repro.exec.batch.RowBlock` column batches and charge virtual
+      time per batch.  Results are materialized back to row tuples, so
+      callers see the same :class:`ResultSet` as ever.
+    * ``"row"`` — the legacy Volcano row-at-a-time path, kept as the
+      semantic reference and for parity testing.
+    """
+
+    ENGINES = ("batch", "row")
+
+    def __init__(self, catalog: Catalog, clock: SimClock | None = None,
+                 engine: str = "batch"):
+        if engine not in self.ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"expected one of {self.ENGINES}")
         self._catalog = catalog
         self._clock = clock if clock is not None else catalog.clock
+        self.engine = engine
 
     def build(self, node: plan.PlanNode) -> ops.Operator:
         """Recursively build the operator tree for a plan."""
@@ -80,11 +97,20 @@ class Executor:
             return ops.EmptyRowOp(self._clock)
         raise ExecutionError(f"no operator for plan node {node.label}")
 
+    def iter_rows(self, operator: ops.Operator):
+        """Row-tuple iterator over an operator tree using the configured
+        engine — the facade that keeps batch execution invisible to
+        row-oriented callers (measurement, db facade, tests)."""
+        if self.engine == "batch":
+            return (row for block in operator.batches()
+                    for row in block.iter_rows())
+        return iter(operator)
+
     def run(self, node: plan.PlanNode) -> ResultSet:
         """Execute a plan and materialize the result, measuring virtual time."""
         start = self._clock.now
         operator = self.build(node)
-        rows = list(operator)
+        rows = list(self.iter_rows(operator))
         elapsed = self._clock.now - start
         return ResultSet(columns=operator.layout.column_names(), rows=rows,
                          virtual_seconds=elapsed, plan_text=node.pretty())

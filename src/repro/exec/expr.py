@@ -11,6 +11,8 @@ from __future__ import annotations
 import re
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from repro.common.errors import BindError, ExecutionError
 from repro.sql import ast
 
@@ -32,27 +34,33 @@ class RowLayout:
     def __eq__(self, other: object) -> bool:
         return isinstance(other, RowLayout) and self.slots == other.slots
 
-    def resolve(self, column: str, binding: str | None = None) -> int:
-        """Index of a column reference, raising on unknown/ambiguous names."""
+    def try_resolve(self, column: str,
+                    binding: str | None = None) -> int | None:
+        """Index of a column reference, or None when the reference does not
+        resolve (unknown or ambiguous).  Never raises — safe for hot paths
+        and speculative binder probes."""
         column = column.lower()
         if binding is not None:
-            key = (binding.lower(), column)
-            if key not in self._by_pair:
-                raise BindError(f"column {binding}.{column} not in scope")
-            return self._by_pair[key]
-        hits = self._by_name.get(column, [])
-        if not hits:
-            raise BindError(f"column {column!r} not in scope")
-        if len(hits) > 1:
-            raise BindError(f"column reference {column!r} is ambiguous")
+            return self._by_pair.get((binding.lower(), column))
+        hits = self._by_name.get(column)
+        if hits is None or len(hits) != 1:
+            return None
         return hits[0]
 
+    def resolve(self, column: str, binding: str | None = None) -> int:
+        """Index of a column reference, raising on unknown/ambiguous names."""
+        idx = self.try_resolve(column, binding)
+        if idx is not None:
+            return idx
+        column = column.lower()
+        if binding is not None:
+            raise BindError(f"column {binding}.{column} not in scope")
+        if len(self._by_name.get(column, [])) > 1:
+            raise BindError(f"column reference {column!r} is ambiguous")
+        raise BindError(f"column {column!r} not in scope")
+
     def has(self, column: str, binding: str | None = None) -> bool:
-        try:
-            self.resolve(column, binding)
-            return True
-        except BindError:
-            return False
+        return self.try_resolve(column, binding) is not None
 
     def concat(self, other: "RowLayout") -> "RowLayout":
         return RowLayout(self.slots + other.slots)
@@ -142,6 +150,34 @@ def compile_expr(expr: ast.Expr, layout: RowLayout) -> Evaluator:
 def to_bool(value: Any) -> bool:
     """WHERE-clause truthiness: NULL and false are both false."""
     return bool(value) if value is not None else False
+
+
+# -- compiled-expression cache ----------------------------------------------
+#
+# Operators are rebuilt from plan nodes on every execution, so streaming
+# re-train loops and benchmark iterations would recompile the same
+# predicates over and over.  The cache is keyed by AST-node identity plus
+# layout shape; values pin the AST node so its id() cannot be recycled.
+
+_COMPILE_CACHE_MAX = 4096
+_compile_cache: dict[tuple, tuple[ast.Expr, Any]] = {}
+
+
+def _cached(kind: str, expr: ast.Expr, layout: RowLayout, compile_fn):
+    key = (kind, id(expr), layout.slots)
+    hit = _compile_cache.get(key)
+    if hit is not None and hit[0] is expr:
+        return hit[1]
+    compiled = compile_fn(expr, layout)
+    if len(_compile_cache) >= _COMPILE_CACHE_MAX:
+        _compile_cache.clear()
+    _compile_cache[key] = (expr, compiled)
+    return compiled
+
+
+def compile_expr_cached(expr: ast.Expr, layout: RowLayout) -> Evaluator:
+    """Memoized :func:`compile_expr` for per-operator hot paths."""
+    return _cached("row", expr, layout, compile_expr)
 
 
 _CMP = {
@@ -285,3 +321,294 @@ def _compile_scalar_func(expr: ast.FuncCall, layout: RowLayout) -> Evaluator:
             return None
         return fn(*values)
     return eval_func
+
+
+# -- vectorized compilation ---------------------------------------------------
+#
+# The batch engine lowers expressions to numpy column operations.  A vector
+# evaluator maps a RowBlock to ``(values, null)`` where ``values`` is a
+# float64 / bool / object array and ``null`` is a boolean NULL mask (SQL
+# three-valued logic rides in the mask, not in the values).  Expressions the
+# vectorizer cannot lower — LIKE, scalar functions, non-numeric arithmetic —
+# fall back to the row evaluator per block, so the batch path is always
+# semantically complete.
+#
+# Errors defer to the row engine: when eager vector evaluation *would*
+# raise (zero divisor, mismatched ordering types), the evaluator raises
+# VectorFallback instead, and the row path decides which rows actually
+# error — preserving AND/OR short-circuit semantics exactly.
+
+
+class VectorFallback(Exception):
+    """Raised by a vector evaluator when runtime column types defeat the
+    vectorized plan (e.g. arithmetic over string columns); the caller
+    re-evaluates the block row-wise."""
+
+
+VectorEvaluator = Callable[[Any], tuple[np.ndarray, np.ndarray]]
+
+_NP_CMP = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_ORDERED_CMP = ("<", "<=", ">", ">=")
+
+
+def _truthy(values: np.ndarray, null: np.ndarray) -> np.ndarray:
+    """Definitely-true mask (WHERE semantics: NULL counts as false)."""
+    if values.dtype == np.bool_:
+        true = values
+    elif values.dtype == object:
+        n = len(values)
+        true = np.fromiter((v is not None and bool(v) for v in values),
+                           dtype=bool, count=n)
+    else:
+        true = values != 0.0
+    return true & ~null
+
+
+def compile_expr_vector(expr: ast.Expr,
+                        layout: RowLayout) -> VectorEvaluator | None:
+    """Lower an expression to a block evaluator, or None if unsupported."""
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        if value is None:
+            def eval_null_lit(block):
+                n = len(block)
+                return np.zeros(n, dtype=bool), np.ones(n, dtype=bool)
+            return eval_null_lit
+        if isinstance(value, (bool, int, float)):
+            scalar = float(value)
+            if scalar != value:
+                # integer literal beyond float64 exactness: vectorized
+                # comparison would be lossy, let the row path handle it
+                return None
+
+            def eval_num_lit(block):
+                n = len(block)
+                return (np.full(n, scalar, dtype=np.float64),
+                        np.zeros(n, dtype=bool))
+            return eval_num_lit
+
+        def eval_obj_lit(block):
+            n = len(block)
+            return (np.full(n, value, dtype=object),
+                    np.zeros(n, dtype=bool))
+        return eval_obj_lit
+
+    if isinstance(expr, ast.ColumnRef):
+        idx = layout.resolve(expr.name, expr.table)
+
+        def eval_column(block):
+            numeric = block.numeric(idx)
+            if numeric is not None:
+                return numeric, block.null_mask(idx)
+            return block.column(idx), block.null_mask(idx)
+        return eval_column
+
+    if isinstance(expr, ast.BinaryOp):
+        return _compile_binary_vector(expr, layout)
+
+    if isinstance(expr, ast.UnaryOp):
+        inner = compile_expr_vector(expr.operand, layout)
+        if inner is None:
+            return None
+        if expr.op == "NOT":
+            def eval_not(block):
+                values, null = inner(block)
+                true = _truthy(values, null)
+                false = ~true & ~null
+                return false, null
+            return eval_not
+        if expr.op == "-":
+            def eval_neg(block):
+                values, null = inner(block)
+                if values.dtype == object:
+                    raise VectorFallback
+                return -values.astype(np.float64), null
+            return eval_neg
+        return None
+
+    if isinstance(expr, ast.IsNull):
+        inner = compile_expr_vector(expr.operand, layout)
+        if inner is None:
+            return None
+        negated = expr.negated
+
+        def eval_is_null(block):
+            _, null = inner(block)
+            out = ~null if negated else null
+            return out, np.zeros(len(out), dtype=bool)
+        return eval_is_null
+
+    if isinstance(expr, ast.Between):
+        parts = [compile_expr_vector(e, layout)
+                 for e in (expr.operand, expr.low, expr.high)]
+        if any(p is None for p in parts):
+            return None
+        operand, low, high = parts
+        negated = expr.negated
+
+        def eval_between(block):
+            v, vn = operand(block)
+            lo, ln = low(block)
+            hi, hn = high(block)
+            if (v.dtype == object or lo.dtype == object
+                    or hi.dtype == object):
+                raise VectorFallback
+            null = vn | ln | hn
+            out = (lo <= v) & (v <= hi)
+            if negated:
+                out = ~out
+            return out, null
+        return eval_between
+
+    if isinstance(expr, ast.InList):
+        operand = compile_expr_vector(expr.operand, layout)
+        items = [compile_expr_vector(item, layout) for item in expr.items]
+        if operand is None or any(item is None for item in items):
+            return None
+        negated = expr.negated
+
+        def eval_in(block):
+            v, null = operand(block)
+            found = np.zeros(len(v), dtype=bool)
+            for item in items:
+                iv, inull = item(block)
+                # row semantics: a NULL list item never matches (x == NULL
+                # inside any() is plain Python False, not SQL NULL)
+                found |= np.asarray(v == iv, dtype=bool) & ~inull
+            out = ~found if negated else found
+            return out, null
+        return eval_in
+
+    # LIKE arms of BinaryOp are handled in _compile_binary_vector;
+    # FuncCall / Star and anything unknown use the row fallback.
+    return None
+
+
+def _compile_binary_vector(expr: ast.BinaryOp,
+                           layout: RowLayout) -> VectorEvaluator | None:
+    op = expr.op
+    left = compile_expr_vector(expr.left, layout)
+    right = compile_expr_vector(expr.right, layout)
+    if left is None or right is None:
+        return None
+
+    if op in ("AND", "OR"):
+        conjunction = op == "AND"
+
+        def eval_logic(block):
+            av, an = left(block)
+            bv, bn = right(block)
+            a_true = _truthy(av, an)
+            b_true = _truthy(bv, bn)
+            if conjunction:
+                a_false = ~a_true & ~an
+                b_false = ~b_true & ~bn
+                out = a_true & b_true
+                null = (an | bn) & ~a_false & ~b_false
+            else:
+                out = a_true | b_true
+                null = (an | bn) & ~out
+            return out, null
+        return eval_logic
+
+    if op in _NP_CMP:
+        cmp = _NP_CMP[op]
+        ordered = op in _ORDERED_CMP
+
+        def eval_cmp(block):
+            av, an = left(block)
+            bv, bn = right(block)
+            null = an | bn
+            objects = av.dtype == object or bv.dtype == object
+            if not objects:
+                return cmp(av, bv), null
+            if not ordered:
+                # object equality is None-safe elementwise; garbage at
+                # NULL positions is hidden by the mask
+                return np.asarray(cmp(av, bv), dtype=bool), null
+            # ordering over object columns: only compare non-NULL rows so
+            # None never reaches a Python "<"
+            out = np.zeros(len(av), dtype=bool)
+            valid = ~null
+            try:
+                out[valid] = cmp(av[valid], bv[valid])
+            except TypeError:
+                # mismatched types somewhere in the column: let the row
+                # evaluator decide which rows actually error (an AND
+                # short-circuit may never reach them)
+                raise VectorFallback from None
+            return out, null
+        return eval_cmp
+
+    if op in _ARITH:
+        fn = {"+": np.add, "-": np.subtract, "*": np.multiply}[op]
+
+        def eval_arith(block):
+            av, an = left(block)
+            bv, bn = right(block)
+            if av.dtype == object or bv.dtype == object:
+                raise VectorFallback
+            return fn(av.astype(np.float64), bv.astype(np.float64)), an | bn
+        return eval_arith
+
+    if op in ("/", "%"):
+        modulo = op == "%"
+
+        def eval_div(block):
+            av, an = left(block)
+            bv, bn = right(block)
+            if av.dtype == object or bv.dtype == object:
+                raise VectorFallback
+            null = an | bn
+            bv = bv.astype(np.float64)
+            zero = (bv == 0.0) & ~null
+            if zero.any():
+                # a zero divisor exists, but short-circuit row semantics
+                # decide whether it is ever evaluated — degrade to the row
+                # path, which raises exactly when a row reaches it
+                raise VectorFallback
+            safe = np.where(bv == 0.0, 1.0, bv)  # NULL slots hold 0.0
+            av = av.astype(np.float64)
+            out = np.mod(av, safe) if modulo else av / safe
+            return out, null
+        return eval_div
+
+    return None  # LIKE and anything else: row fallback
+
+
+def compile_predicate_batch(expr: ast.Expr, layout: RowLayout):
+    """Compile a WHERE/ON predicate for the batch engine.
+
+    Returns ``block -> bool mask`` of rows that pass (NULL = fail).  Uses
+    the vectorized path when possible and transparently degrades to
+    row-at-a-time evaluation inside the block otherwise — including when a
+    vector plan is defeated at runtime by unexpected column types.
+    """
+    return _cached("pred", expr, layout, _compile_predicate_batch)
+
+
+def _compile_predicate_batch(expr: ast.Expr, layout: RowLayout):
+    vector = compile_expr_vector(expr, layout)
+    row_eval = compile_expr(expr, layout)
+    state = {"vector": vector}
+
+    def eval_block(block) -> np.ndarray:
+        vec = state["vector"]
+        if vec is not None:
+            try:
+                values, null = vec(block)
+                return _truthy(values, null)
+            except VectorFallback:
+                state["vector"] = None  # this plan's types won't change
+        return np.fromiter((to_bool(row_eval(row))
+                            for row in block.iter_rows()),
+                           dtype=bool, count=len(block))
+    return eval_block

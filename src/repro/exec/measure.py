@@ -36,7 +36,7 @@ def measure_plan_latency(executor: Executor, clock: SimClock,
     censored = False
     try:
         operator = executor.build(node)
-        for _ in operator:
+        for _ in executor.iter_rows(operator):
             rows += 1
     except BudgetExceeded:
         censored = True

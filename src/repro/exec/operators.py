@@ -1,24 +1,74 @@
-"""Volcano-style physical operators.
+"""Physical operators with row and batch execution paths.
 
-Each operator is an iterator of row tuples with a fixed :class:`RowLayout`.
-Operators charge per-row virtual time to the shared clock so measured plan
-latency reflects the same cost structure the optimizer estimates with.
+Every operator exposes two equivalent interfaces over the same compiled
+state:
+
+* ``__iter__`` — the legacy Volcano path: one tuple at a time, per-row
+  virtual-time charges.  Kept as the semantic reference and for parity
+  testing.
+* ``batches()`` — the vectorized path: :class:`~repro.exec.batch.RowBlock`
+  column batches, predicates lowered to numpy where possible, and virtual
+  time charged once per batch (``clock.advance_batch(cost, n)``).  Charged
+  totals are identical to the row path, with one bounded exception: early
+  termination (LIMIT) stops on batch boundaries, so up to one batch of
+  upstream cost may be charged beyond where the row engine stops.  LIMIT
+  pushes a row budget down to the scan (``max_batch_rows``) to keep that
+  batch small — exact parity for unfiltered chains, and divergence bounded
+  by ``offset + limit + 1`` scanned rows otherwise.
+
+The executor picks one path per query; an operator instance is never driven
+through both.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterator
 
+import numpy as np
+
 from repro.common.errors import BindError, ExecutionError
 from repro.common.simtime import CostModel, SimClock
-from repro.exec.expr import RowLayout, compile_expr, to_bool
+from repro.exec.batch import (
+    DEFAULT_BATCH_SIZE,
+    RowBlock,
+    rows_to_blocks,
+    schema_kinds,
+)
+from repro.exec.expr import (
+    RowLayout,
+    compile_expr_cached,
+    compile_predicate_batch,
+    to_bool,
+)
 from repro.plan import logical as plan
 from repro.sql import ast
 from repro.storage.catalog import Catalog
 
+# A value source for the batch path: either a direct column slot or a
+# compiled row evaluator applied inside the block.
+_SLOT, _EVAL = 0, 1
+
+
+def _value_source(expr: ast.Expr, layout: RowLayout):
+    """(kind, payload): column passthrough when the expression is a bare
+    column reference — values then keep their exact Python identity — and a
+    row evaluator otherwise."""
+    if isinstance(expr, ast.ColumnRef):
+        return _SLOT, layout.resolve(expr.name, expr.table)
+    return _EVAL, compile_expr_cached(expr, layout)
+
+
+def _source_values(source, block: RowBlock) -> list:
+    kind, payload = source
+    if kind == _SLOT:
+        return block.column(payload).tolist()
+    return [payload(row) for row in block.iter_rows()]
+
+
+
 
 class Operator:
-    """Base operator: a layout plus an iterator of rows."""
+    """Base operator: a layout plus row and batch iterators."""
 
     def __init__(self, layout: RowLayout, clock: SimClock):
         self.layout = layout
@@ -28,9 +78,18 @@ class Operator:
     def __iter__(self) -> Iterator[tuple]:
         raise NotImplementedError
 
+    def batches(self) -> Iterator[RowBlock]:
+        """Default adaptor: chunk the row path into blocks.  Operators
+        below all override this with a native vectorized implementation."""
+        yield from rows_to_blocks(self.layout, iter(self))
+
     def _emit(self, row: tuple) -> tuple:
         self.rows_out += 1
         return row
+
+    def _emit_block(self, block: RowBlock) -> RowBlock:
+        self.rows_out += len(block)
+        return block
 
 
 class SeqScanOp(Operator):
@@ -40,8 +99,17 @@ class SeqScanOp(Operator):
                             for c in table.schema.columns])
         super().__init__(layout, clock)
         self._table = table
-        self._predicate = (compile_expr(node.predicate, layout)
-                           if node.predicate is not None else None)
+        self._kinds = schema_kinds(table.schema)
+        # LIMIT push-down shrinks this so early termination doesn't pay
+        # for a full batch of rows the row engine would never scan
+        self.max_batch_rows = DEFAULT_BATCH_SIZE
+        if node.predicate is not None:
+            self._predicate = compile_expr_cached(node.predicate, layout)
+            self._predicate_batch = compile_predicate_batch(node.predicate,
+                                                            layout)
+        else:
+            self._predicate = None
+            self._predicate_batch = None
 
     def __iter__(self) -> Iterator[tuple]:
         predicate = self._predicate
@@ -53,6 +121,20 @@ class SeqScanOp(Operator):
                     continue
             yield self._emit(row)
 
+    def batches(self) -> Iterator[RowBlock]:
+        predicate = self._predicate_batch
+        clock = self._clock
+        for columns, n in self._table.scan_column_batches(
+                self.max_batch_rows):
+            clock.advance_batch(CostModel.TUPLE_CPU, n, "scan")
+            block = RowBlock(self.layout, columns, n, self._kinds)
+            if predicate is not None:
+                clock.advance_batch(CostModel.EVAL_PREDICATE, n, "filter")
+                block = block.select(predicate(block))
+                if not block:
+                    continue
+            yield self._emit_block(block)
+
 
 class IndexScanOp(Operator):
     def __init__(self, node: plan.IndexScan, catalog: Catalog,
@@ -63,26 +145,33 @@ class IndexScanOp(Operator):
         super().__init__(layout, clock)
         self._table = table
         self._node = node
+        self._kinds = schema_kinds(table.schema)
+        self.max_batch_rows = DEFAULT_BATCH_SIZE
         entry = next((e for e in catalog.indexes_on(node.table)
                       if e.name == node.index_name), None)
         if entry is None:
             raise ExecutionError(f"index {node.index_name!r} missing")
         self._index = entry.index
         self._kind = entry.kind
-        self._residual = (compile_expr(node.residual, layout)
-                          if node.residual is not None else None)
+        if node.residual is not None:
+            self._residual = compile_expr_cached(node.residual, layout)
+            self._residual_batch = compile_predicate_batch(node.residual,
+                                                           layout)
+        else:
+            self._residual = None
+            self._residual_batch = None
+
+    def _key_rids(self):
+        node = self._node
+        if node.eq is not None:
+            return ((node.eq, rid) for rid in self._index.search(node.eq))
+        if self._kind != "btree":
+            raise ExecutionError("range scan requires a btree index")
+        return self._index.range_scan(low=node.low, high=node.high)
 
     def __iter__(self) -> Iterator[tuple]:
-        node = self._node
         self._clock.advance(CostModel.INDEX_DESCENT, "index")
-        if node.eq is not None:
-            rids = self._index.search(node.eq)
-            key_rids = ((node.eq, rid) for rid in rids)
-        else:
-            if self._kind != "btree":
-                raise ExecutionError("range scan requires a btree index")
-            key_rids = self._index.range_scan(low=node.low, high=node.high)
-        for _, rid in key_rids:
+        for _, rid in self._key_rids():
             row = self._table.read(rid)
             if row is None:
                 continue
@@ -93,12 +182,41 @@ class IndexScanOp(Operator):
                     continue
             yield self._emit(row)
 
+    def batches(self) -> Iterator[RowBlock]:
+        self._clock.advance(CostModel.INDEX_DESCENT, "index")
+        buffer: list[tuple] = []
+        for _, rid in self._key_rids():
+            row = self._table.read(rid)
+            if row is None:
+                continue
+            buffer.append(row)
+            if len(buffer) >= self.max_batch_rows:
+                block = self._filtered_block(buffer)
+                buffer = []
+                if block:
+                    yield self._emit_block(block)
+        if buffer:
+            block = self._filtered_block(buffer)
+            if block:
+                yield self._emit_block(block)
+
+    def _filtered_block(self, rows: list[tuple]) -> RowBlock:
+        n = len(rows)
+        self._clock.advance_batch(CostModel.TUPLE_CPU, n, "index")
+        block = RowBlock.from_rows(self.layout, rows, self._kinds)
+        if self._residual_batch is not None:
+            self._clock.advance_batch(CostModel.EVAL_PREDICATE, n, "filter")
+            block = block.select(self._residual_batch(block))
+        return block
+
 
 class FilterOp(Operator):
     def __init__(self, node: plan.Filter, child: Operator, clock: SimClock):
         super().__init__(child.layout, clock)
         self._child = child
-        self._predicate = compile_expr(node.predicate, child.layout)
+        self._predicate = compile_expr_cached(node.predicate, child.layout)
+        self._predicate_batch = compile_predicate_batch(node.predicate,
+                                                        child.layout)
 
     def __iter__(self) -> Iterator[tuple]:
         for row in self._child:
@@ -106,10 +224,20 @@ class FilterOp(Operator):
             if to_bool(self._predicate(row)):
                 yield self._emit(row)
 
+    def batches(self) -> Iterator[RowBlock]:
+        predicate = self._predicate_batch
+        for block in self._child.batches():
+            self._clock.advance_batch(CostModel.EVAL_PREDICATE, len(block),
+                                      "filter")
+            block = block.select(predicate(block))
+            if block:
+                yield self._emit_block(block)
+
 
 class ProjectOp(Operator):
     def __init__(self, node: plan.Project, child: Operator, clock: SimClock):
         evaluators = []
+        sources = []
         slots: list[tuple[str, str]] = []
         for i, item in enumerate(node.items):
             if isinstance(item.expr, ast.Star):
@@ -118,29 +246,56 @@ class ProjectOp(Operator):
                         continue
                     evaluators.append(
                         lambda row, j=slot_idx: row[j])
+                    sources.append((_SLOT, slot_idx))
                     slots.append((binding, col))
                 continue
-            evaluators.append(compile_expr(item.expr, child.layout))
+            evaluators.append(compile_expr_cached(item.expr, child.layout))
+            sources.append(_value_source(item.expr, child.layout))
             slots.append(("", _output_name(item, i)))
         super().__init__(RowLayout(slots), clock)
         self._child = child
         self._evaluators = evaluators
+        self._sources = sources
 
     def __iter__(self) -> Iterator[tuple]:
         for row in self._child:
             self._clock.advance(CostModel.TUPLE_CPU, "project")
             yield self._emit(tuple(e(row) for e in self._evaluators))
 
+    def batches(self) -> Iterator[RowBlock]:
+        for block in self._child.batches():
+            n = len(block)
+            self._clock.advance_batch(CostModel.TUPLE_CPU, n, "project")
+            columns = []
+            rows: list[tuple] | None = None
+            for kind, payload in self._sources:
+                if kind == _SLOT:
+                    columns.append(block.column(payload))
+                else:
+                    if rows is None:
+                        rows = block.to_rows()
+                    columns.append([payload(row) for row in rows])
+            out = RowBlock.from_columns(self.layout, columns)
+            yield self._emit_block(out)
+
 
 class NestedLoopJoinOp(Operator):
+    # cap on materialized candidate pairs per emitted block
+    _PAIR_CHUNK = 8192
+
     def __init__(self, node: plan.NestedLoopJoin, left: Operator,
                  right: Operator, clock: SimClock):
         layout = left.layout.concat(right.layout)
         super().__init__(layout, clock)
         self._left = left
         self._right = right
-        self._condition = (compile_expr(node.condition, layout)
-                           if node.condition is not None else None)
+        if node.condition is not None:
+            self._condition = compile_expr_cached(node.condition, layout)
+            self._condition_batch = compile_predicate_batch(node.condition,
+                                                            layout)
+        else:
+            self._condition = None
+            self._condition_batch = None
 
     def __iter__(self) -> Iterator[tuple]:
         right_rows = list(self._right)
@@ -155,6 +310,38 @@ class NestedLoopJoinOp(Operator):
                         continue
                 yield self._emit(combined)
 
+    def batches(self) -> Iterator[RowBlock]:
+        right = RowBlock.from_rows(
+            self._right.layout,
+            [row for block in self._right.batches()
+             for row in block.iter_rows()])
+        m = len(right)
+        if m == 0:
+            # still drain the left side so its operators charge the same
+            # virtual time as the row path would
+            for _ in self._left.batches():
+                pass
+            return
+        condition = self._condition_batch
+        # chunk the left side so each materialized cross-product block
+        # stays bounded regardless of the right side's size
+        rows_per_chunk = max(1, self._PAIR_CHUNK // m)
+        for lblock in self._left.batches():
+            for start in range(0, len(lblock), rows_per_chunk):
+                chunk = lblock.slice(start, start + rows_per_chunk)
+                n = len(chunk)
+                pairs = n * m
+                self._clock.advance_batch(CostModel.TUPLE_CPU, pairs, "join")
+                columns = [np.repeat(c, m) for c in chunk.columns]
+                columns += [np.tile(c, n) for c in right.columns]
+                block = RowBlock(self.layout, columns, pairs)
+                if condition is not None:
+                    self._clock.advance_batch(CostModel.EVAL_PREDICATE,
+                                              pairs, "join")
+                    block = block.select(condition(block))
+                if block:
+                    yield self._emit_block(block)
+
 
 class HashJoinOp(Operator):
     def __init__(self, node: plan.HashJoin, left: Operator, right: Operator,
@@ -163,10 +350,17 @@ class HashJoinOp(Operator):
         super().__init__(layout, clock)
         self._left = left
         self._right = right
-        self._left_key = compile_expr(node.left_key, left.layout)
-        self._right_key = compile_expr(node.right_key, right.layout)
-        self._residual = (compile_expr(node.residual, layout)
-                          if node.residual is not None else None)
+        self._left_key = compile_expr_cached(node.left_key, left.layout)
+        self._right_key = compile_expr_cached(node.right_key, right.layout)
+        self._left_key_source = _value_source(node.left_key, left.layout)
+        self._right_key_source = _value_source(node.right_key, right.layout)
+        if node.residual is not None:
+            self._residual = compile_expr_cached(node.residual, layout)
+            self._residual_batch = compile_predicate_batch(node.residual,
+                                                           layout)
+        else:
+            self._residual = None
+            self._residual_batch = None
 
     def __iter__(self) -> Iterator[tuple]:
         buckets: dict[Any, list[tuple]] = {}
@@ -177,13 +371,7 @@ class HashJoinOp(Operator):
             key = self._left_key(lrow)
             if key is not None:
                 buckets.setdefault(key, []).append(lrow)
-        spilled = build_rows > CostModel.HASH_SPILL_ROWS
-        if spilled:
-            # hybrid hash join ran out of work_mem: repartition the build
-            # side to disk; every probe re-reads its partition
-            self._clock.advance(build_rows * CostModel.HASH_BUILD_ROW
-                                * (CostModel.HASH_SPILL_FACTOR - 1), "spill")
-        probe_factor = (CostModel.HASH_SPILL_FACTOR / 2 if spilled else 1.0)
+        probe_factor = self._spill(build_rows)
         for rrow in self._right:
             self._clock.advance(CostModel.HASH_PROBE_ROW * probe_factor,
                                 "join")
@@ -199,6 +387,52 @@ class HashJoinOp(Operator):
                         continue
                 yield self._emit(combined)
 
+    def _spill(self, build_rows: int) -> float:
+        """Charge the hybrid-hash spill surcharge; returns the probe-side
+        cost factor."""
+        spilled = build_rows > CostModel.HASH_SPILL_ROWS
+        if spilled:
+            # hybrid hash join ran out of work_mem: repartition the build
+            # side to disk; every probe re-reads its partition
+            self._clock.advance(build_rows * CostModel.HASH_BUILD_ROW
+                                * (CostModel.HASH_SPILL_FACTOR - 1), "spill")
+        return CostModel.HASH_SPILL_FACTOR / 2 if spilled else 1.0
+
+    def batches(self) -> Iterator[RowBlock]:
+        buckets: dict[Any, list[tuple]] = {}
+        build_rows = 0
+        for block in self._left.batches():
+            n = len(block)
+            self._clock.advance_batch(CostModel.HASH_BUILD_ROW, n, "join")
+            build_rows += n
+            keys = _source_values(self._left_key_source, block)
+            for row, key in zip(block.iter_rows(), keys):
+                if key is not None:
+                    buckets.setdefault(key, []).append(row)
+        probe_factor = self._spill(build_rows)
+        residual = self._residual_batch
+        for block in self._right.batches():
+            self._clock.advance_batch(CostModel.HASH_PROBE_ROW * probe_factor,
+                                      len(block), "join")
+            keys = _source_values(self._right_key_source, block)
+            candidates: list[tuple] = []
+            for rrow, key in zip(block.iter_rows(), keys):
+                if key is None:
+                    continue
+                for lrow in buckets.get(key, ()):
+                    candidates.append(lrow + rrow)
+            if not candidates:
+                continue
+            self._clock.advance_batch(CostModel.TUPLE_CPU, len(candidates),
+                                      "join")
+            out = RowBlock.from_rows(self.layout, candidates)
+            if residual is not None:
+                self._clock.advance_batch(CostModel.EVAL_PREDICATE,
+                                          len(candidates), "join")
+                out = out.select(residual(out))
+            if out:
+                yield self._emit_block(out)
+
 
 class _Accumulator:
     """One aggregate function instance (per group)."""
@@ -208,7 +442,7 @@ class _Accumulator:
         self.distinct = func.distinct
         self._seen: set | None = set() if func.distinct else None
         if func.args and not isinstance(func.args[0], ast.Star):
-            self._arg = compile_expr(func.args[0], layout)
+            self._arg = compile_expr_cached(func.args[0], layout)
         else:
             if self.name != "count":
                 raise BindError(f"{self.name}(*) is not valid")
@@ -235,6 +469,55 @@ class _Accumulator:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+
+    def add_count(self, rows: int) -> None:
+        """Batch-path COUNT(*): no values to inspect, just a row count."""
+        self.count += rows
+
+    def add_values(self, values: list, clean: bool = False) -> None:
+        """Batch-path accumulation of pre-extracted argument values.
+
+        Mirrors :meth:`add` exactly — same NULL skipping, same first-seen
+        DISTINCT order, same left-to-right addition order — so totals are
+        bit-identical to the row path.  ``clean`` promises the caller
+        already knows no NULLs are present (e.g. from the block's null
+        mask), skipping the filter pass."""
+        live = values if clean else [v for v in values if v is not None]
+        if self._seen is not None:
+            seen = self._seen
+            fresh = []
+            for value in live:
+                if value not in seen:
+                    seen.add(value)
+                    fresh.append(value)
+            live = fresh
+        if not live:
+            return
+        self.count += len(live)
+        name = self.name
+        if name in ("sum", "avg"):
+            try:
+                # builtin sum adds strictly left-to-right, so seeding it
+                # with the running total reproduces the row path's
+                # addition order at C speed
+                if self.total is None:
+                    self.total = sum(live[1:], live[0])
+                else:
+                    self.total = sum(live, self.total)
+            except TypeError:
+                # not summable via sum() (e.g. str concatenation)
+                total = self.total
+                for value in live:
+                    total = value if total is None else total + value
+                self.total = total
+        elif name == "min":
+            low = min(live)
+            if self.minimum is None or low < self.minimum:
+                self.minimum = low
+        elif name == "max":
+            high = max(live)
+            if self.maximum is None or high > self.maximum:
+                self.maximum = high
 
     def result(self) -> Any:
         if self.name == "count":
@@ -265,12 +548,18 @@ class AggregateOp(Operator):
         super().__init__(RowLayout(slots), clock)
         self._child = child
         self._node = node
-        self._group_evals = [compile_expr(g, child.layout)
+        self._group_evals = [compile_expr_cached(g, child.layout)
                              for g in node.group_by]
+        self._group_sources = [_value_source(g, child.layout)
+                               for g in node.group_by]
         # collect every aggregate call across all select items
         self._agg_calls: list[ast.FuncCall] = []
         for item in node.items:
             self._collect_aggs(item.expr)
+        self._agg_sources = [
+            None if (not call.args or isinstance(call.args[0], ast.Star))
+            else _value_source(call.args[0], child.layout)
+            for call in self._agg_calls]
 
     def _collect_aggs(self, expr: ast.Expr) -> None:
         if isinstance(expr, ast.FuncCall) and expr.name in ast.AGGREGATE_FUNCTIONS:
@@ -282,6 +571,10 @@ class AggregateOp(Operator):
         elif isinstance(expr, ast.UnaryOp):
             self._collect_aggs(expr.operand)
 
+    def _new_accs(self) -> list[_Accumulator]:
+        return [_Accumulator(call, self._child.layout)
+                for call in self._agg_calls]
+
     def __iter__(self) -> Iterator[tuple]:
         groups: dict[tuple, tuple[list[_Accumulator], tuple]] = {}
         group_order: list[tuple] = []
@@ -289,16 +582,129 @@ class AggregateOp(Operator):
             self._clock.advance(CostModel.HASH_BUILD_ROW, "agg")
             key = tuple(e(row) for e in self._group_evals)
             if key not in groups:
-                accs = [_Accumulator(call, self._child.layout)
-                        for call in self._agg_calls]
-                groups[key] = (accs, row)
+                groups[key] = (self._new_accs(), row)
                 group_order.append(key)
             for acc in groups[key][0]:
                 acc.add(row)
+        yield from self._result_rows(groups, group_order)
+
+    def batches(self) -> Iterator[RowBlock]:
+        groups: dict[Any, tuple[list[_Accumulator], tuple]] = {}
+        group_order: list[Any] = []
+        grouped = bool(self._node.group_by)
+        for block in self._child.batches():
+            n = len(block)
+            self._clock.advance_batch(CostModel.HASH_BUILD_ROW, n, "agg")
+            if not grouped:
+                self._accumulate_all(block, groups, group_order)
+            elif (len(self._group_sources) == 1
+                    and self._group_sources[0][0] == _SLOT):
+                self._accumulate_by_column(block, groups, group_order)
+            else:
+                self._accumulate_by_rows(block, groups, group_order)
+        rows = list(self._result_rows(groups, group_order, count=False))
+        if rows:
+            yield self._emit_block(RowBlock.from_rows(self.layout, rows))
+
+    def _call_arrays(self, block: RowBlock):
+        """(values array, clean) per aggregate call; None for COUNT(*)."""
+        arrays: list[tuple[np.ndarray, bool] | None] = []
+        for source in self._agg_sources:
+            if source is None:
+                arrays.append(None)
+                continue
+            kind, payload = source
+            if kind == _SLOT:
+                arrays.append((block.column(payload),
+                               not block.null_mask(payload).any()))
+            else:
+                values = np.empty(len(block), dtype=object)
+                values[:] = [payload(row) for row in block.iter_rows()]
+                arrays.append((values, False))
+        return arrays
+
+    def _accumulate_all(self, block, groups, group_order) -> None:
+        """No GROUP BY: the whole block feeds one accumulator set."""
+        if () not in groups:
+            representative = tuple(c[0] for c in block.columns)
+            groups[()] = (self._new_accs(), representative)
+            group_order.append(())
+        for acc, entry in zip(groups[()][0], self._call_arrays(block)):
+            if entry is None:
+                acc.add_count(len(block))
+            else:
+                values, clean = entry
+                acc.add_values(values.tolist(), clean)
+
+    # mask partitioning costs one full-column comparison per distinct key;
+    # past this many keys per block the per-row dict loop is cheaper
+    _MASK_PARTITION_MAX_KEYS = 32
+
+    def _accumulate_by_column(self, block, groups, group_order) -> None:
+        """Single-column GROUP BY: partition with boolean masks — one C
+        comparison per distinct key instead of a per-row dict loop."""
+        col = block.column(self._group_sources[0][1])
+        distinct = dict.fromkeys(col.tolist())
+        if (len(distinct) > self._MASK_PARTITION_MAX_KEYS
+                or any(k != k for k in distinct)):
+            # high cardinality would go quadratic; NaN keys (k != k) defeat
+            # equality masks entirely — both use the per-row dict partition,
+            # which shares the row engine's identity semantics for NaN
+            self._accumulate_by_rows(block, groups, group_order)
+            return
+        call_arrays = self._call_arrays(block)
+        for key in distinct:
+            if key is None:
+                mask = block.null_mask(self._group_sources[0][1])
+            else:
+                mask = np.asarray(col == key, dtype=bool)
+            if key not in groups:
+                first = int(mask.argmax())
+                representative = tuple(c[first] for c in block.columns)
+                groups[key] = (self._new_accs(), representative)
+                group_order.append(key)
+            rows_in_group = int(np.count_nonzero(mask))
+            for acc, entry in zip(groups[key][0], call_arrays):
+                if entry is None:
+                    acc.add_count(rows_in_group)
+                else:
+                    values, clean = entry
+                    acc.add_values(values[mask].tolist(), clean)
+
+    def _accumulate_by_rows(self, block, groups, group_order) -> None:
+        """General GROUP BY (multi-column or computed keys): per-row
+        partition, preserving row order so accumulation matches the row
+        path exactly."""
+        call_arrays = self._call_arrays(block)
+        key_columns = [_source_values(source, block)
+                       for source in self._group_sources]
+        # single-column keys stay raw so this path and the mask path can
+        # interleave across blocks without splitting groups
+        keys = (key_columns[0] if len(key_columns) == 1
+                else list(zip(*key_columns)))
+        partition: dict[Any, list[int]] = {}
+        for i, key in enumerate(keys):
+            bucket = partition.get(key)
+            if bucket is None:
+                partition[key] = [i]
+                if key not in groups:
+                    representative = tuple(c[i] for c in block.columns)
+                    groups[key] = (self._new_accs(), representative)
+                    group_order.append(key)
+            else:
+                bucket.append(i)
+        for key, indices in partition.items():
+            for acc, entry in zip(groups[key][0], call_arrays):
+                if entry is None:
+                    acc.add_count(len(indices))
+                else:
+                    values, clean = entry
+                    acc.add_values([values[i] for i in indices], clean)
+
+    def _result_rows(self, groups, group_order,
+                     count: bool = True) -> Iterator[tuple]:
         if not groups and not self._node.group_by:
-            accs = [_Accumulator(call, self._child.layout)
-                    for call in self._agg_calls]
-            groups[()] = (accs, ())
+            groups[()] = (self._new_accs(), ())
             group_order.append(())
         for key in group_order:
             accs, representative = groups[key]
@@ -306,7 +712,7 @@ class AggregateOp(Operator):
                        for call, acc in zip(self._agg_calls, accs)}
             out = tuple(self._eval_item(item.expr, representative, results)
                         for item in self._node.items)
-            yield self._emit(out)
+            yield self._emit(out) if count else out
 
     def _eval_item(self, expr: ast.Expr, row: tuple,
                    agg_results: dict[int, Any]) -> Any:
@@ -324,7 +730,7 @@ class AggregateOp(Operator):
         if isinstance(expr, ast.UnaryOp) and expr.op == "-":
             value = self._eval_item(expr.operand, row, agg_results)
             return None if value is None else -value
-        evaluator = compile_expr(expr, self._child.layout)
+        evaluator = compile_expr_cached(expr, self._child.layout)
         return evaluator(row) if row else None
 
 
@@ -332,19 +738,27 @@ class SortOp(Operator):
     def __init__(self, node: plan.Sort, child: Operator, clock: SimClock):
         super().__init__(child.layout, clock)
         self._child = child
-        self._keys = [(compile_expr(k.expr, child.layout), k.descending)
-                      for k in node.keys]
+        self._keys = [(compile_expr_cached(k.expr, child.layout),
+                       k.descending) for k in node.keys]
 
-    def __iter__(self) -> Iterator[tuple]:
-        rows = list(self._child)
+    def _sorted(self, rows: list[tuple]) -> list[tuple]:
         import math
         n = max(2, len(rows))
         self._clock.advance(n * math.log2(n) * CostModel.SORT_ROW_LOG, "sort")
         for evaluator, descending in reversed(self._keys):
             rows.sort(key=lambda r: _sort_key(evaluator(r)),
                       reverse=descending)
-        for row in rows:
+        return rows
+
+    def __iter__(self) -> Iterator[tuple]:
+        for row in self._sorted(list(self._child)):
             yield self._emit(row)
+
+    def batches(self) -> Iterator[RowBlock]:
+        rows = [row for block in self._child.batches()
+                for row in block.iter_rows()]
+        for block in rows_to_blocks(self.layout, self._sorted(rows)):
+            yield self._emit_block(block)
 
 
 def _sort_key(value: Any) -> tuple:
@@ -364,6 +778,17 @@ class LimitOp(Operator):
         self._child = child
         self._limit = node.limit
         self._offset = node.offset
+        if node.limit is not None:
+            # push the row budget down to the originating scan through
+            # row-streaming operators, so the batch engine scans (and
+            # charges) the same rows the row engine would: offset + limit
+            # produced rows plus the one probe row that triggers the stop
+            target = child
+            while isinstance(target, (FilterOp, ProjectOp, DistinctOp)):
+                target = target._child
+            if isinstance(target, (SeqScanOp, IndexScanOp)):
+                hint = max(1, node.offset + node.limit + 1)
+                target.max_batch_rows = min(target.max_batch_rows, hint)
 
     def __iter__(self) -> Iterator[tuple]:
         produced = 0
@@ -376,6 +801,27 @@ class LimitOp(Operator):
                 return
             produced += 1
             yield self._emit(row)
+
+    def batches(self) -> Iterator[RowBlock]:
+        produced = 0
+        skipped = 0
+        for block in self._child.batches():
+            if skipped < self._offset:
+                drop = min(len(block), self._offset - skipped)
+                skipped += drop
+                block = block.slice(drop, len(block))
+                if not block:
+                    continue
+            if self._limit is not None:
+                remaining = self._limit - produced
+                if remaining <= 0:
+                    return
+                if len(block) > remaining:
+                    block = block.slice(0, remaining)
+            produced += len(block)
+            yield self._emit_block(block)
+            if self._limit is not None and produced >= self._limit:
+                return
 
 
 class DistinctOp(Operator):
@@ -392,6 +838,20 @@ class DistinctOp(Operator):
             seen.add(row)
             yield self._emit(row)
 
+    def batches(self) -> Iterator[RowBlock]:
+        seen: set[tuple] = set()
+        for block in self._child.batches():
+            self._clock.advance_batch(CostModel.HASH_BUILD_ROW, len(block),
+                                      "distinct")
+            fresh: list[tuple] = []
+            for row in block.iter_rows():
+                if row not in seen:
+                    seen.add(row)
+                    fresh.append(row)
+            if fresh:
+                yield self._emit_block(
+                    RowBlock.from_rows(self.layout, fresh))
+
 
 class EmptyRowOp(Operator):
     """A single empty row, for table-less SELECTs."""
@@ -401,6 +861,9 @@ class EmptyRowOp(Operator):
 
     def __iter__(self) -> Iterator[tuple]:
         yield self._emit(())
+
+    def batches(self) -> Iterator[RowBlock]:
+        yield self._emit_block(RowBlock.from_rows(self.layout, [()]))
 
 
 def _output_name(item: ast.SelectItem, position: int) -> str:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Sequence
 
+import numpy as np
+
 from repro.common.errors import ConstraintViolation
 from repro.common.simtime import CostModel, SimClock
 from repro.storage.buffer import BufferPool
@@ -95,6 +97,75 @@ class HeapTable:
         for page in self._pages:
             self._touch_page(page.page_no)
             yield from page.scan()
+
+    def scan_batches(self, batch_size: int = 1024) -> Iterator[list[tuple]]:
+        """Full scan yielding lists of up to ``batch_size`` row tuples.
+
+        Contract: rows appear in the same page/slot order as :meth:`scan`,
+        every page is charged to the buffer pool exactly once (same as
+        :meth:`scan`), and each page is materialized wholesale with
+        :meth:`HeapPage.live_rows` — no per-row Python calls.  The final
+        batch may be short; empty batches are never yielded.  Mutating the
+        table while a batch scan is open is undefined, as with ``scan``.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        buffer: list[tuple] = []
+        for page in self._pages:
+            self._touch_page(page.page_no)
+            rows = page.live_rows()
+            if not buffer and len(rows) == batch_size:
+                yield rows
+                continue
+            buffer.extend(rows)
+            while len(buffer) >= batch_size:
+                yield buffer[:batch_size]
+                buffer = buffer[batch_size:]
+        if buffer:
+            yield buffer
+
+    def scan_column_batches(self, batch_size: int = 1024
+                            ) -> Iterator[tuple[list, int]]:
+        """Full scan yielding ``(columns, row_count)`` column batches.
+
+        The columnar twin of :meth:`scan_batches`, built from each page's
+        cached :meth:`HeapPage.live_columns` transpose: same row order,
+        same one-buffer-pool-touch-per-page accounting, zero per-row
+        Python work on a warm cache.  Batches hold exactly ``batch_size``
+        rows (the final one may be short, empty ones are never yielded) —
+        consumers that stop early, like LIMIT, therefore pull no more than
+        one batch beyond what they need.  Overfull pages are sliced as
+        numpy views, not copied.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        pending: list[list] = []
+        pending_rows = 0
+        for page in self._pages:
+            self._touch_page(page.page_no)
+            columns = page.live_columns()
+            if not columns:
+                continue
+            pending.append(columns)
+            pending_rows += len(columns[0])
+            while pending_rows >= batch_size:
+                merged, total = self._merge_column_batches(pending,
+                                                           pending_rows)
+                yield [c[:batch_size] for c in merged], batch_size
+                pending_rows = total - batch_size
+                pending = ([[c[batch_size:] for c in merged]]
+                           if pending_rows else [])
+        if pending_rows:
+            yield self._merge_column_batches(pending, pending_rows)
+
+    @staticmethod
+    def _merge_column_batches(parts: list[list], rows: int
+                              ) -> tuple[list, int]:
+        if len(parts) == 1:
+            return parts[0], rows
+        width = len(parts[0])
+        return ([np.concatenate([p[i] for p in parts])
+                 for i in range(width)], rows)
 
     def lookup_unique(self, column_name: str, value: Any) -> RecordId | None:
         """RID for ``value`` in a unique column, or None."""

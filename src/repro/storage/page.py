@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
+import numpy as np
+
 PAGE_CAPACITY_BYTES = 8192
 _TOMBSTONE = object()
 
@@ -46,6 +48,9 @@ class HeapPage:
         self._slots: list[Any] = []
         self._used_bytes = 0
         self.live_count = 0
+        # bumped on every mutation; invalidates the columnar cache
+        self.version = 0
+        self._columns_cache: tuple[int, list[np.ndarray]] | None = None
 
     @property
     def used_bytes(self) -> int:
@@ -59,6 +64,7 @@ class HeapPage:
         self._slots.append(row)
         self._used_bytes += row_bytes
         self.live_count += 1
+        self.version += 1
         return RecordId(self.page_no, len(self._slots) - 1)
 
     def read(self, slot_no: int) -> tuple | None:
@@ -73,15 +79,50 @@ class HeapPage:
         if not (0 <= slot_no < len(self._slots)) or self._slots[slot_no] is _TOMBSTONE:
             raise KeyError(f"no live tuple in slot {slot_no} of page {self.page_no}")
         self._slots[slot_no] = row
+        self.version += 1
 
     def delete(self, slot_no: int) -> None:
         if not (0 <= slot_no < len(self._slots)) or self._slots[slot_no] is _TOMBSTONE:
             raise KeyError(f"no live tuple in slot {slot_no} of page {self.page_no}")
         self._slots[slot_no] = _TOMBSTONE
         self.live_count -= 1
+        self.version += 1
 
     def scan(self) -> Iterator[tuple[RecordId, tuple]]:
         """Yield (rid, row) for every live tuple in slot order."""
         for slot_no, row in enumerate(self._slots):
             if row is not _TOMBSTONE:
                 yield RecordId(self.page_no, slot_no), row
+
+    def live_rows(self) -> list[tuple]:
+        """All live tuples in slot order, materialized in one pass.
+
+        The batch scan path uses this instead of :meth:`scan` so a whole
+        page costs one list operation rather than a per-row generator
+        round-trip; the common no-tombstone case is a straight copy."""
+        if self.live_count == len(self._slots):
+            return list(self._slots)
+        return [row for row in self._slots if row is not _TOMBSTONE]
+
+    def live_columns(self) -> list[np.ndarray]:
+        """The live tuples transposed to per-column object arrays, cached
+        until the page next mutates.
+
+        This is the columnar page cache behind the batch execution engine:
+        repeated scans of a cold-to-hot table pay the row->column transpose
+        once, and vectorized readers get stable arrays they can slice and
+        mask without touching individual tuples."""
+        cache = self._columns_cache
+        if cache is not None and cache[0] == self.version:
+            return cache[1]
+        rows = self.live_rows()
+        if not rows:
+            columns: list[np.ndarray] = []
+        else:
+            columns = []
+            for values in zip(*rows):
+                arr = np.empty(len(rows), dtype=object)
+                arr[:] = values
+                columns.append(arr)
+        self._columns_cache = (self.version, columns)
+        return columns

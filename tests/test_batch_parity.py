@@ -1,0 +1,345 @@
+"""Batch-engine vs row-engine parity.
+
+Every query runs through both execution paths against the same catalog and
+must produce *bit-identical* rows (values and Python types) in the same
+order, the same column names, and the same simtime-visible cost within
+float-accumulation tolerance.  The query list covers every operator and
+every expression family the vectorizer handles, plus the fallback cases
+(LIKE, scalar functions) and the Table 1 workload predicates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exec.executor import Executor
+from repro.sql import parse
+
+# scan / filter / project / join / aggregate / sort / limit / distinct,
+# vectorized and fallback expression forms alike
+PARITY_QUERIES = [
+    "SELECT * FROM users",
+    "SELECT id, name FROM users WHERE age >= 30",
+    "SELECT * FROM users WHERE age > 25 AND city = 'sg'",
+    "SELECT * FROM users WHERE age < 25 OR city = 'tok'",
+    "SELECT * FROM users WHERE NOT (age < 50)",
+    "SELECT * FROM users WHERE age BETWEEN 25 AND 35",
+    "SELECT * FROM users WHERE city IN ('sg', 'ny')",
+    "SELECT * FROM users WHERE age IN (20, 30, 40)",
+    "SELECT * FROM users WHERE nickname IS NULL",
+    "SELECT * FROM users WHERE nickname IS NOT NULL",
+    "SELECT * FROM users WHERE name LIKE 'user1%'",           # row fallback
+    "SELECT * FROM users WHERE length(name) = 6",             # row fallback
+    "SELECT * FROM users WHERE age * 2 + 1 > 60",
+    "SELECT * FROM users WHERE age / 2 >= 15",
+    "SELECT * FROM users WHERE age % 3 = 1",
+    "SELECT * FROM users WHERE -age < -30",
+    "SELECT * FROM users WHERE coalesce(nickname, name) <> ''",
+    "SELECT name AS who, age + 1 AS next_age FROM users",
+    "SELECT count(*) FROM users",
+    "SELECT count(*) FROM users WHERE age > 1000",
+    "SELECT avg(age), min(age), max(age), sum(age) FROM users",
+    "SELECT count(DISTINCT city) FROM users",
+    "SELECT max(age) - min(age) FROM users",
+    "SELECT city, count(*), sum(age), avg(age) FROM users "
+    "GROUP BY city ORDER BY city",
+    "SELECT status, count(*) FROM orders GROUP BY status",
+    "SELECT age FROM users ORDER BY age DESC LIMIT 3 OFFSET 1",
+    "SELECT * FROM users ORDER BY city, age LIMIT 10",
+    # LIMIT over a streaming chain: the pushed-down row budget makes the
+    # batch engine scan (and charge) exactly the row engine's rows
+    "SELECT * FROM users LIMIT 1",
+    "SELECT name, age FROM users LIMIT 5 OFFSET 2",
+    "SELECT DISTINCT city FROM users",
+    "SELECT DISTINCT status FROM orders ORDER BY status",
+    "SELECT name FROM users WHERE id = 7",                    # index scan
+    "SELECT name FROM users WHERE id = 7 AND age > 0",        # index+residual
+    "SELECT count(*) FROM users u JOIN orders o ON u.id = o.user_id",
+    "SELECT u.name, o.amount FROM users u JOIN orders o "
+    "ON u.id = o.user_id WHERE u.age < 25 AND o.amount > 100",
+    "SELECT count(*) FROM users u JOIN orders o ON u.id = o.user_id "
+    "WHERE u.age < 30",
+    "SELECT count(*) FROM users, orders",                     # cross join
+    "SELECT 2 + 3",
+    "SELECT * FROM users WHERE nickname = 'nope'",            # NULL-heavy col
+    "SELECT * FROM users WHERE nickname < 'zzz'",             # obj ordering
+    # nullable numeric column: NULLs must not leak into vectorized compares
+    "SELECT * FROM users WHERE score > 50",
+    "SELECT * FROM users WHERE score IS NULL",
+    "SELECT count(score), sum(score), avg(score), min(score), max(score) "
+    "FROM users",
+    "SELECT city, count(score), sum(score) FROM users GROUP BY city",
+    "SELECT count(DISTINCT score) FROM users",
+    # Table 1 workload predicates (the TRAIN ON / WHERE shapes)
+    "SELECT count(*) FROM avazu WHERE click_rate IS NOT NULL",
+    "SELECT f0, count(*), avg(click_rate) FROM avazu WHERE f1 >= 0 "
+    "GROUP BY f0 ORDER BY f0 LIMIT 20",
+]
+
+
+@pytest.fixture(scope="module")
+def parity_db():
+    db = repro.connect()
+    db.execute("CREATE TABLE users (id INT UNIQUE, name TEXT, age INT, "
+               "city TEXT, nickname TEXT, score FLOAT)")
+    db.execute("CREATE TABLE orders (oid INT UNIQUE, user_id INT, "
+               "amount FLOAT, status TEXT)")
+    cities = ["sg", "ny", "ldn", "tok"]
+    statuses = ["paid", "open", "void"]
+    for i in range(60):
+        nickname = f"'nick{i}'" if i % 3 == 0 else "NULL"
+        score = "NULL" if i % 5 == 0 else f"{round(i * 1.7, 2)}"
+        db.execute(f"INSERT INTO users VALUES ({i}, 'user{i}', "
+                   f"{20 + i % 40}, '{cities[i % 4]}', {nickname}, {score})")
+    for i in range(200):
+        db.execute(f"INSERT INTO orders VALUES ({i}, {i % 60}, "
+                   f"{round(float(i) * 1.5 + 1, 2)}, '{statuses[i % 3]}')")
+    db.execute("CREATE INDEX idx_users_id ON users (id)")
+    # a slice of the Table 1 E-commerce workload table
+    from repro.workloads.avazu import AvazuGenerator, load_into_db
+    load_into_db(db, AvazuGenerator(seed=0), cluster=0, count=300)
+    db.execute("ANALYZE")
+    return db
+
+
+def _typed(rows):
+    """Rows with value types attached: 1 vs 1.0 must not compare equal."""
+    return [tuple((type(v), v) for v in row) for row in rows]
+
+
+@pytest.mark.parametrize("sql", PARITY_QUERIES)
+def test_query_parity(parity_db, sql):
+    plan = parity_db.planner.plan_select(parse(sql))
+    row_engine = Executor(parity_db.catalog, parity_db.clock, engine="row")
+    batch_engine = Executor(parity_db.catalog, parity_db.clock,
+                            engine="batch")
+    expected = row_engine.run(plan)
+    got = batch_engine.run(plan)
+    assert got.columns == expected.columns
+    assert len(got.rows) == len(expected.rows)
+    assert _typed(got.rows) == _typed(expected.rows)
+    # identical work => identical virtual time, modulo float accumulation
+    assert got.virtual_seconds == pytest.approx(expected.virtual_seconds,
+                                                rel=1e-6, abs=1e-9)
+
+
+def test_candidate_plans_parity(parity_db):
+    """Every candidate plan agrees across engines, not just the chosen one."""
+    sql = ("SELECT count(*) FROM users u JOIN orders o ON u.id = o.user_id "
+           "WHERE u.age > 30 AND o.amount < 200")
+    candidates = parity_db.planner.candidate_plans(parse(sql), 12)
+    assert len(candidates) >= 2
+    row_engine = Executor(parity_db.catalog, parity_db.clock, engine="row")
+    batch_engine = Executor(parity_db.catalog, parity_db.clock,
+                            engine="batch")
+    for candidate in candidates:
+        assert (batch_engine.run(candidate).rows
+                == row_engine.run(candidate).rows)
+
+
+def test_rows_out_accounting_parity(parity_db):
+    plan = parity_db.planner.plan_select(
+        parse("SELECT * FROM users WHERE age >= 30"))
+    row_engine = Executor(parity_db.catalog, parity_db.clock, engine="row")
+    batch_engine = Executor(parity_db.catalog, parity_db.clock,
+                            engine="batch")
+    op_row = row_engine.build(plan)
+    rows = list(row_engine.iter_rows(op_row))
+    op_batch = batch_engine.build(plan)
+    blocks = list(batch_engine.iter_rows(op_batch))
+    assert len(rows) == len(blocks)
+    assert op_row.rows_out == op_batch.rows_out
+
+
+def test_division_by_zero_parity(parity_db):
+    from repro.common.errors import ExecutionError
+    sql = "SELECT * FROM users WHERE age / (age - age) > 1"
+    plan = parity_db.planner.plan_select(parse(sql))
+    for engine in ("row", "batch"):
+        executor = Executor(parity_db.catalog, parity_db.clock, engine=engine)
+        with pytest.raises(ExecutionError):
+            executor.run(plan)
+
+
+def test_guarded_division_short_circuit_parity():
+    """A zero divisor behind an AND guard must not raise in either engine:
+    vector evaluation defers the error decision to row semantics."""
+    db = repro.connect()
+    db.execute("CREATE TABLE d (id INT, x INT)")
+    db.execute("INSERT INTO d VALUES (1, 0)")
+    db.execute("INSERT INTO d VALUES (2, 5)")
+    db.execute("ANALYZE")
+    plan = db.planner.plan_select(
+        parse("SELECT id FROM d WHERE x <> 0 AND 10 / x > 1"))
+    row = Executor(db.catalog, db.clock, engine="row").run(plan)
+    batch = Executor(db.catalog, db.clock, engine="batch").run(plan)
+    assert row.rows == [(2,)]
+    assert batch.rows == [(2,)]
+
+
+@pytest.mark.parametrize("base", [2 ** 53, 2 ** 60])
+def test_big_integer_precision_parity(base):
+    """Integers at and beyond 2^53 must not be collapsed by the float64
+    view — including the boundary case where base+1 rounds down onto an
+    exactly-representable base, and literals that float64 cannot hold."""
+    db = repro.connect()
+    db.execute("CREATE TABLE big (id INT, x INT)")
+    db.execute(f"INSERT INTO big VALUES (1, {base + 1})")
+    db.execute(f"INSERT INTO big VALUES (2, {base})")
+    for target, expect in ((base, [(2,)]), (base + 1, [(1,)])):
+        plan = db.planner.plan_select(
+            parse(f"SELECT id FROM big WHERE x = {target}"))
+        row = Executor(db.catalog, db.clock, engine="row").run(plan)
+        batch = Executor(db.catalog, db.clock, engine="batch").run(plan)
+        assert row.rows == expect
+        assert batch.rows == expect
+
+
+def test_train_filter_skips_null_target_rows():
+    """The WITH predicate must never evaluate rows whose target is NULL
+    (the row engine skipped them first; a predicate that errors on such a
+    row must not break training)."""
+    db = repro.connect()
+    db.execute("CREATE TABLE p (a FLOAT, b FLOAT, y FLOAT)")
+    db.execute("INSERT INTO p VALUES (1.0, 0.0, NULL)")  # would divide by 0
+    for i in range(20):
+        db.execute(f"INSERT INTO p VALUES ({i}.5, {i + 1}.0, {i * 0.1})")
+    result = db.execute("PREDICT VALUE OF y FROM p TRAIN ON a, b "
+                        "WITH a / b > 0")
+    assert len(result.rows) == 21
+
+
+def test_filtered_limit_cost_bounded():
+    """LIMIT over a filtered scan may overshoot the row engine's virtual
+    time only by the pushed-down batch (offset+limit+1 scanned rows), not
+    by a full default-sized block.  (It may also legitimately stop earlier:
+    the row engine scans ahead for the extra row that triggers its stop.)"""
+    from repro.common.simtime import CostModel
+    db = repro.connect()
+    db.execute("CREATE TABLE f (id INT, v INT)")
+    heap = db.catalog.table("f")
+    for i in range(5000):
+        heap.insert((i, i % 10))
+    db.execute("ANALYZE")
+    plan = db.planner.plan_select(
+        parse("SELECT id FROM f WHERE v = 3 LIMIT 2"))
+    row = Executor(db.catalog, db.clock, engine="row").run(plan)
+    batch = Executor(db.catalog, db.clock, engine="batch").run(plan)
+    assert batch.rows == row.rows
+    bound = 3 * (CostModel.TUPLE_CPU + CostModel.EVAL_PREDICATE)
+    assert batch.virtual_seconds <= row.virtual_seconds + bound
+
+
+def test_nan_group_key_parity():
+    """NaN group keys (insertable via the heap API) must not corrupt
+    grouped results: both engines group NaN by object identity."""
+    db = repro.connect()
+    db.execute("CREATE TABLE g (k FLOAT, v INT)")
+    heap = db.catalog.table("g")
+    nan = float("nan")
+    heap.insert((1.0, 10))
+    heap.insert((nan, 20))
+    heap.insert((1.0, 30))
+    heap.insert((nan, 40))  # (no ANALYZE: histogram stats reject NaN)
+    plan = db.planner.plan_select(
+        parse("SELECT k, count(*), sum(v) FROM g GROUP BY k"))
+    row = Executor(db.catalog, db.clock, engine="row").run(plan)
+    batch = Executor(db.catalog, db.clock, engine="batch").run(plan)
+    assert len(batch.rows) == len(row.rows)
+    assert [(repr(k), c, s) for k, c, s in batch.rows] \
+        == [(repr(k), c, s) for k, c, s in row.rows]
+
+
+def test_high_cardinality_group_by_parity():
+    """GROUP BY over a near-unique column crosses the mask-partition
+    cutoff mid-query; both partition strategies must agree."""
+    db = repro.connect()
+    db.execute("CREATE TABLE hc (k INT, v FLOAT)")
+    heap = db.catalog.table("hc")
+    for i in range(3000):
+        heap.insert((i % 2000, float(i)))
+    db.execute("ANALYZE")
+    plan = db.planner.plan_select(
+        parse("SELECT k, count(*), sum(v) FROM hc GROUP BY k"))
+    row = Executor(db.catalog, db.clock, engine="row").run(plan)
+    batch = Executor(db.catalog, db.clock, engine="batch").run(plan)
+    assert _typed(batch.rows) == _typed(row.rows)
+
+
+class TestTrainingDataParity:
+    """The columnar AI feed must match the legacy per-row materialization."""
+
+    def test_training_set_matches_row_loop(self, parity_db):
+        from repro.ai.loader import table_training_set
+        heap = parity_db.catalog.table("orders")
+        schema = heap.schema
+        data = table_training_set(heap, ["user_id", "amount"], "amount")
+        uidx, aidx = schema.index_of("user_id"), schema.index_of("amount")
+        expected_rows, expected_targets = [], []
+        for _, row in heap.scan():
+            if row[aidx] is None:
+                continue
+            expected_rows.append((row[uidx], row[aidx]))
+            expected_targets.append(float(row[aidx]))
+        assert data.rows() == expected_rows
+        assert np.array_equal(data.targets, np.array(expected_targets))
+
+    def test_hasher_columns_match_rows(self, parity_db):
+        from repro.ai.armnet import FeatureHasher
+        heap = parity_db.catalog.table("users")
+        rows = [(row[2], row[3], row[4]) for _, row in heap.scan()]
+        columns = [np.array([r[j] for r in rows], dtype=object)
+                   for j in range(3)]
+        hasher = FeatureHasher(field_count=3)
+        assert np.array_equal(hasher.transform(rows),
+                              hasher.transform_columns(columns))
+
+    def test_streaming_loader_columnar_batches_match(self, parity_db):
+        from repro.ai.armnet import FeatureHasher
+        from repro.ai.loader import ColumnTrainingSet, StreamingDataLoader
+        heap = parity_db.catalog.table("orders")
+        rows = [(row[1], row[2]) for _, row in heap.scan()]
+        targets = [float(row[2]) for _, row in heap.scan()]
+        hasher = FeatureHasher(field_count=2)
+        columnar = ColumnTrainingSet(
+            [np.array([r[0] for r in rows], dtype=object),
+             np.array([r[1] for r in rows], dtype=object)],
+            np.array(targets))
+        row_batches = list(StreamingDataLoader(rows, targets, hasher,
+                                               batch_size=64))
+        col_batches = list(StreamingDataLoader(columnar, columnar.targets,
+                                               hasher, batch_size=64))
+        assert len(row_batches) == len(col_batches)
+        for (ids_r, t_r), (ids_c, t_c) in zip(row_batches, col_batches):
+            assert np.array_equal(ids_r, ids_c)
+            assert np.array_equal(t_r, t_c)
+
+    def test_train_losses_identical_row_vs_columnar(self, parity_db):
+        """End-to-end: identical batches => identical gradient trajectory."""
+        from repro.ai.engine import AIEngine
+        from repro.ai.loader import table_training_set
+        from repro.ai.tasks import TrainTask
+        from repro.common.simtime import SimClock
+        heap = parity_db.catalog.table("orders")
+        schema = heap.schema
+        data = table_training_set(heap, ["user_id", "amount"], "amount")
+        aidx = schema.index_of("amount")
+        uidx = schema.index_of("user_id")
+        rows = [(row[uidx], row[aidx]) for _, row in heap.scan()
+                if row[aidx] is not None]
+        targets = [float(row[aidx]) for _, row in heap.scan()
+                   if row[aidx] is not None]
+
+        def run(train_rows, train_targets):
+            engine = AIEngine(clock=SimClock())
+            task = TrainTask(model_name="parity", task_type="regression",
+                             field_count=2, epochs=2, batch_size=64)
+            return engine.train(task, train_rows, train_targets)
+
+        result_rows = run(rows, targets)
+        result_cols = run(data, data.targets)
+        assert result_rows.losses == result_cols.losses
+        assert (result_rows.samples_processed
+                == result_cols.samples_processed)

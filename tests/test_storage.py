@@ -289,3 +289,78 @@ class TestBufferPool:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             BufferPool(capacity_pages=0)
+
+
+class TestBatchScans:
+    """Contract tests for scan_batches / scan_column_batches."""
+
+    def _table(self, rows=100):
+        from repro.storage.heap import HeapTable
+        from repro.storage.schema import TableSchema
+        schema = TableSchema("t", [Column("id", DataType.INT),
+                                   Column("name", DataType.TEXT)])
+        table = HeapTable(schema)
+        rids = [table.insert((i, f"n{i}")) for i in range(rows)]
+        return table, rids
+
+    def test_scan_batches_matches_scan_order(self):
+        table, _ = self._table(100)
+        flattened = [row for batch in table.scan_batches(7) for row in batch]
+        assert flattened == [row for _, row in table.scan()]
+
+    def test_scan_batches_sizes(self):
+        table, _ = self._table(100)
+        sizes = [len(b) for b in table.scan_batches(32)]
+        assert sizes == [32, 32, 32, 4]
+        assert all(s > 0 for s in sizes)
+
+    def test_scan_batches_skips_tombstones(self):
+        table, rids = self._table(50)
+        for rid in rids[::2]:
+            table.delete(rid)
+        flattened = [row for batch in table.scan_batches(8) for row in batch]
+        assert flattened == [(i, f"n{i}") for i in range(1, 50, 2)]
+
+    def test_scan_batches_empty_table(self):
+        table, _ = self._table(0)
+        assert list(table.scan_batches(16)) == []
+
+    def test_scan_batches_rejects_bad_size(self):
+        table, _ = self._table(1)
+        with pytest.raises(ValueError):
+            list(table.scan_batches(0))
+
+    def test_column_batches_match_scan(self):
+        table, _ = self._table(100)
+        rows = []
+        for columns, n in table.scan_column_batches(16):
+            assert n == len(columns[0])
+            rows.extend(zip(*columns))
+        assert rows == [row for _, row in table.scan()]
+
+    def test_column_cache_invalidated_by_mutation(self):
+        table, rids = self._table(30)
+        before = [row for cols, _ in table.scan_column_batches(8)
+                  for row in zip(*cols)]
+        table.update(rids[3], (999, "edited"))
+        table.delete(rids[4])
+        after = [row for cols, _ in table.scan_column_batches(8)
+                 for row in zip(*cols)]
+        assert before != after
+        assert (999, "edited") in after
+        assert (4, "n4") not in after
+
+    def test_scan_batches_touches_buffer_pool_once_per_page(self):
+        from repro.storage.buffer import BufferPool
+        from repro.storage.heap import HeapTable
+        from repro.storage.schema import TableSchema
+        schema = TableSchema("t", [Column("id", DataType.INT)])
+        pool = BufferPool(capacity_pages=64)
+        table = HeapTable(schema, buffer_pool=pool)
+        for i in range(500):
+            table.insert((i,))
+        list(table.scan_batches(64))
+        accesses_then = pool._hits + pool._misses
+        list(table.scan_column_batches(64))
+        assert (pool._hits + pool._misses
+                - accesses_then) == table.page_count
