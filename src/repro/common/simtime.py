@@ -94,6 +94,81 @@ class SimClock:
         return f"SimClock(now={self._now:.6f})"
 
 
+class WorkerClocks:
+    """Per-worker virtual-time accounting for the morsel-driven engine.
+
+    The parallel executor cannot charge worker costs straight to the query's
+    shared :class:`SimClock`: concurrent ``advance`` calls would race, and a
+    single accumulator could not distinguish "total work done" from "time a
+    multicore would actually take".  Instead every morsel task charges a
+    private shard clock, plus one ``serial_lane`` clock for the parts of
+    the query that cannot be parallelized (merge steps, order-sensitive
+    operators, spill surcharges).
+
+    When a phase closes, its task charges are *list-scheduled in morsel
+    order onto W virtual workers* — each task goes to the earliest-free
+    worker, exactly the pull-the-next-morsel dispatch a real morsel
+    scheduler performs.  Modeling the assignment in virtual time (rather
+    than reading back which OS thread really ran what) keeps the makespan
+    deterministic and decoupled from the GIL's thread interleaving, which
+    single-process Python could never make representative anyway (see the
+    module docstring).
+
+    Two quantities fall out:
+
+    * ``total()`` — the plain sum of every charge on every task shard and
+      the serial lane.  By construction this equals what the serial batch
+      engine would have charged for the same query (each per-row cost is
+      charged exactly once, on whichever clock ran the row), so
+      :meth:`merge_into` reproduces the serial engines' virtual-time totals
+      on the shared clock — the invariant the parity suite asserts.
+    * ``makespan()`` — the modeled parallel elapsed time: the serial lane
+      runs alone, and each parallel phase contributes only its most-loaded
+      virtual worker's time.  This is what a real multicore's wall clock
+      would show, and what the scaling benchmark measures.
+    """
+
+    def __init__(self) -> None:
+        self.serial_lane = SimClock()
+        self.phases = 0
+        self._parallel_total = 0.0
+        self._parallel_makespan = 0.0
+        self._breakdowns: list[dict[str, float]] = []
+
+    def close_phase(self, task_clocks: list["SimClock"],
+                    workers: int) -> None:
+        """Absorb one phase's per-task shard clocks (in morsel order),
+        list-scheduling them onto ``workers`` virtual workers."""
+        if not task_clocks:
+            return
+        self.phases += 1
+        loads = [0.0] * max(1, workers)
+        for shard in task_clocks:
+            earliest = min(range(len(loads)), key=loads.__getitem__)
+            loads[earliest] += shard.now
+            self._parallel_total += shard.now
+            if shard.now:
+                self._breakdowns.append(shard.breakdown())
+        self._parallel_makespan += max(loads)
+
+    def total(self) -> float:
+        """Sum of all charges — equals the serial engines' total."""
+        return self._parallel_total + self.serial_lane.now
+
+    def makespan(self) -> float:
+        """Modeled parallel elapsed: serial lane + per-phase max load."""
+        return self._parallel_makespan + self.serial_lane.now
+
+    def merge_into(self, clock: SimClock) -> None:
+        """Charge everything accumulated here onto ``clock``, preserving
+        per-category breakdowns, in a deterministic order (serial lane
+        first, then shards in phase/worker order) so repeated runs charge
+        float-identical totals."""
+        for breakdown in (self.serial_lane.breakdown(), *self._breakdowns):
+            for category, seconds in breakdown.items():
+                clock.advance(seconds, category)
+
+
 class CostModel:
     """Central place for the virtual-time cost constants.
 

@@ -1,11 +1,17 @@
 """Query execution: expression compiler, operators, and the executor.
 
-Two engines share one operator tree: the vectorized batch engine (default)
-and the legacy row-at-a-time engine — see docs/execution.md.
+Three engines share one operator tree: the vectorized batch engine
+(default), the morsel-driven parallel engine layered on top of it, and the
+legacy row-at-a-time engine — see docs/execution.md and docs/parallel.md.
 """
 
 from repro.exec.batch import DEFAULT_BATCH_SIZE, RowBlock, rows_to_blocks
 from repro.exec.executor import Executor, ResultSet
+from repro.exec.parallel import (
+    DEFAULT_MORSEL_ROWS,
+    DEFAULT_WORKERS,
+    MorselScheduler,
+)
 from repro.exec.expr import (
     RowLayout,
     compile_expr,
@@ -17,7 +23,10 @@ from repro.exec.expr import (
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_MORSEL_ROWS",
+    "DEFAULT_WORKERS",
     "Executor",
+    "MorselScheduler",
     "ResultSet",
     "RowBlock",
     "RowLayout",

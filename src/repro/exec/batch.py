@@ -12,6 +12,24 @@ The batch size is a throughput/latency trade-off: big enough to amortize
 per-batch dispatch (numpy call overhead, one clock charge per batch), small
 enough to stay cache-resident.  1024 follows the usual vectorized-engine
 sweet spot (MonetDB/X100 uses ~1k values per vector).
+
+Invariants every RowBlock maintains, which operators and the parallel
+scheduler rely on:
+
+* **Exact round-trip** — ``iter_rows()``/``to_rows()`` return the original
+  Python objects, identity included; no conversion ever rewrites a stored
+  value.  Numeric views are derived *copies* and NULLs live only in the
+  null mask, never as sentinel values in the data.
+* **Precision** — a column whose magnitude reaches 2^53 gets no float64
+  view (``numeric()`` returns None), so integer comparisons never lose
+  precision; TEXT columns never convert, so digit strings stay strings.
+* **Immutability of shared arrays** — columns handed in by scan producers
+  are shared snapshots of the columnar page cache; consumers only mask,
+  slice, or read them.  ``select``/``slice`` build new blocks (and carry
+  the derived-view caches along) rather than mutating in place.  This is
+  what makes a block safe to hand to a worker thread.
+* **Order** — ``select`` and ``slice`` preserve row order; a block never
+  reorders rows on its own.
 """
 
 from __future__ import annotations

@@ -8,6 +8,11 @@ from typing import Any
 from repro.common.errors import ExecutionError
 from repro.common.simtime import SimClock
 from repro.exec import operators as ops
+from repro.exec.parallel import (
+    DEFAULT_MORSEL_ROWS,
+    DEFAULT_WORKERS,
+    MorselScheduler,
+)
 from repro.plan import logical as plan
 from repro.plan.optimizer import _EmptyRow
 from repro.storage.catalog import Catalog
@@ -54,20 +59,35 @@ class Executor:
       :class:`~repro.exec.batch.RowBlock` column batches and charge virtual
       time per batch.  Results are materialized back to row tuples, so
       callers see the same :class:`ResultSet` as ever.
+    * ``"parallel"`` — morsel-driven parallel execution of the batch
+      engine (:class:`~repro.exec.parallel.MorselScheduler`): scans split
+      into morsels fanned out across ``workers`` threads, with results,
+      ``rows_out`` counters, and charged virtual-time totals identical to
+      ``"batch"``.  ``ResultSet.extra["parallel"]`` carries the scheduler
+      stats, including the modeled parallel makespan.
     * ``"row"`` — the legacy Volcano row-at-a-time path, kept as the
       semantic reference and for parity testing.
+
+    ``workers`` and ``morsel_rows`` tune the parallel engine and are
+    ignored by the serial ones.
     """
 
-    ENGINES = ("batch", "row")
+    ENGINES = ("batch", "row", "parallel")
 
     def __init__(self, catalog: Catalog, clock: SimClock | None = None,
-                 engine: str = "batch"):
+                 engine: str = "batch", workers: int | None = None,
+                 morsel_rows: int | None = None):
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine {engine!r}; "
                              f"expected one of {self.ENGINES}")
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self._catalog = catalog
         self._clock = clock if clock is not None else catalog.clock
         self.engine = engine
+        self.workers = workers if workers is not None else DEFAULT_WORKERS
+        self.morsel_rows = (morsel_rows if morsel_rows is not None
+                            else DEFAULT_MORSEL_ROWS)
 
     def build(self, node: plan.PlanNode) -> ops.Operator:
         """Recursively build the operator tree for a plan."""
@@ -97,10 +117,19 @@ class Executor:
             return ops.EmptyRowOp(self._clock)
         raise ExecutionError(f"no operator for plan node {node.label}")
 
+    def _scheduler(self) -> MorselScheduler:
+        return MorselScheduler(self._clock, workers=self.workers,
+                               morsel_rows=self.morsel_rows)
+
     def iter_rows(self, operator: ops.Operator):
         """Row-tuple iterator over an operator tree using the configured
-        engine — the facade that keeps batch execution invisible to
-        row-oriented callers (measurement, db facade, tests)."""
+        engine — the facade that keeps batch (and parallel) execution
+        invisible to row-oriented callers (measurement, db facade, tests).
+        The parallel engine executes eagerly; the iterator replays its
+        materialized result."""
+        if self.engine == "parallel":
+            blocks, _ = self._scheduler().run(operator)
+            return (row for block in blocks for row in block.iter_rows())
         if self.engine == "batch":
             return (row for block in operator.batches()
                     for row in block.iter_rows())
@@ -110,7 +139,14 @@ class Executor:
         """Execute a plan and materialize the result, measuring virtual time."""
         start = self._clock.now
         operator = self.build(node)
-        rows = list(self.iter_rows(operator))
+        extra: dict[str, Any] = {}
+        if self.engine == "parallel":
+            blocks, stats = self._scheduler().run(operator)
+            rows = [row for block in blocks for row in block.iter_rows()]
+            extra["parallel"] = stats
+        else:
+            rows = list(self.iter_rows(operator))
         elapsed = self._clock.now - start
         return ResultSet(columns=operator.layout.column_names(), rows=rows,
-                         virtual_seconds=elapsed, plan_text=node.pretty())
+                         virtual_seconds=elapsed, plan_text=node.pretty(),
+                         extra=extra)

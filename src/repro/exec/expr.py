@@ -1,9 +1,22 @@
-"""Expression evaluation over rows.
+"""Expression evaluation over rows, and its vectorized (columnar) twin.
 
 A row's columns are described by a :class:`RowLayout` — an ordered list of
 (binding, column) pairs, where *binding* is the table alias in scope.  The
 evaluator resolves column references against the layout once (compile step)
 and then evaluates per row, so hot loops avoid repeated name resolution.
+
+Contract between the two compilers: :func:`compile_expr` (row) is the
+semantic reference; :func:`compile_expr_vector` (batch) must agree with it
+bit-for-bit or decline.  It declines in two ways.  At *compile time* it
+returns None for forms it cannot lower — scalar functions, LIKE with a
+non-constant pattern or a non-column operand, literals float64 cannot hold
+— and the batch predicate wrapper (:func:`compile_predicate_batch`) then
+evaluates the block row-by-row with the reference evaluator.  At *runtime*
+a lowered plan defeated by actual column contents (arithmetic over
+strings, mixed-type ordering, a reachable zero divisor) raises
+:class:`VectorFallback`, and the predicate permanently degrades to the row
+evaluator for that plan, so error/short-circuit semantics are decided by
+row order exactly as the row engine would.
 """
 
 from __future__ import annotations
@@ -283,6 +296,22 @@ def _compile_binary(expr: ast.BinaryOp, layout: RowLayout) -> Evaluator:
     raise BindError(f"unknown binary operator {op!r}")
 
 
+def _like_matcher(pattern: str) -> Callable[[str], bool]:
+    """Compile a LIKE pattern into a ``str -> bool`` matcher.
+
+    Mirrors the row evaluator's translation exactly (``re.escape``, then
+    ``% -> .*`` and ``_ -> .``) so both paths agree on every corner,
+    including ``.`` not matching newlines.  Wildcard-free patterns shortcut
+    to plain string equality — a fullmatch against an escaped literal *is*
+    equality — which is the constant-pattern fast path's fast path.
+    """
+    if "%" not in pattern and "_" not in pattern:
+        return lambda s: s == pattern
+    regex = re.compile(re.escape(pattern).replace("%", ".*").replace("_", "."))
+    fullmatch = regex.fullmatch
+    return lambda s: fullmatch(s) is not None
+
+
 _SCALAR_FUNCS: dict[str, Callable[..., Any]] = {
     "abs": abs,
     "lower": lambda s: s.lower(),
@@ -329,9 +358,9 @@ def _compile_scalar_func(expr: ast.FuncCall, layout: RowLayout) -> Evaluator:
 # evaluator maps a RowBlock to ``(values, null)`` where ``values`` is a
 # float64 / bool / object array and ``null`` is a boolean NULL mask (SQL
 # three-valued logic rides in the mask, not in the values).  Expressions the
-# vectorizer cannot lower — LIKE, scalar functions, non-numeric arithmetic —
-# fall back to the row evaluator per block, so the batch path is always
-# semantically complete.
+# vectorizer cannot lower — scalar functions, LIKE with a non-constant
+# pattern, non-numeric arithmetic — fall back to the row evaluator per
+# block, so the batch path is always semantically complete.
 #
 # Errors defer to the row engine: when eager vector evaluation *would*
 # raise (zero divisor, mismatched ordering types), the evaluator raises
@@ -495,6 +524,10 @@ def compile_expr_vector(expr: ast.Expr,
 def _compile_binary_vector(expr: ast.BinaryOp,
                            layout: RowLayout) -> VectorEvaluator | None:
     op = expr.op
+    if op == "LIKE":
+        # handled before the operand compilers run: LIKE needs the raw
+        # object column (str() of the original values), not a numeric view
+        return _compile_like_vector(expr, layout)
     left = compile_expr_vector(expr.left, layout)
     right = compile_expr_vector(expr.right, layout)
     if left is None or right is None:
@@ -581,7 +614,43 @@ def _compile_binary_vector(expr: ast.BinaryOp,
             return out, null
         return eval_div
 
-    return None  # LIKE and anything else: row fallback
+    return None  # anything else: row fallback
+
+
+def _compile_like_vector(expr: ast.BinaryOp,
+                         layout: RowLayout) -> VectorEvaluator | None:
+    """Vectorized LIKE: constant-pattern fast path.
+
+    The pattern is translated to a compiled matcher once at plan-compile
+    time and applied across the raw object column in a single pass — no
+    per-row pattern re-translation, no row-tuple materialization.  Only the
+    ``column LIKE 'constant'`` shape lowers: a non-column left operand or a
+    non-literal pattern keeps the row fallback (returns None), and the
+    column's *original* values are matched (``str()`` of each), never a
+    numeric view, so ``5.0 LIKE '5.0'`` agrees with the row engine.
+    """
+    if not isinstance(expr.left, ast.ColumnRef):
+        return None
+    if not isinstance(expr.right, ast.Literal):
+        return None
+    idx = layout.resolve(expr.left.name, expr.left.table)
+    pattern = expr.right.value
+    if pattern is None:
+        # x LIKE NULL is NULL for every row
+        def eval_like_null(block):
+            n = len(block)
+            return np.zeros(n, dtype=bool), np.ones(n, dtype=bool)
+        return eval_like_null
+    match = _like_matcher(str(pattern))
+
+    def eval_like(block):
+        col = block.column(idx)
+        null = block.null_mask(idx)
+        out = np.fromiter(
+            (v is not None and match(str(v)) for v in col),
+            dtype=bool, count=len(col))
+        return out, null
+    return eval_like
 
 
 def compile_predicate_batch(expr: ast.Expr, layout: RowLayout):
@@ -591,6 +660,13 @@ def compile_predicate_batch(expr: ast.Expr, layout: RowLayout):
     the vectorized path when possible and transparently degrades to
     row-at-a-time evaluation inside the block otherwise — including when a
     vector plan is defeated at runtime by unexpected column types.
+
+    Thread-safety note for the parallel engine: the runtime degrade is a
+    one-way latch on shared state (``state["vector"] = None``).  The write
+    is idempotent and order-independent — concurrent workers at worst both
+    evaluate their block row-wise before the latch sticks — so it is the
+    single sanctioned exception to the "compiled state is read-only"
+    contract in ``repro/exec/operators.py``.
     """
     return _cached("pred", expr, layout, _compile_predicate_batch)
 

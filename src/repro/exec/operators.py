@@ -18,6 +18,29 @@ state:
 
 The executor picks one path per query; an operator instance is never driven
 through both.
+
+A third caller exists since the morsel-driven parallel engine
+(``repro/exec/parallel.py``): instead of driving ``batches()``, the
+scheduler calls the *parallel hooks* — ``process_morsel``/``process_block``
+for stateless map-style operators, and ``partial``/``merge`` pairs
+(``partial_block``/``merge_partial``/``finish_partials`` on aggregation,
+``build_block``/``merge_build``/``probe_block`` on hash join) for stateful
+ones.  Contract for every hook: it charges all of its virtual-time cost to
+the clock it is *passed* (a per-worker shard), never to ``self._clock``; it
+never touches ``self.rows_out`` (the scheduler attributes output counts
+after reassembly, keeping the counters race-free); and it is safe to call
+concurrently from multiple threads because compiled state
+(``compile_expr_cached`` evaluators, predicate batch evaluators) is
+effectively read-only after construction — the one exception is the batch
+predicate wrapper's fallback latch, an idempotent one-way write (see
+``compile_predicate_batch``) — and every :class:`RowBlock` is owned by
+exactly one worker at a time.  For SeqScan/Filter/Project/HashJoin,
+``batches()`` is implemented *on top of* the hooks, so the two paths
+cannot drift apart; AggregateOp's ``batches()`` keeps its own accumulation
+strategies (mask partition vs row partition) and is held together with the
+partial/merge path by the three-way parity sweep in
+``tests/test_batch_parity.py`` — change either side only with that suite
+in hand.
 """
 
 from __future__ import annotations
@@ -122,18 +145,25 @@ class SeqScanOp(Operator):
             yield self._emit(row)
 
     def batches(self) -> Iterator[RowBlock]:
-        predicate = self._predicate_batch
-        clock = self._clock
         for columns, n in self._table.scan_column_batches(
                 self.max_batch_rows):
-            clock.advance_batch(CostModel.TUPLE_CPU, n, "scan")
-            block = RowBlock(self.layout, columns, n, self._kinds)
-            if predicate is not None:
-                clock.advance_batch(CostModel.EVAL_PREDICATE, n, "filter")
-                block = block.select(predicate(block))
-                if not block:
-                    continue
-            yield self._emit_block(block)
+            block = self.process_morsel(columns, n, self._clock)
+            if block is not None:
+                yield self._emit_block(block)
+
+    def process_morsel(self, columns, n: int,
+                       clock: SimClock) -> RowBlock | None:
+        """Parallel hook: materialize one scan morsel, apply the pushed-down
+        predicate, charge ``clock``.  Returns None when every row is
+        rejected."""
+        clock.advance_batch(CostModel.TUPLE_CPU, n, "scan")
+        block = RowBlock(self.layout, columns, n, self._kinds)
+        if self._predicate_batch is not None:
+            clock.advance_batch(CostModel.EVAL_PREDICATE, n, "filter")
+            block = block.select(self._predicate_batch(block))
+            if not block:
+                return None
+        return block
 
 
 class IndexScanOp(Operator):
@@ -225,13 +255,18 @@ class FilterOp(Operator):
                 yield self._emit(row)
 
     def batches(self) -> Iterator[RowBlock]:
-        predicate = self._predicate_batch
         for block in self._child.batches():
-            self._clock.advance_batch(CostModel.EVAL_PREDICATE, len(block),
-                                      "filter")
-            block = block.select(predicate(block))
-            if block:
-                yield self._emit_block(block)
+            out = self.process_block(block, self._clock)
+            if out is not None:
+                yield self._emit_block(out)
+
+    def process_block(self, block: RowBlock,
+                      clock: SimClock) -> RowBlock | None:
+        """Parallel hook: filter one block, charging ``clock``; None when
+        every row is rejected."""
+        clock.advance_batch(CostModel.EVAL_PREDICATE, len(block), "filter")
+        out = block.select(self._predicate_batch(block))
+        return out if out else None
 
 
 class ProjectOp(Operator):
@@ -264,19 +299,21 @@ class ProjectOp(Operator):
 
     def batches(self) -> Iterator[RowBlock]:
         for block in self._child.batches():
-            n = len(block)
-            self._clock.advance_batch(CostModel.TUPLE_CPU, n, "project")
-            columns = []
-            rows: list[tuple] | None = None
-            for kind, payload in self._sources:
-                if kind == _SLOT:
-                    columns.append(block.column(payload))
-                else:
-                    if rows is None:
-                        rows = block.to_rows()
-                    columns.append([payload(row) for row in rows])
-            out = RowBlock.from_columns(self.layout, columns)
-            yield self._emit_block(out)
+            yield self._emit_block(self.process_block(block, self._clock))
+
+    def process_block(self, block: RowBlock, clock: SimClock) -> RowBlock:
+        """Parallel hook: project one block, charging ``clock``."""
+        clock.advance_batch(CostModel.TUPLE_CPU, len(block), "project")
+        columns = []
+        rows: list[tuple] | None = None
+        for kind, payload in self._sources:
+            if kind == _SLOT:
+                columns.append(block.column(payload))
+            else:
+                if rows is None:
+                    rows = block.to_rows()
+                columns.append([payload(row) for row in rows])
+        return RowBlock.from_columns(self.layout, columns)
 
 
 class NestedLoopJoinOp(Operator):
@@ -387,51 +424,84 @@ class HashJoinOp(Operator):
                         continue
                 yield self._emit(combined)
 
-    def _spill(self, build_rows: int) -> float:
+    def _spill(self, build_rows: int,
+               clock: SimClock | None = None) -> float:
         """Charge the hybrid-hash spill surcharge; returns the probe-side
         cost factor."""
+        clock = clock if clock is not None else self._clock
         spilled = build_rows > CostModel.HASH_SPILL_ROWS
         if spilled:
             # hybrid hash join ran out of work_mem: repartition the build
             # side to disk; every probe re-reads its partition
-            self._clock.advance(build_rows * CostModel.HASH_BUILD_ROW
-                                * (CostModel.HASH_SPILL_FACTOR - 1), "spill")
+            clock.advance(build_rows * CostModel.HASH_BUILD_ROW
+                          * (CostModel.HASH_SPILL_FACTOR - 1), "spill")
         return CostModel.HASH_SPILL_FACTOR / 2 if spilled else 1.0
 
     def batches(self) -> Iterator[RowBlock]:
         buckets: dict[Any, list[tuple]] = {}
         build_rows = 0
         for block in self._left.batches():
-            n = len(block)
-            self._clock.advance_batch(CostModel.HASH_BUILD_ROW, n, "join")
+            n, pairs = self.build_block(block, self._clock)
             build_rows += n
-            keys = _source_values(self._left_key_source, block)
-            for row, key in zip(block.iter_rows(), keys):
-                if key is not None:
-                    buckets.setdefault(key, []).append(row)
+            for key, row in pairs:
+                buckets.setdefault(key, []).append(row)
         probe_factor = self._spill(build_rows)
-        residual = self._residual_batch
         for block in self._right.batches():
-            self._clock.advance_batch(CostModel.HASH_PROBE_ROW * probe_factor,
-                                      len(block), "join")
-            keys = _source_values(self._right_key_source, block)
-            candidates: list[tuple] = []
-            for rrow, key in zip(block.iter_rows(), keys):
-                if key is None:
-                    continue
-                for lrow in buckets.get(key, ()):
-                    candidates.append(lrow + rrow)
-            if not candidates:
-                continue
-            self._clock.advance_batch(CostModel.TUPLE_CPU, len(candidates),
-                                      "join")
-            out = RowBlock.from_rows(self.layout, candidates)
-            if residual is not None:
-                self._clock.advance_batch(CostModel.EVAL_PREDICATE,
-                                          len(candidates), "join")
-                out = out.select(residual(out))
-            if out:
+            out = self.probe_block(block, buckets, probe_factor, self._clock)
+            if out is not None:
                 yield self._emit_block(out)
+
+    def build_block(self, block: RowBlock, clock: SimClock
+                    ) -> tuple[int, list[tuple[Any, tuple]]]:
+        """Build-side parallel hook: ``(row_count, [(key, row), ...])`` for
+        one block, NULL keys dropped, charging ``clock``.  ``row_count`` is
+        the *input* count (NULL keys included) so the spill decision sees
+        the same build size as the serial engines."""
+        n = len(block)
+        clock.advance_batch(CostModel.HASH_BUILD_ROW, n, "join")
+        keys = _source_values(self._left_key_source, block)
+        pairs = [(key, row) for row, key in zip(block.iter_rows(), keys)
+                 if key is not None]
+        return n, pairs
+
+    def merge_build(self, parts: list[tuple[int, list[tuple[Any, tuple]]]],
+                    clock: SimClock) -> tuple[dict[Any, list[tuple]], float]:
+        """Merge per-morsel build parts — in morsel order, so each bucket
+        lists build rows in exactly the serial engines' insertion order —
+        and charge any spill surcharge to ``clock``.  Returns
+        ``(buckets, probe_factor)``."""
+        buckets: dict[Any, list[tuple]] = {}
+        build_rows = 0
+        for n, pairs in parts:
+            build_rows += n
+            for key, row in pairs:
+                buckets.setdefault(key, []).append(row)
+        return buckets, self._spill(build_rows, clock)
+
+    def probe_block(self, block: RowBlock, buckets: dict[Any, list[tuple]],
+                    probe_factor: float,
+                    clock: SimClock) -> RowBlock | None:
+        """Probe-side parallel hook: join one probe block against the
+        (read-only) bucket table, charging ``clock``; None when no row
+        survives."""
+        clock.advance_batch(CostModel.HASH_PROBE_ROW * probe_factor,
+                            len(block), "join")
+        keys = _source_values(self._right_key_source, block)
+        candidates: list[tuple] = []
+        for rrow, key in zip(block.iter_rows(), keys):
+            if key is None:
+                continue
+            for lrow in buckets.get(key, ()):
+                candidates.append(lrow + rrow)
+        if not candidates:
+            return None
+        clock.advance_batch(CostModel.TUPLE_CPU, len(candidates), "join")
+        out = RowBlock.from_rows(self.layout, candidates)
+        if self._residual_batch is not None:
+            clock.advance_batch(CostModel.EVAL_PREDICATE, len(candidates),
+                                "join")
+            out = out.select(self._residual_batch(out))
+        return out if out else None
 
 
 class _Accumulator:
@@ -700,6 +770,87 @@ class AggregateOp(Operator):
                 else:
                     values, clean = entry
                     acc.add_values([values[i] for i in indices], clean)
+
+    # -- parallel hooks ----------------------------------------------------
+    #
+    # A morsel partial is an insertion-ordered dict:
+    #   group key -> [representative row, entries]
+    # where entries align with self._agg_calls and each entry is
+    # ("count", n) for COUNT(*) or ("values", values, clean) holding the
+    # group's raw argument values in row order (clean = provably NULL-free).
+    # Partials keep raw values instead of collapsed totals so the merge can
+    # replay accumulation in global morsel order: _Accumulator.add_values
+    # adds strictly left-to-right seeded with the running total, which makes
+    # float sums and DISTINCT first-seen order bit-identical to the serial
+    # engines no matter how morsels were distributed across workers.
+
+    def partial_block(self, block: RowBlock, clock: SimClock) -> dict:
+        """Thread-local parallel hook: partial-aggregate one non-empty
+        block, charging ``clock``.  Uses the row-order-preserving partition
+        (the one the serial paths fall back to), so group discovery order
+        within the morsel matches the serial engines."""
+        clock.advance_batch(CostModel.HASH_BUILD_ROW, len(block), "agg")
+        call_arrays = self._call_arrays(block)
+        partial: dict[Any, list] = {}
+        if not self._node.group_by:
+            entries = [("count", len(block)) if entry is None
+                       else ("values", entry[0].tolist(), entry[1])
+                       for entry in call_arrays]
+            partial[()] = [tuple(c[0] for c in block.columns), entries]
+            return partial
+        key_columns = [_source_values(source, block)
+                       for source in self._group_sources]
+        keys = (key_columns[0] if len(key_columns) == 1
+                else list(zip(*key_columns)))
+        partition: dict[Any, list[int]] = {}
+        for i, key in enumerate(keys):
+            bucket = partition.get(key)
+            if bucket is None:
+                partition[key] = [i]
+            else:
+                bucket.append(i)
+        for key, indices in partition.items():
+            entries = []
+            for entry in call_arrays:
+                if entry is None:
+                    entries.append(("count", len(indices)))
+                else:
+                    values, clean = entry
+                    entries.append(("values", [values[i] for i in indices],
+                                    clean))
+            partial[key] = [tuple(c[indices[0]] for c in block.columns),
+                            entries]
+        return partial
+
+    def merge_partial(self, groups, group_order, partial: dict) -> None:
+        """Fold one morsel partial into the global accumulator state.
+        Callers must merge partials in morsel order; the first morsel that
+        discovers a group supplies its representative row, exactly as the
+        serial engines' first matching row would."""
+        for key, (representative, entries) in partial.items():
+            state = groups.get(key)
+            if state is None:
+                state = groups[key] = (self._new_accs(), representative)
+                group_order.append(key)
+            for acc, entry in zip(state[0], entries):
+                if entry[0] == "count":
+                    acc.add_count(entry[1])
+                else:
+                    acc.add_values(entry[1], entry[2])
+
+    def finish_partials(self, partials: list[dict]) -> RowBlock | None:
+        """Merge morsel partials (already in morsel order) and emit the
+        result block, or None when there is nothing to emit (grouped query
+        over zero rows).  An empty partial list is valid: a global
+        aggregate over zero rows still yields its default row."""
+        groups: dict[Any, tuple[list[_Accumulator], tuple]] = {}
+        group_order: list[Any] = []
+        for partial in partials:
+            self.merge_partial(groups, group_order, partial)
+        rows = list(self._result_rows(groups, group_order, count=False))
+        if rows:
+            return self._emit_block(RowBlock.from_rows(self.layout, rows))
+        return None
 
     def _result_rows(self, groups, group_order,
                      count: bool = True) -> Iterator[tuple]:

@@ -1,0 +1,352 @@
+"""Morsel-driven parallel execution on top of the batch engine.
+
+A :class:`RowBlock` is a self-contained unit of work, so the batch engine
+parallelizes the way Leis et al.'s morsel-driven scheduler does: the scan
+is split into *morsels* (fixed-size column batches, default
+:data:`DEFAULT_MORSEL_ROWS` rows), workers pull the next morsel index from
+a shared counter — natural load balancing, no static partitioning — and
+push each morsel through as much of the operator pipeline as is
+order-insensitive.  Stateful operators contribute per-worker *partial*
+state that a serial merge step folds together: thread-local hash-aggregate
+partials merged in morsel order, and hash-join build parts merged in morsel
+order before a parallel probe.
+
+The module's contract, which `tests/test_parallel.py` and the three-way
+parity sweep in `tests/test_batch_parity.py` enforce:
+
+* **Ordering / determinism** — results are reassembled by morsel sequence
+  number, so the output rows (values, Python types, and order), the
+  ``rows_out`` counters, and the charged virtual-time totals are identical
+  to the serial batch engine for *any* worker count and any thread
+  interleaving.  Float-sensitive aggregate state is never combined by
+  adding subtotals; partials carry raw values and the merge replays them in
+  global morsel order (see ``AggregateOp.partial_block``), which keeps
+  sums bit-identical.
+* **Virtual time** — every morsel task charges a private shard clock; when
+  a phase closes, :class:`~repro.common.simtime.WorkerClocks`
+  list-schedules the task charges in morsel order onto W virtual workers
+  (the pull-the-next-morsel dispatch a real scheduler performs).  The *sum*
+  of all charges is merged into the query's shared clock at the end, so
+  totals match the serial engines (the parity invariant), while the
+  per-phase *max worker load* models the parallel makespan a real
+  multicore would see — deterministically, independent of how the GIL
+  interleaved the actual threads.  Buffer-pool charges land on the
+  shared clock while morsels are split (page access is inherently shared)
+  and count fully toward the makespan.  The aggregate merge itself is
+  modeled as free: its real cost scales with group counts, not row counts,
+  and every per-row cost has already been charged in a worker — charging
+  it again would break total parity.
+* **Scope of parallelism** — Scan→Filter→Project chains, aggregate
+  partials, and hash-join build/probe run morsel-parallel.  Operators whose
+  semantics are order- or stream-sensitive (Sort, Distinct, NestedLoopJoin,
+  IndexScan, EmptyRow) run their serial batch path on the scheduler's
+  serial lane, with their *inputs* still computed in parallel.  A plan
+  containing LIMIT anywhere runs entirely on the serial lane: LIMIT stops
+  pulling mid-stream, and eager morsel dispatch would scan (and charge)
+  rows the serial engines never touch.
+* **Single-worker mode** — ``workers=1`` dispatches inline on the calling
+  thread with no threads created at all: fully deterministic, used as the
+  reference in scheduler tests.
+
+Known limitation: virtual-time budgets (``SimClock.set_limit``) only fire
+when worker charges are merged at the end of the run, so ``BudgetExceeded``
+cannot interrupt a parallel query mid-flight.  Capped measurement
+(`src/repro/exec/measure.py`) should keep using the serial engines.
+"""
+
+from __future__ import annotations
+
+import threading
+from itertools import count as _shared_counter
+from typing import Any, Callable
+
+from repro.common.simtime import SimClock, WorkerClocks
+from repro.exec import operators as ops
+from repro.exec.batch import RowBlock
+from repro.exec.expr import RowLayout
+
+DEFAULT_MORSEL_ROWS = 4096
+DEFAULT_WORKERS = 4
+
+# operator attributes that point at child operators
+_CHILD_ATTRS = ("_child", "_left", "_right")
+
+
+class _BlockSource(ops.Operator):
+    """Replays pre-computed blocks as an operator child.
+
+    Used to feed a serially-executed operator (Sort, Distinct, ...) with
+    the output of a parallel sub-plan.  Charges nothing and counts nothing:
+    the blocks' producers already charged their cost and attributed their
+    row counts.
+    """
+
+    def __init__(self, layout: RowLayout, blocks: list[RowBlock],
+                 clock: SimClock):
+        super().__init__(layout, clock)
+        self._blocks = blocks
+
+    def __iter__(self):
+        for block in self._blocks:
+            yield from block.iter_rows()
+
+    def batches(self):
+        yield from self._blocks
+
+
+class MorselScheduler:
+    """Fans an operator tree's work out across a worker pool, morsel-wise.
+
+    ``run(operator)`` executes the tree and returns ``(blocks, stats)``:
+    the result blocks in serial-engine order and a stats dict with the
+    modeled parallel timings.  The scheduler is single-use, like the
+    operator tree it drives.
+    """
+
+    def __init__(self, clock: SimClock, workers: int = DEFAULT_WORKERS,
+                 morsel_rows: int = DEFAULT_MORSEL_ROWS):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if morsel_rows < 1:
+            raise ValueError(f"morsel_rows must be >= 1, got {morsel_rows}")
+        self.workers = workers
+        self.morsel_rows = morsel_rows
+        self._clock = clock
+        self._worker_clocks = WorkerClocks()
+        self.tasks_dispatched = 0
+
+    # -- public entry ------------------------------------------------------
+
+    def run(self, operator: ops.Operator) -> tuple[list[RowBlock], dict]:
+        """Execute the tree; returns (result blocks, stats).
+
+        Worker charges are merged into the shared clock even when execution
+        raises; like the serial engines, a failing query leaves its partial
+        charges behind.  The error surfaced is deterministically the first
+        failing morsel's (in morsel order), but because workers stop
+        pulling only after an error is seen — morsels already in flight
+        and already-completed later morsels still count — a failing
+        parallel query may charge somewhat more virtual time than the
+        serial engines did before their raise.
+        """
+        start = self._clock.now
+        try:
+            if self._contains(operator, ops.LimitOp):
+                blocks = self._serial_tree(operator)
+            else:
+                blocks = self._execute(operator)
+        finally:
+            # direct charges (buffer pool, index page reads) are serial
+            direct = self._clock.now - start
+            clocks = self._worker_clocks
+            makespan = direct + clocks.makespan()
+            charged = direct + clocks.total()
+            clocks.merge_into(self._clock)
+        stats = {
+            "workers": self.workers,
+            "morsel_rows": self.morsel_rows,
+            "tasks": self.tasks_dispatched,
+            "parallel_phases": clocks.phases,
+            "virtual_charged": charged,
+            "virtual_makespan": makespan,
+            "modeled_speedup": (charged / makespan) if makespan > 0 else 1.0,
+        }
+        return blocks, stats
+
+    # -- morsel dispatch ---------------------------------------------------
+
+    def _map(self, items: list, fn: Callable[[Any, SimClock], Any]) -> list:
+        """Run ``fn(item, shard_clock)`` over items, morsel-driven: workers
+        pull the next item index from a shared counter, so a slow morsel
+        never stalls the others.  Results come back in item order
+        regardless of which worker ran what."""
+        if not items:
+            return []
+        self.tasks_dispatched += len(items)
+        n_workers = min(self.workers, len(items))
+        # one shard clock per task: charges are later list-scheduled onto
+        # virtual workers in morsel order (WorkerClocks.close_phase), so
+        # the modeled makespan does not depend on which OS thread happened
+        # to grab which morsel under the GIL
+        task_clocks = [SimClock() for _ in range(len(items))]
+        results: list[Any] = [None] * len(items)
+        if n_workers == 1:
+            # deterministic inline mode: no threads at all
+            try:
+                for i, item in enumerate(items):
+                    results[i] = fn(item, task_clocks[i])
+            finally:
+                self._worker_clocks.close_phase(task_clocks, n_workers)
+            return results
+        grab = _shared_counter()
+        errors: list[tuple[int, BaseException]] = []
+        stop = threading.Event()
+
+        def work() -> None:
+            while not stop.is_set():
+                i = next(grab)  # C-level atomic under the GIL
+                if i >= len(items):
+                    return
+                try:
+                    results[i] = fn(items[i], task_clocks[i])
+                except BaseException as exc:
+                    errors.append((i, exc))
+                    stop.set()  # no new morsels; in-flight ones finish
+                    return
+
+        threads = [threading.Thread(target=work, name=f"morsel-worker-{w}")
+                   for w in range(n_workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        self._worker_clocks.close_phase(task_clocks, n_workers)
+        if errors:
+            # morsels are pulled in index order, so every morsel before a
+            # recorded error also ran (and recorded its own error if it had
+            # one): the minimum index is THE first failing morsel, making
+            # the surfaced error deterministic across thread interleavings
+            raise min(errors, key=lambda pair: pair[0])[1]
+        return results
+
+    # -- execution strategies ----------------------------------------------
+
+    def _execute(self, op: ops.Operator) -> list[RowBlock]:
+        """Parallel execution of a subtree; returns its blocks in
+        serial-engine order."""
+        if isinstance(op, ops.SeqScanOp):
+            return self._scan_pipeline(op, [])
+        if isinstance(op, (ops.FilterOp, ops.ProjectOp)):
+            stages: list[ops.Operator] = []
+            node: ops.Operator = op
+            while isinstance(node, (ops.FilterOp, ops.ProjectOp)):
+                stages.append(node)
+                node = node._child
+            stages.reverse()
+            if isinstance(node, ops.SeqScanOp):
+                return self._scan_pipeline(node, stages)
+            return self._map_stages(self._execute(node), stages)
+        if isinstance(op, ops.AggregateOp):
+            return self._aggregate(op)
+        if isinstance(op, ops.HashJoinOp):
+            return self._hash_join(op)
+        return self._serial_op(op)
+
+    def _scan_pipeline(self, scan: ops.SeqScanOp,
+                       stages: list[ops.Operator]) -> list[RowBlock]:
+        """Scan→Filter→Project chain: one task per scan morsel pushes the
+        morsel through the whole chain without re-materializing between
+        phases."""
+        morsels = scan._table.scan_morsels(self.morsel_rows)
+
+        def task(morsel, shard: SimClock):
+            columns, n = morsel
+            lens = [0] * (1 + len(stages))
+            block = scan.process_morsel(columns, n, shard)
+            if block is None:
+                return lens, None
+            lens[0] = len(block)
+            for j, stage in enumerate(stages):
+                block = stage.process_block(block, shard)
+                if block is None:
+                    return lens, None
+                lens[j + 1] = len(block)
+            return lens, block
+
+        return self._gather([scan, *stages], self._map(morsels, task))
+
+    def _map_stages(self, blocks: list[RowBlock],
+                    stages: list[ops.Operator]) -> list[RowBlock]:
+        """Filter/Project chain over a non-scan source (join or aggregate
+        output): same per-morsel tasks, with the source's blocks as the
+        morsels."""
+
+        def task(block: RowBlock, shard: SimClock):
+            lens = [0] * len(stages)
+            for j, stage in enumerate(stages):
+                block = stage.process_block(block, shard)
+                if block is None:
+                    return lens, None
+                lens[j] = len(block)
+            return lens, block
+
+        return self._gather(stages, self._map(blocks, task))
+
+    @staticmethod
+    def _gather(chain: list[ops.Operator], results: list) -> list[RowBlock]:
+        """Reassemble pipeline task results in morsel order and attribute
+        per-operator output counts (rows_out stays race-free: only this
+        thread writes it)."""
+        out: list[RowBlock] = []
+        for lens, block in results:
+            for op, n_out in zip(chain, lens):
+                op.rows_out += n_out
+            if block is not None:
+                out.append(block)
+        return out
+
+    def _aggregate(self, op: ops.AggregateOp) -> list[RowBlock]:
+        """Parallel partial aggregation + serial morsel-order merge."""
+        blocks = self._execute(op._child)
+        partials = self._map(blocks, op.partial_block)
+        result = op.finish_partials(partials)
+        return [result] if result is not None else []
+
+    def _hash_join(self, op: ops.HashJoinOp) -> list[RowBlock]:
+        """Parallel build over left morsels, serial bucket merge (morsel
+        order keeps bucket insertion order identical to the serial
+        engines), then parallel probe over right morsels."""
+        left_blocks = self._execute(op._left)
+        parts = self._map(left_blocks, op.build_block)
+        buckets, probe_factor = op.merge_build(
+            parts, self._worker_clocks.serial_lane)
+        right_blocks = self._execute(op._right)
+
+        def probe(block: RowBlock, shard: SimClock):
+            return op.probe_block(block, buckets, probe_factor, shard)
+
+        out = [block for block in self._map(right_blocks, probe)
+               if block is not None]
+        for block in out:
+            op.rows_out += len(block)
+        return out
+
+    def _serial_op(self, op: ops.Operator) -> list[RowBlock]:
+        """Operators without a parallel decomposition (Sort, Distinct,
+        NestedLoopJoin, IndexScan, EmptyRow): inputs are still computed
+        morsel-parallel, then the operator itself runs its serial batch
+        path on the serial lane."""
+        lane = self._worker_clocks.serial_lane
+        op._clock = lane
+        for attr in _CHILD_ATTRS:
+            child = getattr(op, attr, None)
+            if isinstance(child, ops.Operator):
+                blocks = self._execute(child)
+                setattr(op, attr, _BlockSource(child.layout, blocks, lane))
+        return list(op.batches())
+
+    def _serial_tree(self, op: ops.Operator) -> list[RowBlock]:
+        """Whole-tree serial fallback (LIMIT plans): rebind every
+        operator's clock to the serial lane — streaming early-termination
+        semantics, and therefore charged totals, stay exactly the batch
+        engine's — and the lane counts fully toward the makespan."""
+        self._rebind(op, self._worker_clocks.serial_lane)
+        return list(op.batches())
+
+    @classmethod
+    def _rebind(cls, op: ops.Operator, lane: SimClock) -> None:
+        op._clock = lane
+        for attr in _CHILD_ATTRS:
+            child = getattr(op, attr, None)
+            if isinstance(child, ops.Operator):
+                cls._rebind(child, lane)
+
+    @classmethod
+    def _contains(cls, op: ops.Operator, kind: type) -> bool:
+        if isinstance(op, kind):
+            return True
+        for attr in _CHILD_ATTRS:
+            child = getattr(op, attr, None)
+            if isinstance(child, ops.Operator) and cls._contains(child, kind):
+                return True
+        return False

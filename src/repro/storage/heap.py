@@ -158,6 +158,25 @@ class HeapTable:
         if pending_rows:
             yield self._merge_column_batches(pending, pending_rows)
 
+    def scan_morsels(self, morsel_rows: int = 4096) -> list[tuple[list, int]]:
+        """Materialize the full scan as a random-access list of column
+        morsels — the parallel engine's scan splitter.
+
+        Each morsel is a ``(columns, row_count)`` column batch exactly as
+        :meth:`scan_column_batches` would yield it with
+        ``batch_size=morsel_rows``: same row order (concatenating the
+        morsels reproduces :meth:`scan`'s page/slot order), every page
+        charged to the buffer pool exactly once, morsels of exactly
+        ``morsel_rows`` rows except a short final one.  Unlike the
+        streaming batch scan, the whole list is built up front so a
+        scheduler can hand morsels to workers in any dispatch order and
+        reassemble results by morsel index.  The column arrays are shared
+        read-only snapshots of the columnar page cache: workers must only
+        mask/slice them, never write.  Mutating the table after splitting
+        is undefined, as with :meth:`scan`.
+        """
+        return list(self.scan_column_batches(morsel_rows))
+
     @staticmethod
     def _merge_column_batches(parts: list[list], rows: int
                               ) -> tuple[list, int]:

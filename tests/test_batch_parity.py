@@ -1,11 +1,14 @@
-"""Batch-engine vs row-engine parity.
+"""Row vs batch vs parallel engine parity.
 
-Every query runs through both execution paths against the same catalog and
-must produce *bit-identical* rows (values and Python types) in the same
-order, the same column names, and the same simtime-visible cost within
-float-accumulation tolerance.  The query list covers every operator and
-every expression family the vectorizer handles, plus the fallback cases
-(LIKE, scalar functions) and the Table 1 workload predicates.
+Every query runs through all three execution paths against the same
+catalog and must produce *bit-identical* rows (values and Python types) in
+the same order, the same column names, and the same simtime-visible cost
+within float-accumulation tolerance.  The query list covers every operator
+and every expression family the vectorizer handles, plus the fallback
+cases (non-constant LIKE, scalar functions) and the Table 1 workload
+predicates.  The parallel engine runs with deliberately tiny morsels
+(16 rows) and several workers so every query exercises real morsel
+splitting, thread-local partials, and the morsel-order merge.
 """
 
 from __future__ import annotations
@@ -30,7 +33,11 @@ PARITY_QUERIES = [
     "SELECT * FROM users WHERE age IN (20, 30, 40)",
     "SELECT * FROM users WHERE nickname IS NULL",
     "SELECT * FROM users WHERE nickname IS NOT NULL",
-    "SELECT * FROM users WHERE name LIKE 'user1%'",           # row fallback
+    "SELECT * FROM users WHERE name LIKE 'user1%'",           # vector LIKE
+    "SELECT * FROM users WHERE name LIKE 'user_'",            # _ wildcard
+    "SELECT * FROM users WHERE name LIKE 'user7'",            # no wildcard
+    "SELECT * FROM users WHERE nickname LIKE '%3'",           # NULL-heavy col
+    "SELECT * FROM users WHERE name LIKE city",               # row fallback
     "SELECT * FROM users WHERE length(name) = 6",             # row fallback
     "SELECT * FROM users WHERE age * 2 + 1 > 60",
     "SELECT * FROM users WHERE age / 2 >= 15",
@@ -109,6 +116,13 @@ def _typed(rows):
     return [tuple((type(v), v) for v in row) for row in rows]
 
 
+def _parallel_engine(db):
+    """The sweep's parallel executor: tiny morsels + several workers, so
+    even the 60-row tables split into many morsels."""
+    return Executor(db.catalog, db.clock, engine="parallel", workers=4,
+                    morsel_rows=16)
+
+
 @pytest.mark.parametrize("sql", PARITY_QUERIES)
 def test_query_parity(parity_db, sql):
     plan = parity_db.planner.plan_select(parse(sql))
@@ -116,13 +130,14 @@ def test_query_parity(parity_db, sql):
     batch_engine = Executor(parity_db.catalog, parity_db.clock,
                             engine="batch")
     expected = row_engine.run(plan)
-    got = batch_engine.run(plan)
-    assert got.columns == expected.columns
-    assert len(got.rows) == len(expected.rows)
-    assert _typed(got.rows) == _typed(expected.rows)
-    # identical work => identical virtual time, modulo float accumulation
-    assert got.virtual_seconds == pytest.approx(expected.virtual_seconds,
-                                                rel=1e-6, abs=1e-9)
+    for engine in (batch_engine, _parallel_engine(parity_db)):
+        got = engine.run(plan)
+        assert got.columns == expected.columns
+        assert len(got.rows) == len(expected.rows)
+        assert _typed(got.rows) == _typed(expected.rows)
+        # identical work => identical virtual time, modulo float accumulation
+        assert got.virtual_seconds == pytest.approx(
+            expected.virtual_seconds, rel=1e-6, abs=1e-9)
 
 
 def test_candidate_plans_parity(parity_db):
@@ -135,29 +150,31 @@ def test_candidate_plans_parity(parity_db):
     batch_engine = Executor(parity_db.catalog, parity_db.clock,
                             engine="batch")
     for candidate in candidates:
-        assert (batch_engine.run(candidate).rows
-                == row_engine.run(candidate).rows)
+        expected = row_engine.run(candidate).rows
+        assert batch_engine.run(candidate).rows == expected
+        assert _parallel_engine(parity_db).run(candidate).rows == expected
 
 
 def test_rows_out_accounting_parity(parity_db):
     plan = parity_db.planner.plan_select(
         parse("SELECT * FROM users WHERE age >= 30"))
     row_engine = Executor(parity_db.catalog, parity_db.clock, engine="row")
-    batch_engine = Executor(parity_db.catalog, parity_db.clock,
-                            engine="batch")
     op_row = row_engine.build(plan)
     rows = list(row_engine.iter_rows(op_row))
-    op_batch = batch_engine.build(plan)
-    blocks = list(batch_engine.iter_rows(op_batch))
-    assert len(rows) == len(blocks)
-    assert op_row.rows_out == op_batch.rows_out
+    for engine in (Executor(parity_db.catalog, parity_db.clock,
+                            engine="batch"),
+                   _parallel_engine(parity_db)):
+        op = engine.build(plan)
+        produced = list(engine.iter_rows(op))
+        assert len(rows) == len(produced)
+        assert op_row.rows_out == op.rows_out
 
 
 def test_division_by_zero_parity(parity_db):
     from repro.common.errors import ExecutionError
     sql = "SELECT * FROM users WHERE age / (age - age) > 1"
     plan = parity_db.planner.plan_select(parse(sql))
-    for engine in ("row", "batch"):
+    for engine in ("row", "batch", "parallel"):
         executor = Executor(parity_db.catalog, parity_db.clock, engine=engine)
         with pytest.raises(ExecutionError):
             executor.run(plan)
@@ -173,10 +190,9 @@ def test_guarded_division_short_circuit_parity():
     db.execute("ANALYZE")
     plan = db.planner.plan_select(
         parse("SELECT id FROM d WHERE x <> 0 AND 10 / x > 1"))
-    row = Executor(db.catalog, db.clock, engine="row").run(plan)
-    batch = Executor(db.catalog, db.clock, engine="batch").run(plan)
-    assert row.rows == [(2,)]
-    assert batch.rows == [(2,)]
+    for engine in ("row", "batch", "parallel"):
+        result = Executor(db.catalog, db.clock, engine=engine).run(plan)
+        assert result.rows == [(2,)]
 
 
 @pytest.mark.parametrize("base", [2 ** 53, 2 ** 60])
@@ -191,10 +207,9 @@ def test_big_integer_precision_parity(base):
     for target, expect in ((base, [(2,)]), (base + 1, [(1,)])):
         plan = db.planner.plan_select(
             parse(f"SELECT id FROM big WHERE x = {target}"))
-        row = Executor(db.catalog, db.clock, engine="row").run(plan)
-        batch = Executor(db.catalog, db.clock, engine="batch").run(plan)
-        assert row.rows == expect
-        assert batch.rows == expect
+        for engine in ("row", "batch", "parallel"):
+            result = Executor(db.catalog, db.clock, engine=engine).run(plan)
+            assert result.rows == expect
 
 
 def test_train_filter_skips_null_target_rows():
@@ -246,10 +261,13 @@ def test_nan_group_key_parity():
     plan = db.planner.plan_select(
         parse("SELECT k, count(*), sum(v) FROM g GROUP BY k"))
     row = Executor(db.catalog, db.clock, engine="row").run(plan)
-    batch = Executor(db.catalog, db.clock, engine="batch").run(plan)
-    assert len(batch.rows) == len(row.rows)
-    assert [(repr(k), c, s) for k, c, s in batch.rows] \
-        == [(repr(k), c, s) for k, c, s in row.rows]
+    for engine in (Executor(db.catalog, db.clock, engine="batch"),
+                   Executor(db.catalog, db.clock, engine="parallel",
+                            workers=2, morsel_rows=2)):
+        got = engine.run(plan)
+        assert len(got.rows) == len(row.rows)
+        assert [(repr(k), c, s) for k, c, s in got.rows] \
+            == [(repr(k), c, s) for k, c, s in row.rows]
 
 
 def test_high_cardinality_group_by_parity():
@@ -265,7 +283,9 @@ def test_high_cardinality_group_by_parity():
         parse("SELECT k, count(*), sum(v) FROM hc GROUP BY k"))
     row = Executor(db.catalog, db.clock, engine="row").run(plan)
     batch = Executor(db.catalog, db.clock, engine="batch").run(plan)
+    parallel = Executor(db.catalog, db.clock, engine="parallel").run(plan)
     assert _typed(batch.rows) == _typed(row.rows)
+    assert _typed(parallel.rows) == _typed(row.rows)
 
 
 class TestTrainingDataParity:

@@ -1,0 +1,21 @@
+"""Docs must not reference files that do not exist.
+
+Runs the same checker CI runs (`tools/check_links.py`) so a module rename
+that breaks a docs pointer fails tier-1 locally, not just in the workflow.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_docs_have_no_dead_links():
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_links.py")],
+        capture_output=True, text=True)
+    assert proc.returncode == 0, (
+        f"dead documentation references:\n{proc.stderr}")

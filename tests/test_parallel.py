@@ -1,0 +1,262 @@
+"""Morsel scheduler edge cases and guarantees.
+
+The three-way result parity lives in test_batch_parity.py; this file
+exercises the scheduler itself: degenerate morsel shapes (empty tables,
+1-row morsels, more workers than morsels), merge of empty partial sets,
+determinism across worker counts, the virtual-time invariants
+(total == serial total, makespan <= total), and the storage-level morsel
+splitting contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.common.simtime import SimClock, WorkerClocks
+from repro.exec.executor import Executor
+from repro.exec.parallel import MorselScheduler
+from repro.sql import parse
+
+
+def _typed(rows):
+    return [tuple((type(v), v) for v in row) for row in rows]
+
+
+def _fresh_db(rows: int = 60):
+    db = repro.connect()
+    db.execute("CREATE TABLE t (id INT UNIQUE, grp TEXT, v FLOAT)")
+    heap = db.catalog.table("t")
+    for i in range(rows):
+        heap.insert((i, ["a", "b", "c"][i % 3], float(i) * 0.5))
+    db.execute("ANALYZE")
+    return db
+
+
+def _run(db, sql, **executor_kwargs):
+    plan = db.planner.plan_select(parse(sql))
+    return Executor(db.catalog, db.clock, **executor_kwargs).run(plan)
+
+
+QUERIES = [
+    "SELECT * FROM t",
+    "SELECT grp, count(*), sum(v), avg(v) FROM t GROUP BY grp",
+    "SELECT count(*) FROM t WHERE v > 5.0",
+    "SELECT id FROM t WHERE grp = 'a' ORDER BY id",
+]
+
+
+# -- degenerate shapes -------------------------------------------------------
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_empty_table(sql):
+    """Zero morsels: scans yield nothing, aggregate merges zero partials."""
+    db = _fresh_db(rows=0)
+    batch = _run(db, sql, engine="batch")
+    parallel = _run(db, sql, engine="parallel", workers=4)
+    assert _typed(parallel.rows) == _typed(batch.rows)
+
+
+def test_empty_table_global_aggregate_default_row():
+    """A global aggregate over zero rows still yields its default row —
+    the merge of an *empty* partial list."""
+    db = _fresh_db(rows=0)
+    result = _run(db, "SELECT count(*), sum(v) FROM t", engine="parallel")
+    assert result.rows == [(0, None)]
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_one_row_morsels(sql):
+    """morsel_rows=1: one morsel per row, maximal split/merge traffic."""
+    db = _fresh_db(rows=17)
+    batch = _run(db, sql, engine="batch")
+    parallel = _run(db, sql, engine="parallel", workers=3, morsel_rows=1)
+    assert parallel.extra["parallel"]["tasks"] >= 17
+    assert _typed(parallel.rows) == _typed(batch.rows)
+    assert parallel.virtual_seconds == pytest.approx(
+        batch.virtual_seconds, rel=1e-6, abs=1e-9)
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_more_workers_than_morsels(sql):
+    """workers > morsels: idle workers must not corrupt results or time."""
+    db = _fresh_db(rows=5)
+    batch = _run(db, sql, engine="batch")
+    parallel = _run(db, sql, engine="parallel", workers=16, morsel_rows=4096)
+    assert _typed(parallel.rows) == _typed(batch.rows)
+    assert parallel.virtual_seconds == pytest.approx(
+        batch.virtual_seconds, rel=1e-6, abs=1e-9)
+
+
+def test_filter_rejects_everything_before_aggregate():
+    """Every morsel filters to empty: the aggregate sees no partials at
+    all, but grouped queries emit nothing and global ones their default."""
+    db = _fresh_db()
+    assert _run(db, "SELECT grp, count(*) FROM t WHERE v < 0 GROUP BY grp",
+                engine="parallel", morsel_rows=8).rows == []
+    assert _run(db, "SELECT count(*), max(v) FROM t WHERE v < 0",
+                engine="parallel", morsel_rows=8).rows == [(0, None)]
+
+
+# -- determinism -------------------------------------------------------------
+
+def test_deterministic_across_worker_counts():
+    """Rows, order, and charged totals are identical for any worker count
+    (single-worker inline mode is the reference)."""
+    db = _fresh_db(rows=200)
+    sql = "SELECT grp, count(*), sum(v) FROM t WHERE v > 1.0 GROUP BY grp"
+    plan = db.planner.plan_select(parse(sql))
+    reference = None
+    for workers in (1, 2, 4, 7):
+        executor = Executor(db.catalog, db.clock, engine="parallel",
+                            workers=workers, morsel_rows=16)
+        start = db.clock.now
+        result = executor.run(plan)
+        charged = db.clock.now - start
+        if reference is None:
+            reference = (_typed(result.rows), charged)
+        else:
+            assert _typed(result.rows) == reference[0]
+            assert charged == pytest.approx(reference[1], rel=1e-9)
+
+
+def test_repeated_runs_identical():
+    db = _fresh_db(rows=100)
+    sql = "SELECT grp, sum(v) FROM t GROUP BY grp"
+    first = _run(db, sql, engine="parallel", workers=4, morsel_rows=8)
+    second = _run(db, sql, engine="parallel", workers=4, morsel_rows=8)
+    assert _typed(first.rows) == _typed(second.rows)
+
+
+# -- virtual-time invariants -------------------------------------------------
+
+def test_makespan_bounded_by_charged_total():
+    db = _fresh_db(rows=500)
+    result = _run(db, "SELECT grp, count(*) FROM t WHERE v > 10 GROUP BY grp",
+                  engine="parallel", workers=4, morsel_rows=16)
+    stats = result.extra["parallel"]
+    assert stats["virtual_makespan"] <= stats["virtual_charged"] + 1e-12
+    assert stats["modeled_speedup"] >= 1.0
+    # the charged total is what landed on the shared clock
+    assert stats["virtual_charged"] == pytest.approx(
+        result.virtual_seconds, rel=1e-9)
+
+
+def test_single_worker_makespan_equals_total():
+    db = _fresh_db(rows=200)
+    stats = _run(db, "SELECT count(*) FROM t", engine="parallel",
+                 workers=1).extra["parallel"]
+    assert stats["virtual_makespan"] == pytest.approx(
+        stats["virtual_charged"], rel=1e-12)
+
+
+def test_more_workers_never_slower():
+    db = _fresh_db(rows=2000)
+    sql = "SELECT grp, sum(v) FROM t WHERE v > 0 GROUP BY grp"
+    spans = []
+    for workers in (1, 2, 4):
+        stats = _run(db, sql, engine="parallel", workers=workers,
+                     morsel_rows=64).extra["parallel"]
+        spans.append(stats["virtual_makespan"])
+    assert spans[0] >= spans[1] >= spans[2]
+
+
+def test_limit_plans_run_on_serial_lane():
+    """LIMIT anywhere => whole-tree serial fallback: no parallel phases,
+    and charges exactly match the batch engine's early termination."""
+    db = _fresh_db(rows=300)
+    sql = "SELECT id FROM t WHERE v > 1 LIMIT 3"
+    batch = _run(db, sql, engine="batch")
+    parallel = _run(db, sql, engine="parallel", workers=4, morsel_rows=8)
+    assert parallel.rows == batch.rows
+    assert parallel.extra["parallel"]["parallel_phases"] == 0
+    assert parallel.virtual_seconds == pytest.approx(
+        batch.virtual_seconds, rel=1e-9, abs=1e-12)
+
+
+# -- WorkerClocks ------------------------------------------------------------
+
+def test_worker_clocks_list_scheduling():
+    """Six equal 1s tasks on 2 virtual workers => 3s makespan, 6s total."""
+    clocks = WorkerClocks()
+    shards = []
+    for _ in range(6):
+        shard = SimClock()
+        shard.advance(1.0, "work")
+        shards.append(shard)
+    clocks.close_phase(shards, workers=2)
+    assert clocks.total() == pytest.approx(6.0)
+    assert clocks.makespan() == pytest.approx(3.0)
+    target = SimClock()
+    clocks.merge_into(target)
+    assert target.now == pytest.approx(6.0)
+    assert target.category_total("work") == pytest.approx(6.0)
+
+
+def test_worker_clocks_serial_lane_counts_fully():
+    clocks = WorkerClocks()
+    clocks.serial_lane.advance(2.0, "sort")
+    shard = SimClock()
+    shard.advance(4.0, "scan")
+    clocks.close_phase([shard], workers=4)
+    assert clocks.total() == pytest.approx(6.0)
+    # one task cannot be split across workers: 4s phase + 2s lane
+    assert clocks.makespan() == pytest.approx(6.0)
+
+
+def test_worker_clocks_empty_phase_is_noop():
+    clocks = WorkerClocks()
+    clocks.close_phase([], workers=4)
+    assert clocks.phases == 0
+    assert clocks.total() == 0.0
+    assert clocks.makespan() == 0.0
+
+
+# -- knobs and validation ----------------------------------------------------
+
+def test_scheduler_rejects_bad_knobs():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        MorselScheduler(clock, workers=0)
+    with pytest.raises(ValueError):
+        MorselScheduler(clock, morsel_rows=0)
+    with pytest.raises(ValueError):
+        Executor(repro.connect().catalog, engine="parallel", workers=0)
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError):
+        Executor(repro.connect().catalog, engine="morsel")
+
+
+# -- storage morsel splitting ------------------------------------------------
+
+def test_scan_morsels_contract():
+    """Concatenated morsels reproduce scan order; sizes are exact except
+    the final short morsel; each page hits the buffer pool exactly once."""
+    db = _fresh_db(rows=137)
+    heap = db.catalog.table("t")
+    serial = [row for _, row in heap.scan()]
+    pool = db.catalog.buffer_pool
+    before = pool._hits + pool._misses
+    morsels = heap.scan_morsels(10)
+    touches = (pool._hits + pool._misses) - before
+    assert touches == heap.page_count
+    assert [n for _, n in morsels[:-1]] == [10] * (len(morsels) - 1)
+    assert 0 < morsels[-1][1] <= 10
+    rebuilt = [row for columns, n in morsels
+               for row in zip(*columns)] if morsels else []
+    assert rebuilt == serial
+
+
+def test_scan_morsels_single_row_granularity():
+    db = _fresh_db(rows=7)
+    heap = db.catalog.table("t")
+    morsels = heap.scan_morsels(1)
+    assert len(morsels) == 7
+    assert all(n == 1 for _, n in morsels)
+
+
+def test_scan_morsels_empty_table():
+    db = _fresh_db(rows=0)
+    assert db.catalog.table("t").scan_morsels(16) == []

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Dead-link checker for the documentation.
+
+Validates, for every Markdown file under ``docs/`` plus the repo-root
+README (when present):
+
+* relative Markdown links ``[text](target)`` resolve to existing files or
+  directories (``http(s)``/``mailto`` targets and pure ``#anchor`` links
+  are skipped; a ``#fragment`` suffix on a file link is ignored);
+* backtick code references that name repo paths — anything starting with
+  ``src/``, ``docs/``, ``tests/``, ``benchmarks/``, ``tools/``,
+  ``examples/``, or ``repro/`` and ending in ``.py``/``.md``/``.json`` —
+  point at real files (``repro/...`` is also tried under ``src/``).
+
+Exits non-zero listing every dead reference.  Wired into CI
+(``.github/workflows/ci.yml``) and into tier-1 via
+``tests/test_docs_links.py``, so docs cannot silently rot as modules move.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_CODE_REF = re.compile(
+    r"`((?:src|docs|tests|benchmarks|tools|examples|repro)/"
+    r"[\w./-]+\.(?:py|md|json))`")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _candidates(base: Path, target: str) -> list[Path]:
+    """Paths a reference may resolve to: relative to its file, and (for
+    repo-style paths) relative to the repo root, with ``repro/`` module
+    paths also tried under ``src/``."""
+    paths = [base / target, ROOT / target]
+    if target.startswith("repro/"):
+        paths.append(ROOT / "src" / target)
+    return paths
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    relative = path.relative_to(ROOT)
+    for match in _MD_LINK.finditer(text):
+        target = match.group(1).split("#", 1)[0]
+        if not target or match.group(1).startswith(_EXTERNAL):
+            continue
+        if not any(p.exists() for p in _candidates(path.parent, target)):
+            errors.append(f"{relative}: dead link -> ({match.group(1)})")
+    for match in _CODE_REF.finditer(text):
+        target = match.group(1)
+        if not any(p.exists() for p in _candidates(path.parent, target)):
+            errors.append(f"{relative}: dead code reference -> `{target}`")
+    return errors
+
+
+def main() -> int:
+    files = sorted(ROOT.glob("docs/**/*.md"))
+    readme = ROOT / "README.md"
+    if readme.exists():
+        files.append(readme)
+    errors = [error for path in files for error in check_file(path)]
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'FAILED' if errors else 'ok'} ({len(errors)} dead reference(s))")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
