@@ -71,6 +71,16 @@ class SimClock:
         """Arm (or clear, with None) the budget limit in absolute time."""
         self._limit = limit
 
+    @property
+    def limit(self) -> float | None:
+        """The armed budget limit (absolute virtual time), or None.
+
+        The morsel scheduler reads this to enforce the budget at phase
+        boundaries: worker charges accumulate on shard clocks that carry
+        no limit of their own, so the shared clock's limit must be checked
+        explicitly when a phase's charges are folded in."""
+        return self._limit
+
     def advance_to(self, when: float, category: str = "wait") -> float:
         """Move the clock forward to an absolute time (no-op if in the past)."""
         if when > self._now:

@@ -89,6 +89,13 @@ class Executor:
         self.morsel_rows = (morsel_rows if morsel_rows is not None
                             else DEFAULT_MORSEL_ROWS)
 
+    def with_engine(self, engine: str) -> "Executor":
+        """A sibling executor over the same catalog and clock, differing
+        only in engine (worker/morsel knobs carry over).  Used by capped
+        measurement to downgrade ``parallel`` to ``batch``."""
+        return Executor(self._catalog, self._clock, engine=engine,
+                        workers=self.workers, morsel_rows=self.morsel_rows)
+
     def build(self, node: plan.PlanNode) -> ops.Operator:
         """Recursively build the operator tree for a plan."""
         if isinstance(node, plan.SeqScan):

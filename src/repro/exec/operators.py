@@ -24,8 +24,10 @@ A third caller exists since the morsel-driven parallel engine
 scheduler calls the *parallel hooks* — ``process_morsel``/``process_block``
 for stateless map-style operators, and ``partial``/``merge`` pairs
 (``partial_block``/``merge_partial``/``finish_partials`` on aggregation,
-``build_block``/``merge_build``/``probe_block`` on hash join) for stateful
-ones.  Contract for every hook: it charges all of its virtual-time cost to
+plus ``split_partial``/``merge_partition``/``finish_partitions`` for the
+hash-partitioned wide-GROUP-BY merge; ``build_block``/``merge_build``/
+``probe_block`` on hash join; ``sort_block``/``merge_runs`` on sort) for
+stateful ones.  Contract for every hook: it charges all of its virtual-time cost to
 the clock it is *passed* (a per-worker shard), never to ``self._clock``; it
 never touches ``self.rows_out`` (the scheduler attributes output counts
 after reassembly, keeping the counters race-free); and it is safe to call
@@ -716,10 +718,12 @@ class AggregateOp(Operator):
         col = block.column(self._group_sources[0][1])
         distinct = dict.fromkeys(col.tolist())
         if (len(distinct) > self._MASK_PARTITION_MAX_KEYS
-                or any(k != k for k in distinct)):
-            # high cardinality would go quadratic; NaN keys (k != k) defeat
-            # equality masks entirely — both use the per-row dict partition,
-            # which shares the row engine's identity semantics for NaN
+                or any(_is_nan(k) for k in distinct)):
+            # high cardinality would go quadratic; NaN keys defeat equality
+            # masks entirely — both use the per-row dict partition, which
+            # shares the row engine's identity semantics for NaN.  Same
+            # guard as _sort_key: isinstance-checked NaN, so an exotic
+            # __ne__ can never be mistaken for (or hide) a NaN key
             self._accumulate_by_rows(block, groups, group_order)
             return
         call_arrays = self._call_arrays(block)
@@ -822,6 +826,18 @@ class AggregateOp(Operator):
                             entries]
         return partial
 
+    @staticmethod
+    def _apply_entries(accs: list[_Accumulator], entries: list) -> None:
+        """Replay one partial's entries — ("count", n) or
+        ("values", values, clean) — into a group's accumulators; the one
+        place the partial entry format is interpreted, shared by both
+        merge paths."""
+        for acc, entry in zip(accs, entries):
+            if entry[0] == "count":
+                acc.add_count(entry[1])
+            else:
+                acc.add_values(entry[1], entry[2])
+
     def merge_partial(self, groups, group_order, partial: dict) -> None:
         """Fold one morsel partial into the global accumulator state.
         Callers must merge partials in morsel order; the first morsel that
@@ -832,11 +848,7 @@ class AggregateOp(Operator):
             if state is None:
                 state = groups[key] = (self._new_accs(), representative)
                 group_order.append(key)
-            for acc, entry in zip(state[0], entries):
-                if entry[0] == "count":
-                    acc.add_count(entry[1])
-                else:
-                    acc.add_values(entry[1], entry[2])
+            self._apply_entries(state[0], entries)
 
     def finish_partials(self, partials: list[dict]) -> RowBlock | None:
         """Merge morsel partials (already in morsel order) and emit the
@@ -847,6 +859,75 @@ class AggregateOp(Operator):
         group_order: list[Any] = []
         for partial in partials:
             self.merge_partial(groups, group_order, partial)
+        rows = list(self._result_rows(groups, group_order, count=False))
+        if rows:
+            return self._emit_block(RowBlock.from_rows(self.layout, rows))
+        return None
+
+    # -- partitioned merge (wide GROUP BY) ---------------------------------
+    #
+    # For high-cardinality GROUP BY the single morsel-order merge dict
+    # becomes the one serial funnel in an otherwise parallel plan.  The
+    # partitioned path radix-partitions group keys by hash across P
+    # per-worker tables: split_partial slices each morsel partial into P
+    # sub-dicts (parallel over morsels), merge_partition folds one
+    # partition's slices together across all morsels (parallel over
+    # partitions — disjoint key sets, no shared state), and
+    # finish_partitions reassembles global first-seen group order from the
+    # (morsel, position) stamps recorded at split time.  Because every
+    # group lives in exactly one partition and its slices are still folded
+    # in morsel order, the raw-value replay through _Accumulator.add_values
+    # is unchanged — float sums and DISTINCT first-seen order stay
+    # bit-identical to the serial engines.  Like the plain merge, the
+    # partitioned merge charges nothing: every per-row cost was already
+    # charged in a worker (see docs/parallel.md).
+
+    # partials whose widest morsel stays at or under the mask-partition
+    # cutoff keep the plain serial merge; past it the merge dict is worth
+    # partitioning
+    PARTITION_MIN_KEYS = _MASK_PARTITION_MAX_KEYS
+
+    def split_partial(self, partial: dict, parts: int) -> list[dict]:
+        """Parallel hook: slice one morsel partial into ``parts``
+        hash-partitioned sub-dicts of ``key -> (position, state)``.  The
+        recorded position (the key's index within the morsel partial)
+        lets finish_partitions rebuild global first-seen order across
+        partitions.  Equal keys hash equally, so a group's slices all land
+        in the same partition; NaN keys hash by object identity, matching
+        the identity grouping the merge dict already gave them."""
+        out: list[dict] = [{} for _ in range(parts)]
+        for position, (key, state) in enumerate(partial.items()):
+            out[hash(key) % parts][key] = (position, state)
+        return out
+
+    def merge_partition(self, slices: list[dict]) -> dict:
+        """Parallel hook: fold one partition's per-morsel slices (in
+        morsel order) into ``key -> (accumulators, representative,
+        first_seen)`` where ``first_seen`` is the (morsel index, position)
+        of the key's first appearance."""
+        groups: dict[Any, tuple[list[_Accumulator], tuple, tuple]] = {}
+        for morsel_idx, sub in enumerate(slices):
+            for key, (position, (representative, entries)) in sub.items():
+                state = groups.get(key)
+                if state is None:
+                    state = groups[key] = (self._new_accs(), representative,
+                                           (morsel_idx, position))
+                self._apply_entries(state[0], entries)
+        return groups
+
+    def finish_partitions(self, partitions: list[dict]) -> RowBlock | None:
+        """Reassemble partition merges into one result block, restoring
+        the serial engines' global first-seen group order by sorting on
+        the (morsel, position) stamps — integer pairs, unique per key, so
+        group keys themselves are never compared."""
+        groups: dict[Any, tuple[list[_Accumulator], tuple]] = {}
+        stamped: list[tuple[tuple, Any]] = []
+        for partition in partitions:
+            for key, (accs, representative, first_seen) in partition.items():
+                groups[key] = (accs, representative)
+                stamped.append((first_seen, key))
+        stamped.sort(key=lambda pair: pair[0])
+        group_order = [key for _, key in stamped]
         rows = list(self._result_rows(groups, group_order, count=False))
         if rows:
             return self._emit_block(RowBlock.from_rows(self.layout, rows))
@@ -885,6 +966,26 @@ class AggregateOp(Operator):
         return evaluator(row) if row else None
 
 
+class _Descending:
+    """Inverts the comparison of a wrapped sort key.
+
+    Lets a multi-key composite mix ASC and DESC components in one tuple:
+    ``reverse=True`` cannot flip individual keys, and numeric negation
+    cannot flip strings.  Only ``__lt__``/``__eq__`` are needed — tuple
+    comparison and the k-way merge heap use nothing else."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: "_Descending") -> bool:
+        return other.key == self.key
+
+
 class SortOp(Operator):
     def __init__(self, node: plan.Sort, child: Operator, clock: SimClock):
         super().__init__(child.layout, clock)
@@ -892,13 +993,32 @@ class SortOp(Operator):
         self._keys = [(compile_expr_cached(k.expr, child.layout),
                        k.descending) for k in node.keys]
 
-    def _sorted(self, rows: list[tuple]) -> list[tuple]:
+    def _composite_key(self, row: tuple) -> tuple:
+        """Total-order composite sort key for one row.
+
+        A single stable sort on this tuple is equivalent to the classic
+        per-key reversed stable-sort cascade *because* ``_sort_key`` is a
+        total order (the NaN bucketing guarantees it); a DESC key flips
+        NULLs-first too, exactly as ``reverse=True`` did."""
+        return tuple(
+            _Descending(_sort_key(evaluator(row))) if descending
+            else _sort_key(evaluator(row))
+            for evaluator, descending in self._keys)
+
+    @staticmethod
+    def _sort_cost(n: int) -> float:
+        """Virtual cost of sorting ``n`` rows; zero when there is nothing
+        to order (n <= 1), on every path alike."""
+        if n <= 1:
+            return 0.0
         import math
-        n = max(2, len(rows))
-        self._clock.advance(n * math.log2(n) * CostModel.SORT_ROW_LOG, "sort")
-        for evaluator, descending in reversed(self._keys):
-            rows.sort(key=lambda r: _sort_key(evaluator(r)),
-                      reverse=descending)
+        return n * math.log2(n) * CostModel.SORT_ROW_LOG
+
+    def _sorted(self, rows: list[tuple]) -> list[tuple]:
+        cost = self._sort_cost(len(rows))
+        if cost:
+            self._clock.advance(cost, "sort")
+        rows.sort(key=self._composite_key)
         return rows
 
     def __iter__(self) -> Iterator[tuple]:
@@ -911,14 +1031,83 @@ class SortOp(Operator):
         for block in rows_to_blocks(self.layout, self._sorted(rows)):
             yield self._emit_block(block)
 
+    # -- parallel hooks ----------------------------------------------------
+    #
+    # The morsel scheduler sorts each input block into a *run* of
+    # (composite key, row) pairs on a worker (sort_block), then k-way
+    # merges the runs on the serial lane (merge_runs).  Charge split:
+    # each run pays its own n_i*log2(n_i) on the worker that sorted it,
+    # and the merge pays the remainder n*log2(n) - sum(n_i*log2(n_i)) —
+    # about n*log2(k), the classic k-way merge cost — so the charged
+    # total is exactly what the serial engines' single _sorted charges.
+    # Determinism: runs arrive in morsel order and the merge heap breaks
+    # key ties by (run index, position), which is precisely the serial
+    # sort's stability over input order; rows are never compared.
+
+    def sort_block(self, block: RowBlock, clock: SimClock
+                   ) -> list[tuple[tuple, tuple]]:
+        """Parallel hook: sort one morsel's rows into a keyed run,
+        charging ``clock`` the run's share of the sort cost."""
+        rows = block.to_rows()
+        cost = self._sort_cost(len(rows))
+        if cost:
+            clock.advance(cost, "sort")
+        run = [(self._composite_key(row), row) for row in rows]
+        run.sort(key=lambda pair: pair[0])
+        return run
+
+    def merge_runs(self, runs: list[list[tuple[tuple, tuple]]],
+                   clock: SimClock) -> list[RowBlock]:
+        """Serial-lane parallel hook: k-way merge of per-morsel sorted
+        runs; charges ``clock`` the merge remainder so run charges plus
+        this equal the serial engines' total.  Does not touch
+        ``rows_out`` — the scheduler attributes counts."""
+        import heapq
+        runs = [run for run in runs if run]
+        total = sum(len(run) for run in runs)
+        remainder = self._sort_cost(total) - sum(
+            self._sort_cost(len(run)) for run in runs)
+        if remainder > 0:
+            clock.advance(remainder, "sort")
+        if not runs:
+            return []
+        if len(runs) == 1:
+            rows = [row for _, row in runs[0]]
+        else:
+            heap = [(run[0][0], idx, 0) for idx, run in enumerate(runs)]
+            heapq.heapify(heap)
+            rows = []
+            while heap:
+                key, idx, pos = heapq.heappop(heap)
+                rows.append(runs[idx][pos][1])
+                pos += 1
+                if pos < len(runs[idx]):
+                    heapq.heappush(heap, (runs[idx][pos][0], idx, pos))
+        return list(rows_to_blocks(self.layout, rows))
+
+
+def _is_nan(value: Any) -> bool:
+    """True for float NaN (the one value that defeats ``==``/``<`` total
+    ordering).  The ``isinstance`` guard keeps exotic ``__ne__``
+    implementations from being mistaken for NaN."""
+    return isinstance(value, float) and value != value
+
 
 def _sort_key(value: Any) -> tuple:
-    """NULLs sort last (ascending); mixed types fall back to repr order."""
+    """Total-order sort key: numbers, then NaN, then strings, then NULLs.
+
+    NULLs sort last (ascending); mixed types fall back to repr order.  NaN
+    gets its own deterministic bucket ``(0.5, "")`` between numbers and
+    strings — mirroring the NULLs-last rule — because a raw NaN defeats
+    Python's sort comparisons and would make the output input-order-
+    dependent (and a k-way run merge non-deterministic)."""
     if value is None:
         return (2, "")
     if isinstance(value, bool):
         return (0, int(value))
     if isinstance(value, (int, float)):
+        if _is_nan(value):
+            return (0.5, "")
         return (0, value)
     return (1, str(value))
 

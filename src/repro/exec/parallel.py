@@ -7,9 +7,10 @@ is split into *morsels* (fixed-size column batches, default
 a shared counter — natural load balancing, no static partitioning — and
 push each morsel through as much of the operator pipeline as is
 order-insensitive.  Stateful operators contribute per-worker *partial*
-state that a serial merge step folds together: thread-local hash-aggregate
-partials merged in morsel order, and hash-join build parts merged in morsel
-order before a parallel probe.
+state that a merge step folds together: thread-local hash-aggregate
+partials merged in morsel order (hash-partitioned across workers for wide
+GROUP BY), per-morsel sorted runs k-way merged on the serial lane, and
+hash-join build parts merged in morsel order before a parallel probe.
 
 The module's contract, which `tests/test_parallel.py` and the three-way
 parity sweep in `tests/test_batch_parity.py` enforce:
@@ -37,21 +38,26 @@ parity sweep in `tests/test_batch_parity.py` enforce:
   and every per-row cost has already been charged in a worker — charging
   it again would break total parity.
 * **Scope of parallelism** — Scan→Filter→Project chains, aggregate
-  partials, and hash-join build/probe run morsel-parallel.  Operators whose
-  semantics are order- or stream-sensitive (Sort, Distinct, NestedLoopJoin,
-  IndexScan, EmptyRow) run their serial batch path on the scheduler's
-  serial lane, with their *inputs* still computed in parallel.  A plan
-  containing LIMIT anywhere runs entirely on the serial lane: LIMIT stops
-  pulling mid-stream, and eager morsel dispatch would scan (and charge)
-  rows the serial engines never touch.
+  partials (with a hash-partitioned parallel merge for wide GROUP BY),
+  sort (per-morsel sorted runs, k-way merged on the serial lane), and
+  hash-join build/probe all run morsel-parallel.  Operators whose
+  semantics are stream-sensitive (Distinct, NestedLoopJoin, IndexScan,
+  EmptyRow) run their serial batch path on the scheduler's serial lane,
+  with their *inputs* still computed in parallel.  A plan containing LIMIT
+  anywhere runs entirely on the serial lane: LIMIT stops pulling
+  mid-stream, and eager morsel dispatch would scan (and charge) rows the
+  serial engines never touch.
 * **Single-worker mode** — ``workers=1`` dispatches inline on the calling
   thread with no threads created at all: fully deterministic, used as the
   reference in scheduler tests.
-
-Known limitation: virtual-time budgets (``SimClock.set_limit``) only fire
-when worker charges are merged at the end of the run, so ``BudgetExceeded``
-cannot interrupt a parallel query mid-flight.  Capped measurement
-(`src/repro/exec/measure.py`) should keep using the serial engines.
+* **Budgets** — virtual-time budgets (``SimClock.set_limit``) are checked
+  every time a phase's worker charges close (and once more before the
+  final merge), so ``BudgetExceeded`` fires mid-flight at phase
+  granularity; the final merge itself runs with the limit suspended so a
+  failing query still leaves *all* its charges on the shared clock, like
+  the serial engines do.  Capped measurement
+  (`src/repro/exec/measure.py`) still downgrades to the batch engine: a
+  phase is coarser than the serial engines' per-charge enforcement.
 """
 
 from __future__ import annotations
@@ -60,7 +66,7 @@ import threading
 from itertools import count as _shared_counter
 from typing import Any, Callable
 
-from repro.common.simtime import SimClock, WorkerClocks
+from repro.common.simtime import BudgetExceeded, SimClock, WorkerClocks
 from repro.exec import operators as ops
 from repro.exec.batch import RowBlock
 from repro.exec.expr import RowLayout
@@ -135,13 +141,25 @@ class MorselScheduler:
                 blocks = self._serial_tree(operator)
             else:
                 blocks = self._execute(operator)
+            # serial-lane charges since the last phase close (run merges,
+            # spill surcharges) are budget-checked here, before the merge
+            self._check_budget()
         finally:
             # direct charges (buffer pool, index page reads) are serial
             direct = self._clock.now - start
             clocks = self._worker_clocks
             makespan = direct + clocks.makespan()
             charged = direct + clocks.total()
-            clocks.merge_into(self._clock)
+            # suspend the budget limit while folding worker charges into
+            # the shared clock: a failing query must still leave all of
+            # its charges behind (the serial engines' contract), and the
+            # budget itself was already enforced at phase boundaries
+            limit = self._clock.limit
+            self._clock.set_limit(None)
+            try:
+                clocks.merge_into(self._clock)
+            finally:
+                self._clock.set_limit(limit)
         stats = {
             "workers": self.workers,
             "morsel_rows": self.morsel_rows,
@@ -152,6 +170,23 @@ class MorselScheduler:
             "modeled_speedup": (charged / makespan) if makespan > 0 else 1.0,
         }
         return blocks, stats
+
+    # -- budget enforcement ------------------------------------------------
+
+    def _check_budget(self) -> None:
+        """Raise :class:`BudgetExceeded` if the charges accumulated so far
+        (shared-clock direct charges + every worker shard + the serial
+        lane) have crossed the shared clock's armed limit.  Called at each
+        phase close — the finest granularity at which worker charges are
+        observable — so budgets fire mid-flight instead of only at the
+        final merge."""
+        limit = self._clock.limit
+        if limit is None:
+            return
+        if self._clock.now + self._worker_clocks.total() > limit:
+            raise BudgetExceeded(
+                f"virtual-time budget {limit} exceeded at a parallel "
+                f"phase boundary")
 
     # -- morsel dispatch ---------------------------------------------------
 
@@ -177,6 +212,7 @@ class MorselScheduler:
                     results[i] = fn(item, task_clocks[i])
             finally:
                 self._worker_clocks.close_phase(task_clocks, n_workers)
+            self._check_budget()
             return results
         grab = _shared_counter()
         errors: list[tuple[int, BaseException]] = []
@@ -207,6 +243,7 @@ class MorselScheduler:
             # one): the minimum index is THE first failing morsel, making
             # the surfaced error deterministic across thread interleavings
             raise min(errors, key=lambda pair: pair[0])[1]
+        self._check_budget()
         return results
 
     # -- execution strategies ----------------------------------------------
@@ -230,6 +267,8 @@ class MorselScheduler:
             return self._aggregate(op)
         if isinstance(op, ops.HashJoinOp):
             return self._hash_join(op)
+        if isinstance(op, ops.SortOp):
+            return self._sort(op)
         return self._serial_op(op)
 
     def _scan_pipeline(self, scan: ops.SeqScanOp,
@@ -286,11 +325,49 @@ class MorselScheduler:
         return out
 
     def _aggregate(self, op: ops.AggregateOp) -> list[RowBlock]:
-        """Parallel partial aggregation + serial morsel-order merge."""
+        """Parallel partial aggregation, then either the plain serial
+        morsel-order merge (narrow GROUP BY, global aggregates) or the
+        hash-partitioned parallel merge (wide GROUP BY): morsel partials
+        are radix-split by group-key hash into ``workers`` disjoint
+        partitions, each partition folds its slices in morsel order on its
+        own worker — no single merge dict funnels every group — and the
+        serial tail only reassembles first-seen group order from integer
+        stamps.  Either way the raw-value replay order is unchanged, so
+        results stay bit-identical; the merge charges nothing on any path
+        (every per-row cost was already charged in a worker)."""
         blocks = self._execute(op._child)
         partials = self._map(blocks, op.partial_block)
-        result = op.finish_partials(partials)
+        if (self.workers > 1 and op._node.group_by and partials
+                and max(len(p) for p in partials) > op.PARTITION_MIN_KEYS):
+            parts = self.workers
+
+            def split(partial: dict, _shard: SimClock) -> list[dict]:
+                return op.split_partial(partial, parts)
+
+            def merge(slices: list[dict], _shard: SimClock) -> dict:
+                return op.merge_partition(slices)
+
+            splits = self._map(partials, split)
+            columns = [[split[pid] for split in splits]
+                       for pid in range(parts)]
+            result = op.finish_partitions(self._map(columns, merge))
+        else:
+            result = op.finish_partials(partials)
         return [result] if result is not None else []
+
+    def _sort(self, op: ops.SortOp) -> list[RowBlock]:
+        """Parallel sort: per-morsel sorted runs on the workers (each run
+        charging its own n_i*log2(n_i)), then a k-way merge on the serial
+        lane charging the remainder — charged totals stay identical to the
+        serial engines' single full sort, and the merge's key ties break
+        by (run, position), reproducing the serial sort's stability over
+        input order exactly."""
+        blocks = self._execute(op._child)
+        runs = self._map(blocks, op.sort_block)
+        out = op.merge_runs(runs, self._worker_clocks.serial_lane)
+        for block in out:
+            op.rows_out += len(block)
+        return out
 
     def _hash_join(self, op: ops.HashJoinOp) -> list[RowBlock]:
         """Parallel build over left morsels, serial bucket merge (morsel
@@ -312,7 +389,7 @@ class MorselScheduler:
         return out
 
     def _serial_op(self, op: ops.Operator) -> list[RowBlock]:
-        """Operators without a parallel decomposition (Sort, Distinct,
+        """Operators without a parallel decomposition (Distinct,
         NestedLoopJoin, IndexScan, EmptyRow): inputs are still computed
         morsel-parallel, then the operator itself runs its serial batch
         path on the serial lane."""

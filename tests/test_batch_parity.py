@@ -55,6 +55,10 @@ PARITY_QUERIES = [
     "SELECT status, count(*) FROM orders GROUP BY status",
     "SELECT age FROM users ORDER BY age DESC LIMIT 3 OFFSET 1",
     "SELECT * FROM users ORDER BY city, age LIMIT 10",
+    # un-LIMITed sorts run morsel-parallel (sorted runs + k-way merge)
+    "SELECT * FROM users ORDER BY city DESC, age DESC",
+    "SELECT * FROM users ORDER BY score DESC, id",        # NULL-heavy key
+    "SELECT name, nickname FROM users ORDER BY nickname, name DESC",
     # LIMIT over a streaming chain: the pushed-down row budget makes the
     # batch engine scan (and charge) exactly the row engine's rows
     "SELECT * FROM users LIMIT 1",

@@ -1,0 +1,359 @@
+"""Parallel sort and partitioned aggregation: the retired serial-lane
+holdouts.
+
+Covers the total-order sort key (NaN bucketed deterministically between
+numbers and strings), three-way engine parity for ORDER BY over
+NaN/NULL/mixed-type keys and multi-key DESC sorts, wide GROUP BY past the
+mask-partition cutoff with NaN group keys at several worker counts, the
+sort-cost charge fix for empty/single-row inputs, and the mid-flight
+virtual-time budget enforcement at parallel phase boundaries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.common.simtime import BudgetExceeded, CostModel, SimClock
+from repro.exec import operators as ops
+from repro.exec.executor import Executor
+from repro.exec.measure import measure_plan_latency
+from repro.exec.operators import _Descending, _sort_key
+from repro.sql import parse
+
+WORKER_SWEEP = (1, 2, 4, 8)
+
+
+def _typed(rows):
+    return [tuple((type(v), v) for v in row) for row in rows]
+
+
+def _nan_safe(rows):
+    """Type+repr comparison key: NaN == NaN under repr, 1 != 1.0 by type."""
+    return [tuple((type(v), repr(v)) for v in row) for row in rows]
+
+
+def _run(db, sql, **kwargs):
+    plan = db.planner.plan_select(parse(sql))
+    return Executor(db.catalog, db.clock, **kwargs).run(plan)
+
+
+def _three_way(db, sql, workers=4, morsel_rows=16):
+    """Run sql through row/batch/parallel; assert rows, types, order, and
+    charged virtual time agree; return the row-engine result."""
+    plan = db.planner.plan_select(parse(sql))
+    # warm the buffer pool so the reference run doesn't pay cold page
+    # misses the later engines get as hits (fixtures skip ANALYZE because
+    # histogram stats reject NaN)
+    Executor(db.catalog, db.clock, engine="batch").run(plan)
+    row = Executor(db.catalog, db.clock, engine="row").run(plan)
+    for engine in (Executor(db.catalog, db.clock, engine="batch"),
+                   Executor(db.catalog, db.clock, engine="parallel",
+                            workers=workers, morsel_rows=morsel_rows)):
+        got = engine.run(plan)
+        assert _nan_safe(got.rows) == _nan_safe(row.rows)
+        assert got.virtual_seconds == pytest.approx(
+            row.virtual_seconds, rel=1e-6, abs=1e-9)
+    return row
+
+
+# -- total-order sort key ----------------------------------------------------
+
+def test_sort_key_is_total_order():
+    """NaN gets the (0.5, '') bucket between numbers and strings, so any
+    permutation of a mixed value set sorts to the same sequence."""
+    nan = float("nan")
+    values = [3, None, nan, "b", 1.5, None, nan, "a", -2, True]
+    keys = [_sort_key(v) for v in values]
+    # every pair of keys is comparable without error
+    for a in keys:
+        for b in keys:
+            assert (a < b) or (b < a) or (a == b)
+    ranks = [_sort_key(v)[0] for v in [-2, nan, "a", None]]
+    assert ranks == sorted(ranks)  # numbers < NaN < strings < NULL
+
+
+def test_sort_key_permutation_invariant():
+    import itertools
+    nan = float("nan")
+    base = [2.0, nan, None, "x", 1]
+    reference = sorted(base, key=_sort_key)
+    for perm in itertools.permutations(base):
+        got = sorted(perm, key=_sort_key)
+        assert [repr(v) for v in got] == [repr(v) for v in reference]
+
+
+def test_descending_wrapper_inverts():
+    a, b = _Descending((0, 1)), _Descending((0, 2))
+    assert b < a and not (a < b)
+    assert _Descending((1, "x")) == _Descending((1, "x"))
+
+
+# -- ORDER BY parity: NaN / NULL / mixed-type keys ---------------------------
+
+@pytest.fixture()
+def messy_db():
+    """FLOAT sort column containing NaN (via the heap API), NULLs, and
+    duplicates; a TEXT column with NULLs for multi-key/mixed tests."""
+    db = repro.connect()
+    db.execute("CREATE TABLE m (id INT, k FLOAT, s TEXT)")
+    heap = db.catalog.table("m")
+    nan = float("nan")
+    for i in range(80):
+        k = nan if i % 7 == 0 else (None if i % 11 == 0 else (i % 13) * 0.5)
+        s = None if i % 5 == 0 else f"s{i % 9}"
+        heap.insert((i, k, s))
+    return db
+
+
+@pytest.mark.parametrize("workers", WORKER_SWEEP)
+def test_order_by_nan_null_parity(messy_db, workers):
+    _three_way(messy_db, "SELECT id, k FROM m ORDER BY k",
+               workers=workers)
+    _three_way(messy_db, "SELECT id, k FROM m ORDER BY k DESC",
+               workers=workers)
+
+
+@pytest.mark.parametrize("workers", WORKER_SWEEP)
+def test_order_by_multi_key_desc_parity(messy_db, workers):
+    _three_way(messy_db, "SELECT id, k, s FROM m ORDER BY s DESC, k DESC",
+               workers=workers)
+    _three_way(messy_db,
+               "SELECT id, k, s FROM m ORDER BY k DESC, s, id DESC",
+               workers=workers)
+
+
+@pytest.mark.parametrize("workers", WORKER_SWEEP)
+def test_order_by_mixed_type_key_parity(messy_db, workers):
+    """coalesce(s, id) yields str-or-int keys; coalesce(s, k) adds NaN to
+    the mix — the full rank ladder numbers < NaN < strings < NULL."""
+    _three_way(messy_db,
+               "SELECT id, coalesce(s, id) AS mk FROM m ORDER BY mk, id",
+               workers=workers)
+    _three_way(messy_db,
+               "SELECT id, coalesce(s, k) AS mk FROM m ORDER BY mk DESC, id",
+               workers=workers)
+
+
+def test_order_by_nan_deterministic_across_worker_counts(messy_db):
+    """The k-way merge must yield one canonical order for every worker
+    count and morsel size, even with all-NaN key ties."""
+    reference = None
+    for workers in WORKER_SWEEP:
+        for morsel_rows in (4, 16, 64):
+            got = _run(messy_db, "SELECT id, k FROM m ORDER BY k",
+                       engine="parallel", workers=workers,
+                       morsel_rows=morsel_rows)
+            if reference is None:
+                reference = _nan_safe(got.rows)
+            assert _nan_safe(got.rows) == reference
+
+
+# -- sort runs morsel-parallel now -------------------------------------------
+
+def test_sort_heavy_plan_gets_modeled_speedup():
+    """ORDER BY-heavy plans no longer ride the serial lane: the run sorts
+    parallelize and only the k-way merge remainder stays serial."""
+    db = repro.connect()
+    db.execute("CREATE TABLE t (id INT, v FLOAT)")
+    heap = db.catalog.table("t")
+    for i in range(20_000):
+        heap.insert((i, float((i * 37) % 9973)))
+    db.execute("ANALYZE")
+    stats = _run(db, "SELECT id, v FROM t ORDER BY v", engine="parallel",
+                 workers=4).extra["parallel"]
+    assert stats["modeled_speedup"] >= 2.0
+    assert stats["parallel_phases"] >= 2  # scan pipeline + run sorts
+
+
+def test_sort_charge_split_matches_serial_total(messy_db):
+    """Run charges + merge remainder must equal the serial engines' single
+    n*log2(n) charge (the parity invariant), asserted on the 'sort'
+    category specifically."""
+    sql = "SELECT id, k FROM m ORDER BY k"
+    plan = messy_db.planner.plan_select(parse(sql))
+    before = messy_db.clock.category_total("sort")
+    Executor(messy_db.catalog, messy_db.clock, engine="batch").run(plan)
+    serial_sort = messy_db.clock.category_total("sort") - before
+    before = messy_db.clock.category_total("sort")
+    Executor(messy_db.catalog, messy_db.clock, engine="parallel",
+             workers=4, morsel_rows=8).run(plan)
+    parallel_sort = messy_db.clock.category_total("sort") - before
+    assert parallel_sort == pytest.approx(serial_sort, rel=1e-9)
+
+
+@pytest.mark.parametrize("rows", [0, 1])
+@pytest.mark.parametrize("engine", ["row", "batch", "parallel"])
+def test_trivial_sort_charges_zero(rows, engine):
+    """len(rows) <= 1 sorts charge no virtual time on any path."""
+    db = repro.connect()
+    db.execute("CREATE TABLE s (id INT, v FLOAT)")
+    heap = db.catalog.table("s")
+    for i in range(rows):
+        heap.insert((i, float(i)))
+    result = _run(db, "SELECT id, v FROM s ORDER BY v", engine=engine)
+    assert len(result.rows) == rows
+    assert db.clock.category_total("sort") == 0.0
+
+
+# -- partitioned aggregation -------------------------------------------------
+
+@pytest.fixture()
+def wide_db():
+    """Near-unique float group keys (well past _MASK_PARTITION_MAX_KEYS per
+    morsel) with NaN keys sprinkled in via the heap API."""
+    db = repro.connect()
+    db.execute("CREATE TABLE w (k FLOAT, v FLOAT)")
+    heap = db.catalog.table("w")
+    nan = float("nan")
+    for i in range(600):
+        key = nan if i % 97 == 0 else float(i % 150) * 1.5
+        heap.insert((key, float(i) * 0.25))
+    return db
+
+
+@pytest.mark.parametrize("workers", WORKER_SWEEP)
+def test_wide_group_by_nan_keys_parity(wide_db, workers):
+    """GROUP BY past the mask-partition cutoff with NaN keys: rows, group
+    order, float sums, and charged time identical three ways."""
+    sql = "SELECT k, count(*), sum(v), avg(v) FROM w GROUP BY k"
+    plan = wide_db.planner.plan_select(parse(sql))
+    Executor(wide_db.catalog, wide_db.clock, engine="batch").run(plan)
+    row = Executor(wide_db.catalog, wide_db.clock, engine="row").run(plan)
+    assert len(row.rows) > ops.AggregateOp.PARTITION_MIN_KEYS
+    for engine in (Executor(wide_db.catalog, wide_db.clock, engine="batch"),
+                   Executor(wide_db.catalog, wide_db.clock,
+                            engine="parallel", workers=workers,
+                            morsel_rows=64)):
+        got = engine.run(plan)
+        assert _nan_safe(got.rows) == _nan_safe(row.rows)
+        assert got.virtual_seconds == pytest.approx(
+            row.virtual_seconds, rel=1e-6, abs=1e-9)
+
+
+def test_wide_group_by_uses_partitioned_merge(wide_db, monkeypatch):
+    """The partitioned path (finish_partitions) must actually engage past
+    the cutoff with several workers, and stay out of the narrow case."""
+    calls = []
+    orig = ops.AggregateOp.finish_partitions
+
+    def spy(self, partitions):
+        calls.append(len(partitions))
+        return orig(self, partitions)
+
+    monkeypatch.setattr(ops.AggregateOp, "finish_partitions", spy)
+    _run(wide_db, "SELECT k, count(*) FROM w GROUP BY k",
+         engine="parallel", workers=4, morsel_rows=64)
+    assert calls == [4]  # one merge task per worker partition
+    calls.clear()
+    # narrow GROUP BY (3 groups) keeps the plain morsel-order merge
+    db = repro.connect()
+    db.execute("CREATE TABLE n (g TEXT, v INT)")
+    heap = db.catalog.table("n")
+    for i in range(200):
+        heap.insert((["a", "b", "c"][i % 3], i))
+    _run(db, "SELECT g, sum(v) FROM n GROUP BY g", engine="parallel",
+         workers=4, morsel_rows=16)
+    assert calls == []
+
+
+def test_partitioned_merge_deterministic_across_workers(wide_db):
+    sql = "SELECT k, sum(v), count(*) FROM w GROUP BY k"
+    reference = None
+    for workers in WORKER_SWEEP:
+        got = _run(wide_db, sql, engine="parallel", workers=workers,
+                   morsel_rows=32)
+        snapshot = [(repr(k), s, c) for k, s, c in got.rows]
+        if reference is None:
+            reference = snapshot
+        assert snapshot == reference
+
+
+def test_wide_group_by_multi_column_keys_partition():
+    """Tuple group keys hash-partition consistently too."""
+    db = repro.connect()
+    db.execute("CREATE TABLE mc (a INT, b TEXT, v FLOAT)")
+    heap = db.catalog.table("mc")
+    for i in range(400):
+        heap.insert((i % 50, f"g{i % 40}", float(i)))
+    db.execute("ANALYZE")
+    sql = "SELECT a, b, sum(v) FROM mc GROUP BY a, b"
+    plan = db.planner.plan_select(parse(sql))
+    # warm the buffer pool so the reference run doesn't pay cold page
+    # misses the later engines get as hits (fixtures skip ANALYZE because
+    # histogram stats reject NaN)
+    Executor(db.catalog, db.clock, engine="batch").run(plan)
+    row = Executor(db.catalog, db.clock, engine="row").run(plan)
+    parallel = Executor(db.catalog, db.clock, engine="parallel", workers=4,
+                        morsel_rows=64).run(plan)
+    assert _typed(parallel.rows) == _typed(row.rows)
+
+
+# -- mid-flight budget enforcement -------------------------------------------
+
+def _budget_db():
+    db = repro.connect()
+    db.execute("CREATE TABLE b (id INT, g TEXT, v FLOAT)")
+    heap = db.catalog.table("b")
+    for i in range(20_000):
+        heap.insert((i, f"g{i % 500}", float(i)))
+    db.execute("ANALYZE")
+    return db
+
+
+def test_parallel_budget_fires_mid_flight():
+    """A cap below the query's total must interrupt a parallel run at a
+    phase boundary: BudgetExceeded raised, all charges accumulated so far
+    merged onto the shared clock, later phases never run."""
+    db = _budget_db()
+    sql = "SELECT id, v FROM b ORDER BY v DESC"
+    plan = db.planner.plan_select(parse(sql))
+    executor = Executor(db.catalog, db.clock, engine="parallel", workers=4)
+    full = executor.run(plan)
+    total = full.virtual_seconds
+    start = db.clock.now
+    cap = total * 0.3
+    db.clock.set_limit(start + cap)
+    try:
+        with pytest.raises(BudgetExceeded):
+            Executor(db.catalog, db.clock, engine="parallel",
+                     workers=4).run(plan)
+    finally:
+        db.clock.set_limit(None)
+    charged = db.clock.now - start
+    # the cap was crossed (charges merged despite the raise) but the run
+    # stopped before doing all the serial engines' work
+    assert charged > cap
+    assert charged < total * 0.999
+
+
+def test_parallel_budget_clean_run_unaffected():
+    db = _budget_db()
+    sql = "SELECT g, sum(v) FROM b GROUP BY g"
+    plan = db.planner.plan_select(parse(sql))
+    executor = Executor(db.catalog, db.clock, engine="parallel", workers=4)
+    baseline = executor.run(plan)
+    db.clock.set_limit(db.clock.now + baseline.virtual_seconds * 10)
+    try:
+        capped = Executor(db.catalog, db.clock, engine="parallel",
+                          workers=4).run(plan)
+    finally:
+        db.clock.set_limit(None)
+    assert _typed(capped.rows) == _typed(baseline.rows)
+
+
+def test_measure_downgrades_parallel_under_cap():
+    """Capped measurement must not use the parallel engine: the downgraded
+    run keeps serial per-charge budget enforcement and still censors."""
+    db = _budget_db()
+    plan = db.planner.plan_select(parse("SELECT id, v FROM b ORDER BY v"))
+    parallel = Executor(db.catalog, db.clock, engine="parallel", workers=4)
+    cap = 1e-6
+    measured = measure_plan_latency(parallel, db.clock, plan,
+                                    cap_virtual=cap)
+    assert measured.censored
+    assert measured.latency == cap
+    # uncapped measurement is allowed to stay parallel
+    uncapped = measure_plan_latency(parallel, db.clock, plan)
+    assert not uncapped.censored
+    assert uncapped.rows_produced == 20_000
