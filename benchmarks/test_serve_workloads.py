@@ -1,0 +1,327 @@
+"""Serving-subsystem benchmarks: micro-batching, lanes, drift refresh.
+
+Three request-arrival workloads drive :class:`repro.serve.PredictServer`
+over virtual time (all throughput and latency numbers are modeled — the
+serving timeline is a :class:`~repro.common.simtime.LaneSchedule`, and
+work costs are the usual simtime charges):
+
+* ``uniform_point_serving`` — steady inline-VALUES point inference at a
+  fixed arrival rate, swept over the micro-batch cap.  The acceptance
+  gate: batched serving clears >= 2x the modeled throughput of
+  per-request serial inference (each request loading the model and
+  launching its own kernel, the ``Db.execute`` loop).
+* ``bursty`` — whole bursts land at once; natural queueing makes batches,
+  and p95 latency beats the per-request server under identical arrivals.
+* ``drifting_distribution`` — the autonomy loop end-to-end: the table's
+  regime shifts mid-stream, serving loss drifts, the monitor enqueues a
+  background refresh, serving continues on the pinned version (latencies
+  stay orders below the refresh cost), and the swapped-in version
+  restores the loss.
+
+Results land in ``benchmarks/BENCH_serve.json`` (a scratch path under
+``BENCH_SMOKE=1``, which also shrinks scales and relaxes floors so CI
+exercises every scenario without asserting full-scale speedups).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+import numpy as np
+
+import repro
+from repro.common.simtime import LaneSchedule
+from repro.serve import PredictServer, bursty_arrivals, uniform_arrivals
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+TRAIN_ROWS = 400 if SMOKE else 2_000
+POINT_REQUESTS = 48 if SMOKE else 400
+POINT_RATE = 50_000.0             # requests per virtual second: past the
+                                  # single-lane cap-1 saturation point
+BATCH_SWEEP = (1, 4, 8) if SMOKE else (1, 2, 4, 8, 16)
+LANE_SWEEP = (1, 2) if SMOKE else (1, 2, 4)
+LANE_RATE = 150_000.0
+BURST_REQUESTS = 48 if SMOKE else 256
+BURST_SIZE = 16
+SPEEDUP_FLOOR = 1.2 if SMOKE else 2.0
+RECOVERY_CEILING = 0.8 if SMOKE else 0.6   # recovered / drifted loss
+WARM_GAP = 1.0  # idle virtual seconds between the warm-up and the run
+
+RESULT_PATH = (os.path.join(tempfile.gettempdir(), "BENCH_serve.json")
+               if SMOKE else
+               os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "BENCH_serve.json"))
+
+_report: dict = {}
+
+
+def _build_db(rows: int = TRAIN_ROWS, seed: int = 7):
+    db = repro.connect()
+    db.execute("CREATE TABLE clicks (cid INT UNIQUE, a FLOAT, b FLOAT, "
+               "y FLOAT)")
+    rng = np.random.default_rng(seed)
+    _insert_regime(db, rng, rows, offset=1.0, start=0)
+    db.execute("ANALYZE")
+    return db, rng
+
+
+def _insert_regime(db, rng, n: int, offset: float, start: int) -> None:
+    for i in range(start, start + n):
+        a, b = float(rng.random()), float(rng.random())
+        db.execute(f"INSERT INTO clicks VALUES ({i}, {a:.4f}, {b:.4f}, "
+                   f"{3 * a - 2 * b + offset:.4f})")
+
+
+def _point_sql(rng) -> str:
+    a, b = float(rng.random()), float(rng.random())
+    return (f"PREDICT VALUE OF y FROM clicks TRAIN ON a, b "
+            f"VALUES ({a:.4f}, {b:.4f})")
+
+
+def _warm(db) -> None:
+    """Train the model outside the measured serving window."""
+    db.execute("PREDICT VALUE OF y FROM clicks TRAIN ON a, b "
+               "VALUES (0.5, 0.5)")
+
+
+def _latency_block(latencies) -> dict:
+    arr = np.asarray(latencies, dtype=np.float64)
+    return {"mean": float(arr.mean()),
+            "p50": float(np.percentile(arr, 50)),
+            "p95": float(np.percentile(arr, 95)),
+            "p99": float(np.percentile(arr, 99))}
+
+
+def _serve(db, sqls, arrivals, **server_kwargs):
+    """Run one server over the workload, after one warm-up request that
+    fills the model cache (excluded from the returned requests, so the
+    sweep measures steady-state serving, not the first cold load)."""
+    server = PredictServer(db, **server_kwargs)
+    server.submit(sqls[0], at=0.0)
+    requests = [server.submit(sql, at=WARM_GAP + t)
+                for sql, t in zip(sqls, arrivals)]
+    server.drain()
+    assert all(r.error is None for r in requests)
+    return server, requests
+
+
+def _measure(requests) -> dict:
+    """Throughput and latency over one measured request set."""
+    span = (max(r.completed_at for r in requests)
+            - min(r.arrival for r in requests))
+    batches = len({r.batch_id for r in requests})
+    return {
+        "throughput_rps": round(len(requests) / span, 1),
+        "mean_batch_requests": round(len(requests) / batches, 2),
+        "latency": _latency_block([r.latency for r in requests]),
+    }
+
+
+def test_uniform_point_serving_throughput():
+    """Micro-batched point inference vs the per-request Db.execute loop."""
+    db, rng = _build_db()
+    _warm(db)
+    sqls = [_point_sql(rng) for _ in range(POINT_REQUESTS)]
+    arrivals = uniform_arrivals(POINT_REQUESTS, POINT_RATE)
+
+    # baseline: per-request serial inference through the facade — every
+    # request re-loads the model and launches its own kernel; latency is
+    # modeled by queueing the measured per-request charges on one lane
+    lane = LaneSchedule(1)
+    baseline_latencies = []
+    for sql, at in zip(sqls, arrivals):
+        before = db.clock.now
+        db.execute(sql)
+        cost = db.clock.now - before
+        _, _, completion = lane.assign(at, cost)
+        baseline_latencies.append(completion - at)
+    baseline_throughput = POINT_REQUESTS / lane.makespan()
+
+    sweep = []
+    for cap in BATCH_SWEEP:
+        server, requests = _serve(db, sqls, arrivals,
+                                  max_batch_requests=cap, refresh="manual")
+        point = {"max_batch_requests": cap,
+                 "cache_hits": server.cache.hits, **_measure(requests)}
+        sweep.append(point)
+        print(f"  cap {cap:2d}: {point['throughput_rps']:10.0f} rps, "
+              f"mean batch {point['mean_batch_requests']:.2f}, "
+              f"p95 {point['latency']['p95'] * 1e6:.0f}us")
+
+    best = max(point["throughput_rps"] for point in sweep)
+    speedup = best / baseline_throughput
+    print(f"baseline {baseline_throughput:.0f} rps -> best {best:.0f} rps "
+          f"({speedup:.1f}x)")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"micro-batched serving only {speedup:.2f}x over per-request "
+        f"serial inference (floor {SPEEDUP_FLOOR}x)")
+
+    _report["uniform_point_serving"] = {
+        "requests": POINT_REQUESTS,
+        "arrival_rate_rps": POINT_RATE,
+        "baseline_per_request": {
+            "throughput_rps": round(baseline_throughput, 1),
+            "latency": _latency_block(baseline_latencies),
+        },
+        "batch_cap_sweep": sweep,
+        "speedup_best_vs_baseline": round(speedup, 2),
+    }
+
+
+def test_lane_scaling():
+    """Throughput vs serving lanes at a saturating arrival rate."""
+    db, rng = _build_db()
+    _warm(db)
+    sqls = [_point_sql(rng) for _ in range(POINT_REQUESTS)]
+    arrivals = uniform_arrivals(POINT_REQUESTS, LANE_RATE)
+    sweep = []
+    for lanes in LANE_SWEEP:
+        server, requests = _serve(db, sqls, arrivals, lanes=lanes,
+                                  max_batch_requests=1, refresh="manual")
+        point = {"lanes": lanes, **_measure(requests)}
+        sweep.append(point)
+        print(f"  lanes {lanes}: {point['throughput_rps']:10.0f} rps")
+    # more lanes must not hurt, and should help at this rate
+    assert sweep[-1]["throughput_rps"] >= sweep[0]["throughput_rps"]
+    _report["lane_scaling"] = {
+        "requests": POINT_REQUESTS,
+        "arrival_rate_rps": LANE_RATE,
+        "max_batch_requests": 1,
+        "lane_sweep": sweep,
+    }
+
+
+def test_bursty_arrivals_reward_batching():
+    db, rng = _build_db()
+    _warm(db)
+    sqls = [_point_sql(rng) for _ in range(BURST_REQUESTS)]
+    arrivals = bursty_arrivals(BURST_REQUESTS, BURST_SIZE,
+                               burst_gap=BURST_SIZE / POINT_RATE)
+
+    _, batched = _serve(db, sqls, arrivals,
+                        max_batch_requests=BURST_SIZE, refresh="manual")
+    _, serial = _serve(db, sqls, arrivals,
+                       max_batch_requests=1, refresh="manual")
+    batched_stats = _measure(batched)
+    serial_stats = _measure(serial)
+    batched_p95 = batched_stats["latency"]["p95"]
+    serial_p95 = serial_stats["latency"]["p95"]
+    print(f"bursty p95: batched {batched_p95 * 1e6:.1f}us vs serial "
+          f"{serial_p95 * 1e6:.1f}us; mean batch "
+          f"{batched_stats['mean_batch_requests']:.2f}")
+    assert batched_stats["mean_batch_requests"] > 2.0
+    assert batched_p95 < serial_p95
+    _report["bursty"] = {
+        "requests": BURST_REQUESTS,
+        "burst_size": BURST_SIZE,
+        "batched": batched_stats,
+        "per_request": serial_stats,
+    }
+
+
+DRIFT_ROWS = 200 if SMOKE else 1_200
+
+
+def test_drifting_distribution_auto_refresh():
+    """Regime shift -> serving-loss drift -> background refresh -> the
+    swapped version restores the loss, without blocking serving."""
+    db, rng = _build_db()
+    recent = TRAIN_ROWS - 40
+    warm_sql = (f"PREDICT VALUE OF y FROM clicks WHERE cid >= {recent} "
+                f"TRAIN ON a, b WITH cid < {recent}")
+    drift_sql = (f"PREDICT VALUE OF y FROM clicks WHERE cid >= {TRAIN_ROWS}"
+                 f" TRAIN ON a, b WITH cid < {recent}")
+    server = PredictServer(db, refresh="auto", serving_window=3,
+                           refresh_epochs=12)
+
+    t, gap = 0.0, 0.05
+    warm_requests = []
+    for _ in range(8):
+        warm_requests.append(server.submit(warm_sql, at=t))
+        t += gap
+    server.drain()
+    model = warm_requests[0].model_name
+    stream = f"serving:{model}"
+    warm_observed = db.monitor.drift_count(stream)
+    assert warm_observed == 0, "no drift during the warm phase"
+
+    # the regime shifts: new rows with a +5 offset, requests now score
+    # against the new regime's ground truth
+    _insert_regime(db, rng, DRIFT_ROWS, offset=6.0, start=TRAIN_ROWS)
+    drifted_requests = []
+    for _ in range(14):
+        drifted_requests.append(server.submit(drift_sql, at=t))
+        t += gap
+    server.drain()
+    assert db.monitor.drift_count(stream) >= 1, "drift must fire"
+    assert server.refreshes and server.refreshes[0].status == "done"
+    task = server.refreshes[0]
+    refresh_duration = task.completed_at - task.started_at
+
+    # serving never blocked on the refresh: every request's latency sits
+    # far below the background fine-tune's cost
+    drifted_latencies = [r.latency for r in drifted_requests]
+    assert max(drifted_latencies) < 0.5 * refresh_duration, (
+        "in-flight requests must not absorb the refresh cost")
+
+    # keep serving past the swap point; the refreshed version takes over
+    post_requests = []
+    for _ in range(10):
+        post_requests.append(server.submit(drift_sql, at=t))
+        t += max(gap, refresh_duration / 8)
+    server.drain()
+    assert task.swapped, "refresh must swap once serving time passes it"
+    post_swap = [r for r in post_requests
+                 if r.model_version == task.version_after]
+    assert post_swap, "some requests must serve the refreshed version"
+
+    def mean_loss(requests):
+        # drift_sql selects only regime-B rows, whose ground truth is
+        # y = 3a - 2b + 6 by construction
+        losses = [(row[-1] - (3 * row[0] - 2 * row[1] + 6.0)) ** 2
+                  for request in requests for row in request.result.rows]
+        return float(np.mean(losses))
+
+    drifted_loss = mean_loss(drifted_requests[:3])
+    recovered_loss = mean_loss(post_swap[-3:])
+    ratio = recovered_loss / drifted_loss
+    print(f"drifted loss {drifted_loss:.3f} -> recovered "
+          f"{recovered_loss:.3f} ({ratio:.2f}x), refresh "
+          f"{refresh_duration * 1e3:.1f} virtual ms")
+    assert ratio < RECOVERY_CEILING, (
+        f"auto-refresh failed to restore loss (ratio {ratio:.2f})")
+
+    _report["drifting_distribution"] = {
+        "train_rows": TRAIN_ROWS,
+        "drift_rows": DRIFT_ROWS,
+        "drift_events": db.monitor.drift_count(stream),
+        "refresh": {
+            "status": task.status,
+            "swapped": task.swapped,
+            "version": [task.version_before, task.version_after],
+            "duration_virtual_s": round(refresh_duration, 6),
+        },
+        "drifted_loss": round(drifted_loss, 4),
+        "recovered_loss": round(recovered_loss, 4),
+        "recovery_ratio": round(ratio, 3),
+        "max_serving_latency_during_drift": round(max(drifted_latencies),
+                                                  6),
+    }
+
+
+def test_write_report():
+    """Runs last (file order): persist everything the scenarios recorded."""
+    report = {
+        "smoke": SMOKE,
+        "metric": ("requests per virtual second; serving elapsed = "
+                   "LaneSchedule makespan over modeled arrival times, "
+                   "work costs = simtime charges"),
+        "workloads": _report,
+    }
+    with open(RESULT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    assert _report, "scenario results must be recorded before the write"

@@ -5,9 +5,12 @@ the ARM-Net analytics model."""
 from repro.ai.armnet import ARMNet, FeatureHasher
 from repro.ai.engine import AIEngine, Dispatcher
 from repro.ai.loader import (
+    ColumnFeatures,
     ColumnTrainingSet,
     StreamingDataLoader,
+    map_scan_blocks,
     table_column_stream,
+    table_feature_columns,
     table_row_stream,
     table_training_set,
 )
@@ -39,6 +42,7 @@ __all__ = [
     "AIRuntime",
     "ARMNet",
     "Channel",
+    "ColumnFeatures",
     "ColumnTrainingSet",
     "Dispatcher",
     "DriftEvent",
@@ -62,7 +66,9 @@ __all__ = [
     "decode_handshake",
     "encode_batch",
     "encode_handshake",
+    "map_scan_blocks",
     "table_column_stream",
+    "table_feature_columns",
     "table_row_stream",
     "table_training_set",
 ]

@@ -200,7 +200,13 @@ class ARMNet(Module):
 
     def predict(self, rows: Sequence[Sequence[object]]) -> np.ndarray:
         """Inference: probabilities for classification, values for regression."""
-        logits = self.forward_raw(rows).data
+        return self.predict_ids(self.hasher.transform(rows))
+
+    def predict_ids(self, ids: np.ndarray) -> np.ndarray:
+        """Inference over pre-hashed ids — the columnar serving path, where
+        the hasher already ran on column arrays and re-hashing per call
+        would double the preprocessing work."""
+        logits = self.forward(ids).data
         if self.task_type == "classification":
             return 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
         return logits

@@ -179,17 +179,33 @@ class AIEngine:
 
     # -- inference --------------------------------------------------------------
 
-    def infer(self, task: InferenceTask,
-              rows: Sequence[Sequence[object]]) -> TaskResult:
-        """Execute an Inference task with the requested model version."""
+    def infer(self, task: InferenceTask, rows) -> TaskResult:
+        """Execute an Inference task with the requested model version.
+
+        ``rows`` is either a sequence of raw feature tuples or a
+        :class:`~repro.ai.loader.ColumnFeatures` (the columnar PREDICT
+        path — hashed via ``transform_columns``, no row tuples built).
+        """
         model = self.models.load_model(task.model_name, task.version)
-        ids = model.hasher.transform(rows)
-        cost = AIRuntime.infer_batch_cost(len(rows), model.field_count)
+        return self.infer_with_model(task, model, rows)
+
+    def infer_with_model(self, task: InferenceTask, model: ARMNet,
+                         rows) -> TaskResult:
+        """Inference against an already-materialized model — the serving
+        subsystem's entry point, where the model comes from a cache and
+        must not be re-loaded (and re-charged) per request."""
+        from repro.ai.loader import ColumnFeatures
+        if isinstance(rows, ColumnFeatures):
+            ids = model.hasher.transform_columns(rows.columns)
+        else:
+            ids = model.hasher.transform(rows)
+        count = len(rows)
+        cost = AIRuntime.infer_batch_cost(count, model.field_count)
         self.clock.advance(cost, "ai-infer")
-        predictions = model.predict(rows)
+        predictions = model.predict_ids(ids)
         result = TaskResult(task_id=task.task_id, model_name=task.model_name,
                             kind="inference", virtual_seconds=cost,
-                            samples_processed=len(rows),
+                            samples_processed=count,
                             predictions=predictions)
         self.completed_tasks.append(result)
         return result

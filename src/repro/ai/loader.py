@@ -23,6 +23,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.ai.armnet import FeatureHasher
+from repro.common.simtime import CostModel, SimClock
 from repro.exec.batch import RowBlock, schema_kinds
 from repro.exec.expr import RowLayout
 
@@ -71,6 +72,75 @@ class ColumnTrainingSet:
 
     def slice_columns(self, start: int, stop: int) -> list[np.ndarray]:
         return [col[start:stop] for col in self.columns]
+
+
+class ColumnFeatures:
+    """Materialized columnar inference inputs: feature columns, no targets.
+
+    The prediction-side twin of :class:`ColumnTrainingSet`: the PREDICT
+    path hands these straight to
+    :meth:`~repro.ai.armnet.FeatureHasher.transform_columns`, so inference
+    inputs never explode into per-row Python tuples between the storage
+    engine and the id matrix.  ``rows()`` builds the tuple view lazily for
+    the places that still need it (result-set assembly).
+    """
+
+    def __init__(self, columns: Sequence[np.ndarray]):
+        self.columns = list(columns)
+        for col in self.columns[1:]:
+            if len(col) != len(self.columns[0]):
+                raise ValueError("feature columns must have equal lengths")
+        self._rows: list[tuple] | None = None
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple],
+                  field_count: int) -> "ColumnFeatures":
+        columns = ([_to_object_array(col) for col in zip(*rows)] if rows
+                   else [np.empty(0, dtype=object)
+                         for _ in range(field_count)])
+        out = cls(columns)
+        out._rows = list(rows)
+        return out
+
+    @property
+    def field_count(self) -> int:
+        return len(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows())
+
+    def rows(self) -> list[tuple]:
+        """Row-tuple view, built lazily for row-oriented consumers."""
+        if self._rows is None:
+            self._rows = list(zip(*self.columns)) if self.columns else []
+        return self._rows
+
+    @classmethod
+    def concat(cls, parts: Sequence["ColumnFeatures"]) -> "ColumnFeatures":
+        """Concatenate several feature sets row-wise (micro-batch
+        coalescing in the serving subsystem)."""
+        if not parts:
+            raise ValueError("concat needs at least one part")
+        width = parts[0].field_count
+        for part in parts[1:]:
+            if part.field_count != width:
+                raise ValueError("cannot concat feature sets of different "
+                                 "widths")
+        return cls([np.concatenate([p.columns[i] for p in parts])
+                    for i in range(width)])
+
+
+def _to_object_array(values: Sequence[object]) -> np.ndarray:
+    arr = np.empty(len(values), dtype=object)
+    if len(values):
+        arr[:] = values
+    return arr
 
 
 class StreamingDataLoader:
@@ -191,11 +261,62 @@ def table_row_stream(table, feature_columns: list[str],
     return feature_rows, list(targets)
 
 
+def map_scan_blocks(table, process: Callable[[RowBlock, SimClock], object],
+                    clock: SimClock | None = None, workers: int = 1,
+                    batch_size: int = 4096) -> list:
+    """Apply ``process(block, clock)`` to every scan batch of ``table``;
+    returns the per-block results in scan order.
+
+    The single scan-shaping routine both AI materialization paths
+    (training sets and prediction inputs) run on:
+
+    * ``workers=1`` — the streaming column scan
+      (:meth:`~repro.storage.heap.HeapTable.scan_column_batches`), blocks
+      processed inline against ``clock``.
+    * ``workers>1`` — morsel-parallel: the scan splits into morsels via
+      :meth:`~repro.storage.heap.HeapTable.scan_morsels` and a
+      :class:`~repro.exec.parallel.MorselScheduler` fans ``process`` out
+      across the worker pool.  Each task charges a private shard clock;
+      the scheduler's :class:`~repro.common.simtime.WorkerClocks` merge
+      the shard charges back into ``clock`` in morsel order, so the
+      charged *total* is the same multiset of charges as the streaming
+      scan — parity-identical virtual time, with the modeled makespan
+      shrinking as workers grow.
+
+    Either way each batch holds ``batch_size`` rows (the final one may be
+    short), so the two paths see identical block boundaries and therefore
+    charge identical per-block amounts.
+    """
+    schema = table.schema
+    layout = RowLayout([(schema.table_name, c.name)
+                        for c in schema.columns])
+    kinds = schema_kinds(schema)
+    if workers <= 1:
+        lane = clock if clock is not None else SimClock()
+        return [process(RowBlock(layout, columns, n, kinds), lane)
+                for columns, n in table.scan_column_batches(batch_size)]
+    from repro.exec.parallel import MorselScheduler
+    scheduler = MorselScheduler(clock if clock is not None else SimClock(),
+                                workers=workers, morsel_rows=batch_size)
+    morsels = table.scan_morsels(batch_size)
+    try:
+        return scheduler.map(
+            morsels,
+            lambda morsel, shard: process(
+                RowBlock(layout, morsel[0], morsel[1], kinds), shard))
+    finally:
+        # merge worker charges even when a morsel raises: a failing scan
+        # must leave its partial charges behind, exactly like the
+        # streaming path (and MorselScheduler.run's finally block)
+        scheduler.finish()
+
+
 def table_column_stream(table, feature_columns: list[str],
                         target_column: str,
                         row_filter: Callable[[tuple], bool] | None = None,
                         batch_size: int = 4096,
-                        block_predicate: Callable | None = None):
+                        block_predicate: Callable | None = None,
+                        clock: SimClock | None = None, workers: int = 1):
     """Materialize a heap table as feature column arrays plus a target array.
 
     The columnar twin of :func:`table_row_stream`: pages are scanned in
@@ -209,49 +330,118 @@ def table_column_stream(table, feature_columns: list[str],
     to rows whose target is non-NULL — matching the row engine's skip
     order, so a predicate that would error on a NULL-target row never
     evaluates it.
+
+    When a ``clock`` is supplied, materialization charges
+    :data:`~repro.common.simtime.CostModel.TUPLE_CPU` per scanned row
+    (category ``predict-materialize``); with ``workers > 1`` the scan runs
+    morsel-parallel via :func:`map_scan_blocks`, with the same charged
+    totals as the streaming scan.
     """
     schema = table.schema
     feature_idx = [schema.index_of(c) for c in feature_columns]
     target_idx = schema.index_of(target_column)
-    layout = RowLayout([(schema.table_name, c.name)
-                        for c in schema.columns])
-    kinds = schema_kinds(schema)
-    parts: list[list[np.ndarray]] = [[] for _ in feature_idx]
-    target_parts: list[np.ndarray] = []
-    for columns, n in table.scan_column_batches(batch_size):
-        block = RowBlock(layout, columns, n, kinds)
+
+    def materialize(block: RowBlock, lane: SimClock):
+        n = len(block)
+        if clock is not None:
+            lane.advance_batch(CostModel.TUPLE_CPU, n, "predict-materialize")
         keep = ~block.null_mask(target_idx)
         if row_filter is not None:
             keep &= np.fromiter(
                 (bool(row_filter(row)) for row in block.iter_rows()),
                 dtype=bool, count=n)
         block = block.select(keep)
-        if not block:
-            continue
-        if block_predicate is not None:
+        if block and block_predicate is not None:
             block = block.select(block_predicate(block))
-            if not block:
-                continue
-        target_parts.append(
-            block.column(target_idx).astype(np.float64))
-        for out, idx in zip(parts, feature_idx):
-            out.append(block.column(idx))
-    if not target_parts:
+        if not block:
+            return None
+        return (block.column(target_idx).astype(np.float64),
+                [block.column(idx) for idx in feature_idx])
+
+    results = [part for part in
+               map_scan_blocks(table, materialize, clock=clock,
+                               workers=workers, batch_size=batch_size)
+               if part is not None]
+    if not results:
         return ([np.empty(0, dtype=object) for _ in feature_idx],
                 np.empty(0, dtype=np.float64))
-    merged = [np.concatenate(chunks) for chunks in parts]
-    targets = np.concatenate(target_parts)
+    targets = np.concatenate([t for t, _ in results])
+    merged = [np.concatenate([cols[i] for _, cols in results])
+              for i in range(len(feature_idx))]
     return merged, targets
 
 
 def table_training_set(table, feature_columns: list[str],
                        target_column: str,
                        row_filter: Callable[[tuple], bool] | None = None,
-                       block_predicate: Callable | None = None
+                       block_predicate: Callable | None = None,
+                       clock: SimClock | None = None, workers: int = 1
                        ) -> ColumnTrainingSet:
     """One-call columnar training set for a table (batch-engine fed)."""
     columns, targets = table_column_stream(table, feature_columns,
                                            target_column,
                                            row_filter=row_filter,
-                                           block_predicate=block_predicate)
+                                           block_predicate=block_predicate,
+                                           clock=clock, workers=workers)
     return ColumnTrainingSet(columns, targets)
+
+
+def table_feature_columns(table, feature_columns: list[str],
+                          block_predicate: Callable | None = None,
+                          target_column: str | None = None,
+                          clock: SimClock | None = None, workers: int = 1,
+                          batch_size: int = 4096):
+    """Materialize PREDICT inference inputs as columnar features.
+
+    Scans the table (optionally morsel-parallel, see
+    :func:`map_scan_blocks`), applies the vectorized WHERE predicate, and
+    returns ``(ColumnFeatures, targets, target_null)``: the selected
+    rows' feature columns, plus — when ``target_column`` is given — the
+    selected rows' raw target column and its NULL mask, which the serving
+    subsystem uses to score predictions against ground truth where it
+    exists.  No per-row tuples are built anywhere on this path; the
+    feature columns flow straight into
+    :meth:`~repro.ai.armnet.FeatureHasher.transform_columns`.
+
+    Virtual-time charges are identical to the training-set
+    materialization: ``TUPLE_CPU`` per scanned row when a ``clock`` is
+    supplied, independent of ``target_column``.
+    """
+    schema = table.schema
+    feature_idx = [schema.index_of(c) for c in feature_columns]
+    target_idx = (schema.index_of(target_column)
+                  if target_column is not None else None)
+
+    def materialize(block: RowBlock, lane: SimClock):
+        if clock is not None:
+            lane.advance_batch(CostModel.TUPLE_CPU, len(block),
+                               "predict-materialize")
+        if block_predicate is not None:
+            block = block.select(block_predicate(block))
+        if not block:
+            return None
+        features = [block.column(idx) for idx in feature_idx]
+        if target_idx is None:
+            return features, None, None
+        return (features, block.column(target_idx),
+                block.null_mask(target_idx))
+
+    results = [part for part in
+               map_scan_blocks(table, materialize, clock=clock,
+                               workers=workers, batch_size=batch_size)
+               if part is not None]
+    if not results:
+        features = ColumnFeatures([np.empty(0, dtype=object)
+                                   for _ in feature_idx])
+        if target_idx is None:
+            return features, None, None
+        return (features, np.empty(0, dtype=object),
+                np.empty(0, dtype=bool))
+    features = ColumnFeatures(
+        [np.concatenate([cols[i] for cols, _, _ in results])
+         for i in range(len(feature_idx))])
+    if target_idx is None:
+        return features, None, None
+    targets = np.concatenate([t for _, t, _ in results])
+    null = np.concatenate([m for _, _, m in results])
+    return features, targets, null

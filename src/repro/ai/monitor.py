@@ -85,13 +85,19 @@ class Monitor:
     """Multi-stream monitor with adaptation triggers.
 
     Components register a callback per stream; when drift fires, the monitor
-    invokes the callback (e.g. the AI engine's fine-tune entry point).
+    invokes the callback (e.g. the serving subsystem's refresh enqueue, or
+    the AI engine's fine-tune entry point).  A callback that raises must not
+    take the observation path down with it — adaptation is best-effort, the
+    metric pipeline is not — so trigger exceptions are captured in
+    :attr:`trigger_errors` instead of propagating, and later callbacks for
+    the same event still run.
     """
 
     def __init__(self) -> None:
         self._streams: dict[str, MetricStream] = {}
         self._triggers: dict[str, list[Callable[[DriftEvent], None]]] = {}
         self.events: list[DriftEvent] = []
+        self.trigger_errors: list[tuple[DriftEvent, Exception]] = []
 
     def register(self, name: str, higher_is_better: bool = False,
                  threshold: float = 0.3, window: int = 10,
@@ -103,6 +109,23 @@ class Monitor:
         self._streams[name] = stream
         self._triggers[name] = []
         return stream
+
+    def has_stream(self, name: str) -> bool:
+        """True when ``name`` is a registered metric stream."""
+        return name in self._streams
+
+    def ensure_stream(self, name: str, higher_is_better: bool = False,
+                      threshold: float = 0.3, window: int = 10,
+                      cooldown: int | None = None) -> MetricStream:
+        """Idempotent :meth:`register`: returns the existing stream when
+        one is already registered under ``name`` (its original parameters
+        win), registering it otherwise.  The entry point components use
+        when several of them feed the same stream."""
+        stream = self._streams.get(name)
+        if stream is not None:
+            return stream
+        return self.register(name, higher_is_better, threshold, window,
+                             cooldown)
 
     def on_drift(self, name: str,
                  callback: Callable[[DriftEvent], None]) -> None:
@@ -117,7 +140,10 @@ class Monitor:
         if event is not None:
             self.events.append(event)
             for callback in self._triggers[name]:
-                callback(event)
+                try:
+                    callback(event)
+                except Exception as exc:
+                    self.trigger_errors.append((event, exc))
         return event
 
     def drift_count(self, name: str | None = None) -> int:

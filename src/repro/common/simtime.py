@@ -179,6 +179,65 @@ class WorkerClocks:
                 clock.advance(seconds, category)
 
 
+class LaneSchedule:
+    """Earliest-free-lane assignment over a virtual timeline.
+
+    The serving subsystem (``repro/serve``) models concurrency the same way
+    :class:`WorkerClocks` models the morsel scheduler: work is *executed*
+    in deterministic program order, but its *placement in virtual time* is
+    decided by a simple scheduling rule — here, each unit of work starts on
+    the earliest-free lane, no earlier than its ready time.  One
+    ``LaneSchedule`` with ``lanes=1`` is a serial queue (the background
+    refresh worker); with ``lanes=k`` it models ``k`` concurrent serving
+    lanes sharing a request queue.
+
+    ``assign`` never reorders work: callers submit in ready-time order, and
+    the completion times that fall out are deterministic functions of the
+    (ready, cost) sequence — independent of wall-clock, threads, or the
+    GIL, like every other timeline in this repo.
+    """
+
+    def __init__(self, lanes: int = 1) -> None:
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        self._free = [0.0] * lanes
+        self._busy = 0.0
+        self.assignments = 0
+
+    @property
+    def lanes(self) -> int:
+        return len(self._free)
+
+    def next_free(self) -> float:
+        """Virtual time at which the earliest lane becomes available."""
+        return min(self._free)
+
+    def assign(self, ready: float, cost: float) -> tuple[int, float, float]:
+        """Place one unit of work; returns ``(lane, start, completion)``.
+
+        The work starts on the earliest-free lane at
+        ``max(ready, lane free time)`` and occupies the lane for ``cost``
+        virtual seconds.
+        """
+        if cost < 0:
+            raise ValueError(f"cost must be >= 0, got {cost!r}")
+        lane = min(range(len(self._free)), key=self._free.__getitem__)
+        start = max(ready, self._free[lane])
+        completion = start + cost
+        self._free[lane] = completion
+        self._busy += cost
+        self.assignments += 1
+        return lane, start, completion
+
+    def makespan(self) -> float:
+        """Virtual time at which the last assigned work completes."""
+        return max(self._free)
+
+    def busy_time(self) -> float:
+        """Total lane-occupied virtual seconds across all lanes."""
+        return self._busy
+
+
 class CostModel:
     """Central place for the virtual-time cost constants.
 

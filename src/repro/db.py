@@ -20,18 +20,19 @@ monitor watches per-model loss; on drift it triggers the fine-tune operator.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Iterable
 
 import numpy as np
 
 from repro.ai.engine import AIEngine
-from repro.ai.loader import ColumnTrainingSet, table_training_set
+from repro.ai.loader import (ColumnFeatures, ColumnTrainingSet,
+                             table_feature_columns, table_training_set)
 from repro.ai.model_manager import ModelManager
 from repro.ai.monitor import Monitor
 from repro.ai.tasks import FineTuneTask, InferenceTask, TrainTask
 from repro.common.errors import BindError, ExecutionError, NeurDBError
 from repro.common.simtime import SimClock
-from repro.exec.batch import RowBlock, schema_kinds
 from repro.exec.executor import Executor, ResultSet
 from repro.exec.expr import (RowLayout, compile_expr,
                              compile_predicate_batch, to_bool)
@@ -42,11 +43,39 @@ from repro.storage.catalog import Catalog
 from repro.storage.schema import Column, TableSchema
 
 
+@dataclass
+class PredictContext:
+    """Bound PREDICT statement: everything resolved except the data.
+
+    Produced by :meth:`NeurDB.bind_predict` and shared between the
+    facade's one-shot path and the serving subsystem (``repro/serve``),
+    so both run bit-identical training, materialization, and output
+    assembly.
+    """
+
+    statement: ast.Predict
+    table: Any                     # HeapTable
+    target: str
+    feature_columns: list[str]
+    layout: RowLayout
+    feature_idx: list[int]
+    model_name: str
+
+
 class NeurDB:
-    """An in-process NeurDB instance."""
+    """An in-process NeurDB instance.
+
+    ``predict_workers`` sets how many morsel workers materialize PREDICT
+    training sets and inference inputs (1 = the streaming column scan).
+    Charged virtual-time totals are parity-identical across worker counts;
+    only the modeled makespan changes.
+    """
 
     def __init__(self, num_runtimes: int = 1, buffer_pages: int = 4096,
-                 seed: int = 0):
+                 seed: int = 0, predict_workers: int = 1):
+        if predict_workers < 1:
+            raise ValueError(
+                f"predict_workers must be >= 1, got {predict_workers}")
         self.clock = SimClock()
         from repro.storage.buffer import BufferPool
         self.buffer_pool = BufferPool(capacity_pages=buffer_pages,
@@ -61,6 +90,7 @@ class NeurDB:
                                   clock=self.clock,
                                   num_runtimes=num_runtimes,
                                   monitor=self.monitor)
+        self.predict_workers = predict_workers
         self._seed = seed
 
     # -- public API ----------------------------------------------------------
@@ -189,6 +219,19 @@ class NeurDB:
 
     def _run_predict(self, statement: ast.Predict,
                      force_retrain: bool) -> ResultSet:
+        ctx = self.bind_predict(statement)
+        trained_now = self.ensure_predict_model(ctx, force_retrain)
+        features, _, _ = self.prediction_inputs(ctx)
+        if not features:
+            return ResultSet(columns=ctx.feature_columns + [ctx.target],
+                             rows=[], extra={"model": ctx.model_name})
+        inference = self.ai_engine.infer(
+            InferenceTask(model_name=ctx.model_name), features)
+        return self.predict_result(ctx, features, inference.predictions,
+                                    trained_now)
+
+    def bind_predict(self, statement: ast.Predict) -> PredictContext:
+        """Resolve a PREDICT statement against the catalog (no charges)."""
         table = self.catalog.table(statement.table)
         schema = table.schema
         target = statement.target.lower()
@@ -199,55 +242,69 @@ class NeurDB:
         layout = RowLayout([(statement.table, c.name)
                             for c in schema.columns])
         feature_idx = [schema.index_of(c) for c in feature_columns]
-
         model_name = self._model_name(statement, feature_columns)
-        trained_now = False
-        if force_retrain or not self.models.has_model(model_name):
-            train_rows, train_targets = self._training_data(
-                statement, table, layout, feature_columns)
-            if not train_rows:
-                raise ExecutionError(
-                    "PREDICT has no training rows (check WITH filter and "
-                    "target NULLs)")
-            batch_size = min(512, len(train_rows))
-            # small tables need more passes to reach a useful step count;
-            # large tables converge within the paper's 1-2 streaming epochs
-            steps_wanted = 80
-            epochs = max(2, min(100, round(steps_wanted * batch_size
-                                           / len(train_rows))))
-            task = TrainTask(model_name=model_name,
-                             task_type=statement.task,
-                             field_count=len(feature_columns),
-                             epochs=epochs, batch_size=batch_size)
-            train_result = self.ai_engine.train(task, train_rows,
-                                                train_targets)
-            self.catalog.bind_model(statement.table, target, model_name)
-            self._observe_losses(model_name, train_result.losses)
-            trained_now = True
+        return PredictContext(statement=statement, table=table,
+                              target=target,
+                              feature_columns=feature_columns,
+                              layout=layout, feature_idx=feature_idx,
+                              model_name=model_name)
 
-        predict_rows = self._prediction_inputs(statement, table, layout,
-                                               feature_idx)
-        if not predict_rows:
-            return ResultSet(columns=feature_columns + [target], rows=[],
-                             extra={"model": model_name})
-        inference = self.ai_engine.infer(
-            InferenceTask(model_name=model_name), predict_rows)
-        predictions = inference.predictions
-        if statement.task == "classification":
+    def ensure_predict_model(self, ctx: PredictContext,
+                              force_retrain: bool = False) -> bool:
+        """Train the bound model when missing (or forced); True if a
+        training task actually ran."""
+        if not force_retrain and self.models.has_model(ctx.model_name):
+            return False
+        train_rows, train_targets = self._training_data(ctx)
+        if not train_rows:
+            raise ExecutionError(
+                "PREDICT has no training rows (check WITH filter and "
+                "target NULLs)")
+        batch_size = min(512, len(train_rows))
+        # small tables need more passes to reach a useful step count;
+        # large tables converge within the paper's 1-2 streaming epochs
+        steps_wanted = 80
+        epochs = max(2, min(100, round(steps_wanted * batch_size
+                                       / len(train_rows))))
+        task = TrainTask(model_name=ctx.model_name,
+                         task_type=ctx.statement.task,
+                         field_count=len(ctx.feature_columns),
+                         epochs=epochs, batch_size=batch_size)
+        train_result = self.ai_engine.train(task, train_rows, train_targets)
+        self.catalog.bind_model(ctx.statement.table, ctx.target,
+                                ctx.model_name)
+        self._observe_losses(ctx.model_name, train_result.losses)
+        return True
+
+    def predict_result(self, ctx: PredictContext, features: ColumnFeatures,
+                        predictions: np.ndarray,
+                        trained_now: bool) -> ResultSet:
+        """Assemble the PREDICT result set from columnar features plus raw
+        model outputs — one shared definition, so the facade and the
+        serving subsystem format bit-identically."""
+        if ctx.statement.task == "classification":
             output = [int(p >= 0.5) for p in predictions]
         else:
             output = [float(p) for p in predictions]
         rows = [tuple(row) + (value,)
-                for row, value in zip(predict_rows, output)]
-        return ResultSet(columns=feature_columns + [target], rows=rows,
-                         extra={"model": model_name,
+                for row, value in zip(features.rows(), output)]
+        return ResultSet(columns=ctx.feature_columns + [ctx.target],
+                         rows=rows,
+                         extra={"model": ctx.model_name,
                                 "trained_now": trained_now,
                                 "probabilities": predictions})
 
     def fine_tune_model(self, table: str, target: str,
-                        tune_last_layers: int = 2, epochs: int = 2) -> None:
+                        tune_last_layers: int = 2, epochs: int = 2,
+                        learning_rate: float = 5e-3,
+                        batch_size: int | None = None) -> None:
         """Explicitly trigger the FineTune operator for a bound PREDICT
-        model, using the current table contents as the update data."""
+        model, using the current table contents as the update data.
+
+        ``learning_rate`` and ``batch_size`` tune the incremental update:
+        adaptation to a drifted distribution wants a larger step and more
+        gradient steps per epoch than the conservative defaults (the
+        serving subsystem's refresh worker passes its own)."""
         model_name = self.catalog.bound_model(table, target)
         if model_name is None:
             raise NeurDBError(f"no model bound for {table}.{target}")
@@ -256,10 +313,15 @@ class NeurDB:
         model = self.models.load_model(model_name)
         feature_columns = [c for c in schema.non_unique_column_names()
                            if c != target.lower()][: model.field_count]
-        data = table_training_set(heap, feature_columns, target)
+        data = table_training_set(heap, feature_columns, target,
+                                  clock=self.clock,
+                                  workers=self.predict_workers)
+        if batch_size is None:
+            batch_size = min(4096, max(1, len(data)))
         task = FineTuneTask(model_name=model_name,
                             tune_last_layers=tune_last_layers, epochs=epochs,
-                            batch_size=min(4096, max(1, len(data))))
+                            batch_size=max(1, batch_size),
+                            learning_rate=learning_rate)
         self.ai_engine.fine_tune(task, data, data.targets)
 
     # -- PREDICT helpers ----------------------------------------------------------
@@ -289,48 +351,60 @@ class NeurDB:
         return (f"predict_{statement.table}_{statement.target}"
                 f"_{signature:08x}").lower()
 
-    def _training_data(self, statement, table, layout,
-                       feature_columns) -> tuple[ColumnTrainingSet, Any]:
-        """Columnar training data: the loader scans in page batches, drops
-        NULL-target rows, applies the vectorized WITH filter, and hands
-        the AI layer column arrays instead of per-row tuples."""
-        predicate = (compile_predicate_batch(statement.train_filter, layout)
+    def _training_data(self, ctx: PredictContext
+                       ) -> tuple[ColumnTrainingSet, Any]:
+        """Columnar training data: the loader scans in page batches
+        (morsel-parallel when ``predict_workers > 1``), drops NULL-target
+        rows, applies the vectorized WITH filter, and hands the AI layer
+        column arrays instead of per-row tuples."""
+        statement = ctx.statement
+        predicate = (compile_predicate_batch(statement.train_filter,
+                                             ctx.layout)
                      if statement.train_filter is not None else None)
-        data = table_training_set(table, feature_columns, statement.target,
-                                  block_predicate=predicate)
+        data = table_training_set(ctx.table, ctx.feature_columns,
+                                  statement.target,
+                                  block_predicate=predicate,
+                                  clock=self.clock,
+                                  workers=self.predict_workers)
         return data, data.targets
 
-    def _prediction_inputs(self, statement, table, layout, feature_idx):
+    def prediction_inputs(self, ctx: PredictContext,
+                           with_targets: bool = False
+                           ) -> tuple[ColumnFeatures, Any, Any]:
+        """Columnar inference inputs for a bound PREDICT.
+
+        Returns ``(features, targets, target_null)``; the last two are
+        None unless ``with_targets`` is set (the serving subsystem asks
+        for them to score predictions against ground truth) or the inputs
+        are inline VALUES rows (never any targets).  Charges are
+        independent of ``with_targets``, so the facade and serving paths
+        stay charge-identical.
+        """
+        statement = ctx.statement
         if statement.inline_rows:
             empty = RowLayout([])
             rows = []
             for value_row in statement.inline_rows:
-                if len(value_row) != len(feature_idx):
+                if len(value_row) != len(ctx.feature_idx):
                     raise ExecutionError(
                         f"VALUES row has {len(value_row)} values, expected "
-                        f"{len(feature_idx)} features")
+                        f"{len(ctx.feature_idx)} features")
                 rows.append(tuple(compile_expr(e, empty)(())
                                   for e in value_row))
-            return rows
-        predicate = (compile_predicate_batch(statement.where, layout)
+            return (ColumnFeatures.from_rows(rows, len(ctx.feature_idx)),
+                    None, None)
+        predicate = (compile_predicate_batch(statement.where, ctx.layout)
                      if statement.where is not None else None)
-        kinds = schema_kinds(table.schema)
-        rows = []
-        for columns, n in table.scan_column_batches():
-            block = RowBlock(layout, columns, n, kinds)
-            if predicate is not None:
-                block = block.select(predicate(block))
-            if not block:
-                continue
-            rows.extend(zip(*(block.column(i) for i in feature_idx)))
-        return rows
+        return table_feature_columns(
+            ctx.table, ctx.feature_columns, block_predicate=predicate,
+            target_column=ctx.target if with_targets else None,
+            clock=self.clock, workers=self.predict_workers)
 
     def _observe_losses(self, model_name: str,
                         losses: Iterable[float]) -> None:
         stream = f"loss:{model_name}"
-        if stream not in self.monitor._streams:
-            self.monitor.register(stream, higher_is_better=False,
-                                  threshold=0.5, window=5)
+        self.monitor.ensure_stream(stream, higher_is_better=False,
+                                   threshold=0.5, window=5)
         for loss in losses:
             self.monitor.observe(stream, loss)
 
@@ -341,7 +415,7 @@ def _status(message: str, rowcount: int = 0) -> ResultSet:
 
 
 def connect(num_runtimes: int = 1, buffer_pages: int = 4096,
-            seed: int = 0) -> NeurDB:
+            seed: int = 0, predict_workers: int = 1) -> NeurDB:
     """Create a fresh in-process NeurDB instance."""
     return NeurDB(num_runtimes=num_runtimes, buffer_pages=buffer_pages,
-                  seed=seed)
+                  seed=seed, predict_workers=predict_workers)

@@ -8,15 +8,16 @@ and then evaluates per row, so hot loops avoid repeated name resolution.
 Contract between the two compilers: :func:`compile_expr` (row) is the
 semantic reference; :func:`compile_expr_vector` (batch) must agree with it
 bit-for-bit or decline.  It declines in two ways.  At *compile time* it
-returns None for forms it cannot lower — scalar functions, LIKE with a
-non-constant pattern or a non-column operand, literals float64 cannot hold
-— and the batch predicate wrapper (:func:`compile_predicate_batch`) then
-evaluates the block row-by-row with the reference evaluator.  At *runtime*
-a lowered plan defeated by actual column contents (arithmetic over
-strings, mixed-type ordering, a reachable zero divisor) raises
-:class:`VectorFallback`, and the predicate permanently degrades to the row
-evaluator for that plan, so error/short-circuit semantics are decided by
-row order exactly as the row engine would.
+returns None for forms it cannot lower — LIKE with a non-constant pattern
+or a non-column operand, 2-argument ``round``, literals float64 cannot
+hold — and the batch predicate wrapper (:func:`compile_predicate_batch`)
+then evaluates the block row-by-row with the reference evaluator.  At
+*runtime* a lowered plan defeated by actual column contents (arithmetic or
+``abs``/``round`` over strings, ``lower``/``upper``/``length`` over
+non-strings, mixed-type ordering or COALESCE branches, a reachable zero
+divisor) raises :class:`VectorFallback`, and the predicate permanently
+degrades to the row evaluator for that plan, so error/short-circuit
+semantics are decided by row order exactly as the row engine would.
 """
 
 from __future__ import annotations
@@ -516,8 +517,11 @@ def compile_expr_vector(expr: ast.Expr,
             return out, null
         return eval_in
 
+    if isinstance(expr, ast.FuncCall):
+        return _compile_func_vector(expr, layout)
+
     # LIKE arms of BinaryOp are handled in _compile_binary_vector;
-    # FuncCall / Star and anything unknown use the row fallback.
+    # Star and anything unknown use the row fallback.
     return None
 
 
@@ -615,6 +619,102 @@ def _compile_binary_vector(expr: ast.BinaryOp,
         return eval_div
 
     return None  # anything else: row fallback
+
+
+# scalar functions the vectorizer lowers: numeric ones map to one numpy
+# ufunc over the float64 view; string ones run a single fromiter pass over
+# the raw object column (no row tuples, no whole-block fallback).  Each
+# matches the row evaluator exactly where it applies and raises
+# VectorFallback where runtime values could diverge (non-string input to a
+# string function, object-dtype numerics), so error and result semantics
+# stay row-decided.  round is vectorized only in its 1-argument form:
+# numpy's 2-argument decimal rounding scales/unscales through float64 and
+# can disagree with Python's exact round-half-even on ties.
+_NUMERIC_FUNC_VECTOR = {
+    "abs": np.abs,
+    "round": np.rint,
+    "floor": np.floor,
+    "ceil": np.ceil,
+}
+
+
+def _compile_func_vector(expr: ast.FuncCall,
+                         layout: RowLayout) -> VectorEvaluator | None:
+    """Lower a scalar function call, or None for the row fallback."""
+    name = expr.name.lower()
+    if name in ast.AGGREGATE_FUNCTIONS:
+        return None  # let the row compiler raise its BindError
+
+    if name == "coalesce":
+        args = [compile_expr_vector(a, layout) for a in expr.args]
+        if not args or any(a is None for a in args):
+            return None
+
+        def eval_coalesce(block):
+            values, null = args[0](block)
+            values = values.copy()
+            for arg in args[1:]:
+                if not null.any():
+                    break
+                fill_values, fill_null = arg(block)
+                if (values.dtype == object) != (fill_values.dtype == object):
+                    # mixing a numeric view with raw objects could change
+                    # comparison semantics downstream: row path decides
+                    raise VectorFallback
+                if values.dtype != object and \
+                        fill_values.dtype != values.dtype:
+                    fill_values = fill_values.astype(values.dtype)
+                values[null] = fill_values[null]
+                null = null & fill_null
+            return values, null
+        return eval_coalesce
+
+    if name in _NUMERIC_FUNC_VECTOR:
+        if len(expr.args) != 1:
+            return None  # wrong arity (or round's 2-arg form): row path
+        inner = compile_expr_vector(expr.args[0], layout)
+        if inner is None:
+            return None
+        fn = _NUMERIC_FUNC_VECTOR[name]
+
+        def eval_numeric_func(block):
+            values, null = inner(block)
+            if values.dtype == object:
+                raise VectorFallback
+            return fn(values.astype(np.float64)), null
+        return eval_numeric_func
+
+    if name in ("lower", "upper", "length"):
+        if len(expr.args) != 1:
+            return None
+        inner = compile_expr_vector(expr.args[0], layout)
+        if inner is None:
+            return None
+
+        def eval_string_func(block):
+            values, null = inner(block)
+            if values.dtype != object:
+                # a numeric view means no strings anywhere: the row
+                # evaluator raises on every non-NULL row; let it
+                raise VectorFallback
+            n = len(values)
+            out = np.empty(n, dtype=object) if name != "length" else \
+                np.zeros(n, dtype=np.float64)
+            for i, v in enumerate(values):
+                if null[i]:
+                    continue
+                if not isinstance(v, str):
+                    raise VectorFallback
+                if name == "lower":
+                    out[i] = v.lower()
+                elif name == "upper":
+                    out[i] = v.upper()
+                else:
+                    out[i] = float(len(v))
+            return out, null
+        return eval_string_func
+
+    return None  # unknown function: the row compiler raises BindError
 
 
 def _compile_like_vector(expr: ast.BinaryOp,

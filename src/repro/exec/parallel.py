@@ -145,22 +145,41 @@ class MorselScheduler:
             # spill surcharges) are budget-checked here, before the merge
             self._check_budget()
         finally:
-            # direct charges (buffer pool, index page reads) are serial
-            direct = self._clock.now - start
-            clocks = self._worker_clocks
-            makespan = direct + clocks.makespan()
-            charged = direct + clocks.total()
-            # suspend the budget limit while folding worker charges into
-            # the shared clock: a failing query must still leave all of
-            # its charges behind (the serial engines' contract), and the
-            # budget itself was already enforced at phase boundaries
-            limit = self._clock.limit
-            self._clock.set_limit(None)
-            try:
-                clocks.merge_into(self._clock)
-            finally:
-                self._clock.set_limit(limit)
-        stats = {
+            stats = self.finish(start)
+        return blocks, stats
+
+    def map(self, items: list, fn: Callable[[Any, SimClock], Any]) -> list:
+        """Public morsel map for non-operator work (the AI loader's
+        morsel-parallel training-data materialization): runs
+        ``fn(item, shard_clock)`` over ``items`` with the same
+        pull-the-next-morsel dispatch, per-task shard clocks, and
+        phase-close accounting as operator execution.  Results come back
+        in item order.  Call :meth:`finish` once all maps are done to fold
+        the worker charges into the shared clock and read the stats."""
+        return self._map(items, fn)
+
+    def finish(self, start: float | None = None) -> dict:
+        """Fold all accumulated worker charges into the shared clock (in
+        deterministic morsel order, so charged totals stay bit-identical
+        across worker counts and thread interleavings) and return the
+        scheduler stats.  ``start`` is the shared clock's reading when this
+        scheduler's work began; direct shared-clock charges since then
+        (buffer pool, index page reads) count toward the makespan."""
+        direct = (self._clock.now - start) if start is not None else 0.0
+        clocks = self._worker_clocks
+        makespan = direct + clocks.makespan()
+        charged = direct + clocks.total()
+        # suspend the budget limit while folding worker charges into
+        # the shared clock: a failing query must still leave all of
+        # its charges behind (the serial engines' contract), and the
+        # budget itself was already enforced at phase boundaries
+        limit = self._clock.limit
+        self._clock.set_limit(None)
+        try:
+            clocks.merge_into(self._clock)
+        finally:
+            self._clock.set_limit(limit)
+        return {
             "workers": self.workers,
             "morsel_rows": self.morsel_rows,
             "tasks": self.tasks_dispatched,
@@ -169,7 +188,6 @@ class MorselScheduler:
             "virtual_makespan": makespan,
             "modeled_speedup": (charged / makespan) if makespan > 0 else 1.0,
         }
-        return blocks, stats
 
     # -- budget enforcement ------------------------------------------------
 

@@ -1,0 +1,24 @@
+"""Adaptive PREDICT serving: concurrent micro-batched inference plus
+drift-triggered background model refresh (see ``docs/serving.md``)."""
+
+from repro.serve.server import (
+    ModelCache,
+    PredictRequest,
+    PredictServer,
+    RefreshTask,
+)
+from repro.serve.workload import (
+    bursty_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+
+__all__ = [
+    "ModelCache",
+    "PredictRequest",
+    "PredictServer",
+    "RefreshTask",
+    "bursty_arrivals",
+    "poisson_arrivals",
+    "uniform_arrivals",
+]

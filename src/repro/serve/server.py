@@ -1,0 +1,588 @@
+"""The adaptive PREDICT serving subsystem.
+
+The paper's north star is an *autonomous* AI-powered data system serving
+heavy concurrent traffic; the ``Db`` facade alone runs one PREDICT at a
+time and leaves adaptation to a human calling ``fine_tune_model``.  This
+module closes both gaps:
+
+* :class:`PredictServer` admits many concurrent PREDICT requests and
+  serves them through *dynamic micro-batches*: requests that are queued at
+  the moment a serving lane frees and that target the same model identity
+  (same table, target, and TRAIN ON feature signature) coalesce into one
+  vectorized inference — one model-cache lookup, one batched columnar
+  hash-and-forward pass, one GPU kernel-launch charge — instead of
+  per-request model loads and launches.
+* A versioned :class:`ModelCache` (LRU over materialized
+  :class:`~repro.ai.model_manager.ModelManager` version snapshots) keeps
+  hot models resident.  Each micro-batch *pins* the (name, version) it
+  was formed with, so a refresh completing mid-flight never tears a
+  batch: version swaps only take effect at batch-formation boundaries.
+* The autonomy loop: the server scores predictions against ground truth
+  where the scanned rows carry a non-NULL target (Brier/MSE, observed on
+  the monitor's ``serving:<model>`` stream) and watches the training
+  ``loss:<model>`` stream.  A drift event enqueues a background
+  :class:`RefreshTask`; the refresh worker incrementally fine-tunes
+  (suffix layers only, persisted via
+  :meth:`~repro.ai.model_manager.ModelManager.incremental_update`) on its
+  own :class:`~repro.common.simtime.LaneSchedule` lane while foreground
+  serving continues on the pinned version, and the new version swaps in
+  atomically once the serving timeline passes the refresh's completion.
+
+Time model
+----------
+Like the morsel scheduler's :class:`~repro.common.simtime.WorkerClocks`,
+the server executes all work in deterministic program order but *places*
+it in virtual time with :class:`~repro.common.simtime.LaneSchedule`: a
+request's latency is ``completion - arrival`` on that modeled timeline,
+and every virtual second of work is still charged exactly once to the
+database's shared clock.  A single request served here charges
+bit-identically to the same statement through ``Db.execute`` (the parity
+suite in ``tests/test_serve.py`` asserts this at several
+``predict_workers`` settings); micro-batching and the model cache then
+cut the *per-request* cost, which is where the modeled throughput win in
+``benchmarks/BENCH_serve.json`` comes from.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ai.armnet import ARMNet
+from repro.ai.loader import ColumnFeatures
+from repro.ai.monitor import DriftEvent
+from repro.ai.tasks import InferenceTask
+from repro.common.errors import NeurDBError
+from repro.common.simtime import LaneSchedule
+from repro.db import NeurDB, PredictContext
+from repro.exec.executor import ResultSet
+from repro.sql import ast
+from repro.sql.parser import parse
+
+
+@dataclass
+class PredictRequest:
+    """One admitted PREDICT request and, after serving, its outcome."""
+
+    request_id: int
+    statement: ast.Predict
+    arrival: float
+    result: Optional[ResultSet] = None
+    error: Optional[str] = None
+    batch_id: Optional[int] = None
+    batched_with: int = 0          # total requests in the same micro-batch
+    lane: Optional[int] = None
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    model_name: Optional[str] = None
+    model_version: Optional[int] = None
+
+    @property
+    def latency(self) -> float:
+        if self.completed_at is None:
+            raise NeurDBError(f"request {self.request_id} not served yet")
+        return self.completed_at - self.arrival
+
+
+@dataclass
+class RefreshTask:
+    """One background model refresh, from drift event to version swap.
+
+    State machine: ``queued`` (a drift event enqueued it) -> ``done``
+    (the incremental fine-tune ran; the new version swaps in once serving
+    time passes ``completed_at``) or ``failed`` (the fine-tune raised;
+    serving continues on the pinned version, and the next drift event may
+    retry).
+    """
+
+    task_id: int
+    model_name: str
+    table: str
+    target: str
+    trigger: Optional[DriftEvent]
+    enqueued_at: float
+    status: str = "queued"
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    version_before: Optional[int] = None
+    version_after: Optional[int] = None
+    swapped: bool = False
+    error: Optional[str] = None
+
+
+class ModelCache:
+    """LRU cache of materialized model versions.
+
+    Keys are ``(name, version timestamp)`` — a *snapshot*, never "the
+    newest": callers resolve the version they want first, so a cached
+    entry can never change meaning when a refresh persists a newer
+    version.  A miss materializes through
+    :meth:`~repro.ai.model_manager.ModelManager.load_model` and therefore
+    charges the usual per-layer load cost; hits charge nothing — the
+    serving path's steady-state saving.
+    """
+
+    def __init__(self, manager, capacity: int = 4):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._manager = manager
+        self._capacity = capacity
+        self._entries: "OrderedDict[tuple[str, int], ARMNet]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, name: str, version: int) -> ARMNet:
+        key = (name.lower(), version)
+        model = self._entries.get(key)
+        if model is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return model
+        self.misses += 1
+        model = self._manager.load_model(name, version)
+        self._entries[key] = model
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+        return model
+
+    def cached_versions(self, name: str) -> list[int]:
+        name = name.lower()
+        return [ts for (n, ts) in self._entries if n == name]
+
+
+class PredictServer:
+    """Micro-batched, drift-adaptive PREDICT serving over one NeurDB.
+
+    Args:
+        db: the database to serve; all work charges its shared clock.
+        lanes: modeled concurrent serving lanes sharing the request queue.
+        max_batch_requests: coalescing cap per micro-batch.
+        max_batch_rows: stop adding requests to a batch once its
+            materialized inputs reach this many rows (everything already
+            materialized stays in the batch, so nothing is scanned twice).
+        model_cache_size: LRU capacity of the model cache, in versions.
+        refresh: default refresh policy — ``"auto"`` (drift enqueues a
+            background fine-tune) or ``"manual"``; a request's
+            ``WITH (refresh=...)`` knob overrides it for that model.
+        refresh_epochs / refresh_tune_last_layers / refresh_learning_rate
+            / refresh_batch_size: incremental-update hyperparameters
+            handed to ``Db.fine_tune_model``.  Defaults lean aggressive
+            (large step, small batches => many gradient steps): a refresh
+            only runs because the served distribution has already moved.
+        serving_threshold / serving_window / serving_cooldown: drift
+            parameters for the ``serving:<model>`` metric streams.
+    """
+
+    def __init__(self, db: NeurDB, lanes: int = 1,
+                 max_batch_requests: int = 16, max_batch_rows: int = 8192,
+                 model_cache_size: int = 4, refresh: str = "auto",
+                 refresh_epochs: int = 8, refresh_tune_last_layers: int = 2,
+                 refresh_learning_rate: float = 5e-2,
+                 refresh_batch_size: int = 256,
+                 serving_threshold: float = 0.5, serving_window: int = 4,
+                 serving_cooldown: int | None = None):
+        if refresh not in ("auto", "manual"):
+            raise ValueError(f"refresh must be auto or manual, "
+                             f"got {refresh!r}")
+        if max_batch_requests < 1:
+            raise ValueError("max_batch_requests must be >= 1")
+        if max_batch_rows < 1:
+            raise ValueError("max_batch_rows must be >= 1")
+        self.db = db
+        self.clock = db.clock
+        self.cache = ModelCache(db.models, capacity=model_cache_size)
+        self.lanes = LaneSchedule(lanes)
+        self.refresh_lane = LaneSchedule(1)
+        self.max_batch_requests = max_batch_requests
+        self.max_batch_rows = max_batch_rows
+        self.default_refresh = refresh
+        self.refresh_epochs = refresh_epochs
+        self.refresh_tune_last_layers = refresh_tune_last_layers
+        self.refresh_learning_rate = refresh_learning_rate
+        self.refresh_batch_size = refresh_batch_size
+        self._serving_params = dict(threshold=serving_threshold,
+                                    window=serving_window,
+                                    cooldown=serving_cooldown)
+        self._pending: deque[PredictRequest] = deque()
+        self.completed: list[PredictRequest] = []
+        self.refreshes: list[RefreshTask] = []
+        self._refresh_queue: deque[RefreshTask] = deque()
+        self._serving_version: dict[str, int] = {}
+        self._refresh_mode: dict[str, str] = {}
+        self._model_binding: dict[str, tuple[str, str]] = {}
+        self._watched_streams: set[str] = set()
+        self._contexts: dict[int, PredictContext] = {}
+        self._next_request_id = 1
+        self._next_batch_id = 0
+        self._next_refresh_id = 1
+        self._event_time = 0.0  # serving-timeline position for triggers
+        self._last_arrival = 0.0
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, statement: "str | ast.Predict",
+               at: float | None = None) -> PredictRequest:
+        """Admit one PREDICT request at virtual arrival time ``at``
+        (default: the latest arrival admitted so far).  Requests must be
+        submitted in arrival order and are served by :meth:`drain`."""
+        if isinstance(statement, str):
+            statement = parse(statement)
+        if not isinstance(statement, ast.Predict):
+            raise NeurDBError("PredictServer serves PREDICT statements "
+                              f"only, got {type(statement).__name__}")
+        if at is None:
+            at = self._last_arrival
+        if at < self._last_arrival:
+            raise NeurDBError("requests must be submitted in arrival order")
+        self._last_arrival = float(at)
+        request = PredictRequest(request_id=self._next_request_id,
+                                 statement=statement, arrival=float(at))
+        self._next_request_id += 1
+        self._pending.append(request)
+        return request
+
+    def refresh_now(self, table: str, target: str) -> RefreshTask:
+        """Manually enqueue a background refresh for a bound model (the
+        ``refresh=manual`` escape hatch); it runs on the next drain."""
+        model_name = self.db.catalog.bound_model(table, target)
+        if model_name is None:
+            raise NeurDBError(f"no model bound for {table}.{target}")
+        self._model_binding[model_name] = (table, target)
+        return self._enqueue_refresh(model_name, trigger=None,
+                                     at=self._event_time)
+
+    # -- serving loop --------------------------------------------------------
+
+    def drain(self) -> list[PredictRequest]:
+        """Serve every pending request (and run any enqueued refreshes);
+        returns the requests completed by this call, in service order."""
+        served: list[PredictRequest] = []
+        self._run_refreshes()
+        while self._pending:
+            served.extend(self._serve_next_batch())
+            self._run_refreshes()
+        return served
+
+    # -- batch formation -----------------------------------------------------
+
+    def _serve_next_batch(self) -> list[PredictRequest]:
+        # deferrals (row cap) and different-model skips can perturb the
+        # queue; keep FIFO-by-arrival deterministic
+        self._pending = deque(sorted(
+            self._pending, key=lambda r: (r.arrival, r.request_id)))
+        head = self._pending.popleft()
+        form_time = max(self.lanes.next_free(), head.arrival)
+        self._apply_swaps(form_time)
+        self._event_time = form_time
+
+        head_ctx = self._bind(head)
+        if head_ctx is None:  # bind failure: complete as failed, zero cost
+            head.batch_id = self._next_batch_id
+            self._next_batch_id += 1
+            head.batched_with = 1
+            lane, start, completion = self.lanes.assign(form_time, 0.0)
+            head.lane, head.started_at, head.completed_at = (lane, start,
+                                                             completion)
+            self._contexts.pop(head.request_id, None)
+            self.completed.append(head)
+            return [head]
+
+        batch = [(head, head_ctx)]
+        skipped: list[PredictRequest] = []
+        while self._pending and len(batch) < self.max_batch_requests:
+            candidate = self._pending[0]
+            if candidate.arrival > form_time:
+                break
+            ctx = self._bind(candidate)
+            if ctx is None or ctx.model_name != head_ctx.model_name:
+                # different model (or unbindable): leave for a later batch
+                skipped.append(self._pending.popleft())
+                continue
+            batch.append((candidate, ctx))
+            self._pending.popleft()
+        for request in reversed(skipped):
+            self._pending.appendleft(request)
+        return self._execute_batch(batch, form_time)
+
+    def _bind(self, request: PredictRequest) -> PredictContext | None:
+        """Bind (and cache) a request's statement; None on bind errors,
+        which are recorded on the request."""
+        ctx = self._contexts.get(request.request_id)
+        if ctx is not None:
+            return ctx
+        try:
+            ctx = self.db.bind_predict(request.statement)
+        except NeurDBError as exc:
+            request.error = str(exc)
+            return None
+        self._contexts[request.request_id] = ctx
+        request.model_name = ctx.model_name
+        if request.statement.refresh is not None:
+            self._refresh_mode[ctx.model_name] = request.statement.refresh
+        return ctx
+
+    # -- batch execution -----------------------------------------------------
+
+    def _execute_batch(self, batch: list[tuple[PredictRequest,
+                                               PredictContext]],
+                       form_time: float) -> list[PredictRequest]:
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        head_ctx = batch[0][1]
+        model_name = head_ctx.model_name
+        before = self.clock.now
+
+        failure: str | None = None
+        parts: list[dict] = []
+        model_version: int | None = None
+        try:
+            trained_now = self.db.ensure_predict_model(head_ctx)
+            self._model_binding[model_name] = (head_ctx.statement.table,
+                                               head_ctx.target)
+            # pin the serving version: set on first sight of the model,
+            # changed only by an atomic swap at a batch boundary
+            version = self._serving_version.setdefault(
+                model_name, self.db.models.versions(model_name)[-1])
+            model_version = version
+
+            total_rows = 0
+            for request, ctx in batch:
+                if total_rows >= self.max_batch_rows and parts:
+                    # row cap reached: push the not-yet-materialized tail
+                    # back to the queue front (nothing scanned twice)
+                    index = [r for r, _ in batch].index(request)
+                    for deferred, _ in reversed(batch[index:]):
+                        self._pending.appendleft(deferred)
+                    batch = batch[:index]
+                    break
+                features, targets, target_null = self.db.prediction_inputs(
+                    ctx, with_targets=True)
+                parts.append(dict(request=request, ctx=ctx,
+                                  features=features, targets=targets,
+                                  target_null=target_null,
+                                  trained_now=trained_now and
+                                  request is batch[0][0]))
+                total_rows += len(features)
+
+            occupied = [p for p in parts if p["features"]]
+            if occupied:
+                # load (or hit) the pinned snapshot only when there is
+                # something to infer — the facade path skips the model
+                # load for an empty prediction set, and parity holds us
+                # to the same charges
+                model = self.cache.get(model_name, version)
+                combined = ColumnFeatures.concat(
+                    [p["features"] for p in occupied])
+                inference = self.db.ai_engine.infer_with_model(
+                    InferenceTask(model_name=model_name), model, combined)
+                offset = 0
+                for part in occupied:
+                    n = len(part["features"])
+                    part["predictions"] = \
+                        inference.predictions[offset:offset + n]
+                    offset += n
+        except Exception as exc:
+            # a server isolates request failures: whatever escaped
+            # training, materialization, or inference fails this batch's
+            # requests (error recorded, charges kept) without stranding
+            # the rest of the queue
+            failure = f"{type(exc).__name__}: {exc}"
+
+        cost = self.clock.now - before
+        lane, start, completion = self.lanes.assign(form_time, cost)
+        served: list[PredictRequest] = []
+        if not failure:
+            for part in parts:
+                request, ctx = part["request"], part["ctx"]
+                features = part["features"]
+                if not features:
+                    request.result = ResultSet(
+                        columns=ctx.feature_columns + [ctx.target], rows=[],
+                        extra={"model": ctx.model_name})
+                else:
+                    request.result = self.db.predict_result(
+                        ctx, features, part["predictions"],
+                        part["trained_now"])
+        for request, _ in batch:
+            request.batch_id = batch_id
+            request.batched_with = len(batch)
+            request.lane, request.started_at, request.completed_at = (
+                lane, start, completion)
+            request.model_version = model_version
+            if failure:
+                request.error = failure
+            self._contexts.pop(request.request_id, None)
+            self.completed.append(request)
+            served.append(request)
+
+        # score against ground truth & let the monitor decide on drift;
+        # triggers observe the *completion* time of this batch
+        if not failure:
+            self._event_time = completion
+            for part in parts:
+                self._observe_serving_loss(model_name, part)
+            self._watch_model(model_name)
+        return served
+
+    # -- monitoring & the autonomy loop --------------------------------------
+
+    def _observe_serving_loss(self, model_name: str, part: dict) -> None:
+        targets, null = part["targets"], part["target_null"]
+        if targets is None or part["request"].result is None:
+            return
+        features = part["features"]
+        if not features:
+            return
+        predictions = np.asarray(part["predictions"], dtype=np.float64)
+        scored = ~null
+        if not scored.any():
+            return
+        try:
+            truth = np.asarray(
+                [float(v) for v in np.asarray(targets)[scored]],
+                dtype=np.float64)
+        except (TypeError, ValueError):
+            return  # non-numeric ground truth: nothing to score
+        # Brier score for classification (probability vs 0/1 label),
+        # plain MSE for regression — one bounded-below "lower is better"
+        # loss for both task types
+        loss = float(np.mean((predictions[scored] - truth) ** 2))
+        stream = f"serving:{model_name}"
+        self.db.monitor.ensure_stream(stream, higher_is_better=False,
+                                      **self._serving_params)
+        self._watch_stream(stream, model_name)
+        self.db.monitor.observe(stream, loss)
+
+    def _watch_model(self, model_name: str) -> None:
+        """Subscribe to the model's training-loss stream too (it exists
+        once training has run), so loss drift seen by the Db facade also
+        feeds the refresh queue."""
+        stream = f"loss:{model_name}"
+        if self.db.monitor.has_stream(stream):
+            self._watch_stream(stream, model_name)
+
+    def _watch_stream(self, stream: str, model_name: str) -> None:
+        if stream in self._watched_streams:
+            return
+        self._watched_streams.add(stream)
+        self.db.monitor.on_drift(
+            stream,
+            lambda event: self._on_drift(model_name, event))
+
+    def _refresh_policy(self, model_name: str) -> str:
+        return self._refresh_mode.get(model_name, self.default_refresh)
+
+    def _on_drift(self, model_name: str, event: DriftEvent) -> None:
+        if self._refresh_policy(model_name) != "auto":
+            return
+        # one refresh in flight per model: skip when one is queued or
+        # done-but-not-yet-swapped; a failed one may be retried
+        for task in self.refreshes + list(self._refresh_queue):
+            if task.model_name != model_name:
+                continue
+            if task.status == "queued" or (task.status == "done"
+                                           and not task.swapped):
+                return
+        self._enqueue_refresh(model_name, trigger=event,
+                              at=self._event_time)
+
+    def _enqueue_refresh(self, model_name: str, trigger: DriftEvent | None,
+                         at: float) -> RefreshTask:
+        binding = self._model_binding.get(model_name)
+        if binding is None:
+            raise NeurDBError(f"no table/target binding recorded for "
+                              f"model {model_name!r}")
+        task = RefreshTask(task_id=self._next_refresh_id,
+                           model_name=model_name, table=binding[0],
+                           target=binding[1], trigger=trigger,
+                           enqueued_at=at)
+        self._next_refresh_id += 1
+        self._refresh_queue.append(task)
+        return task
+
+    def _run_refreshes(self) -> None:
+        """Execute queued refreshes on the background lane.  The work is
+        *performed* now (deterministic program order) but *placed* on the
+        refresh lane's timeline, so serving latencies never include it;
+        the version swap is deferred until the serving timeline passes the
+        refresh's modeled completion."""
+        while self._refresh_queue:
+            task = self._refresh_queue.popleft()
+            before = self.clock.now
+            try:
+                task.version_before = \
+                    self.db.models.versions(task.model_name)[-1]
+                self.db.fine_tune_model(
+                    task.table, task.target,
+                    tune_last_layers=self.refresh_tune_last_layers,
+                    epochs=self.refresh_epochs,
+                    learning_rate=self.refresh_learning_rate,
+                    batch_size=self.refresh_batch_size)
+                task.version_after = \
+                    self.db.models.versions(task.model_name)[-1]
+                task.status = "done"
+            except Exception as exc:
+                # adaptation is best-effort: a failed refresh must not
+                # take serving down — the pinned version keeps serving
+                # and a later drift event may retry
+                task.status = "failed"
+                task.error = f"{type(exc).__name__}: {exc}"
+            cost = self.clock.now - before
+            _, start, completion = self.refresh_lane.assign(
+                task.enqueued_at, cost)
+            task.started_at, task.completed_at = start, completion
+            self.refreshes.append(task)
+
+    def _apply_swaps(self, now: float) -> None:
+        """Atomically swap in refreshed versions whose background
+        completion time has passed; pinned in-flight versions are never
+        touched (batches formed before ``now`` already hold their model)."""
+        for task in self.refreshes:
+            if (task.status == "done" and not task.swapped
+                    and task.completed_at is not None
+                    and task.completed_at <= now):
+                self._serving_version[task.model_name] = task.version_after
+                task.swapped = True
+
+    # -- introspection -------------------------------------------------------
+
+    def serving_version(self, model_name: str) -> int | None:
+        """The version currently pinned for serving, or None if the model
+        has not been served yet."""
+        return self._serving_version.get(model_name.lower())
+
+    def stats(self) -> dict:
+        """Serving metrics over everything completed so far."""
+        ok = [r for r in self.completed if r.error is None]
+        latencies = np.asarray([r.latency for r in ok], dtype=np.float64)
+        batches = len({r.batch_id for r in ok})
+        makespan = self.lanes.makespan()
+        out = {
+            "requests": len(self.completed),
+            "failed": len(self.completed) - len(ok),
+            "batches": batches,
+            "mean_batch_requests": (len(ok) / batches) if batches else 0.0,
+            "lanes": self.lanes.lanes,
+            "serving_makespan": makespan,
+            "throughput_rps": (len(ok) / makespan) if makespan > 0 else 0.0,
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "refreshes": len(self.refreshes),
+            "refreshes_swapped": sum(1 for t in self.refreshes
+                                     if t.swapped),
+        }
+        if len(latencies):
+            out["latency"] = {
+                "mean": float(latencies.mean()),
+                "p50": float(np.percentile(latencies, 50)),
+                "p95": float(np.percentile(latencies, 95)),
+                "p99": float(np.percentile(latencies, 99)),
+                "max": float(latencies.max()),
+            }
+        return out

@@ -1,0 +1,52 @@
+"""Request-arrival workload generators for the serving benchmarks.
+
+Arrival times are virtual seconds on the serving timeline (see
+``repro/serve/server.py``).  Generators are deterministic given a seed, so
+benchmark trajectories are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform_arrivals(n: int, rate: float) -> list[float]:
+    """``n`` arrivals evenly spaced at ``rate`` requests per virtual
+    second — the steady-traffic baseline."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    gap = 1.0 / rate
+    return [i * gap for i in range(n)]
+
+
+def poisson_arrivals(n: int, rate: float, seed: int = 0) -> list[float]:
+    """``n`` arrivals with exponential inter-arrival gaps (a Poisson
+    process at ``rate`` requests per virtual second)."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=n)
+    return list(np.cumsum(gaps))
+
+
+def bursty_arrivals(n: int, burst_size: int, burst_gap: float,
+                    intra_gap: float = 0.0) -> list[float]:
+    """``n`` arrivals in bursts of ``burst_size`` spaced ``burst_gap``
+    apart; requests inside a burst arrive ``intra_gap`` apart (0 = all at
+    once).  The shape that rewards micro-batching most: whole bursts are
+    queued when a lane frees."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if burst_size < 1:
+        raise ValueError("burst_size must be >= 1")
+    if burst_gap < 0 or intra_gap < 0:
+        raise ValueError("gaps must be >= 0")
+    out = []
+    for i in range(n):
+        burst, position = divmod(i, burst_size)
+        out.append(burst * burst_gap + position * intra_gap)
+    return out

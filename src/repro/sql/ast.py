@@ -266,6 +266,10 @@ class Predict(Statement):
             columns excluding the target.
         train_filter: the WITH clause restricting training rows.
         inline_rows: VALUES rows of features to predict directly.
+        refresh: the ``WITH (refresh=auto|manual)`` serving knob, or None
+            when unspecified (the serving subsystem's policy decides).
+            Not part of the model identity and never affects charges on
+            the plain ``Db.execute`` path.
     """
 
     task: str
@@ -275,3 +279,4 @@ class Predict(Statement):
     train_on: tuple[str, ...] = ("*",)
     train_filter: Optional[Expr] = None
     inline_rows: tuple[tuple[Expr, ...], ...] = ()
+    refresh: Optional[str] = None  # "auto" | "manual" | None

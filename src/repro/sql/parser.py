@@ -349,7 +349,26 @@ class _Parser:
             self._expect_keyword("ON")
             train_on = tuple(self._parse_train_columns())
 
-        train_filter = self._parse_expr() if self._match_keyword("WITH") else None
+        # up to two WITH clauses, in either order: the serving-options
+        # form ``WITH (refresh=auto|manual)`` (disambiguated by lookahead —
+        # the option key and a bare-identifier value; a parenthesized
+        # boolean expression never matches that shape) and the
+        # training-filter form ``WITH <expr>``
+        refresh: str | None = None
+        train_filter: ast.Expr | None = None
+        while self._peek().is_keyword("WITH"):
+            if self._peek_predict_options():
+                if refresh is not None:
+                    raise ParseError("duplicate WITH (...) options clause",
+                                     self._peek().position)
+                self._advance()  # WITH
+                refresh = self._parse_predict_options()
+            else:
+                if train_filter is not None:
+                    raise ParseError("duplicate WITH training filter",
+                                     self._peek().position)
+                self._advance()  # WITH
+                train_filter = self._parse_expr()
 
         inline_rows: list[tuple[ast.Expr, ...]] = []
         if self._match_keyword("VALUES"):
@@ -359,7 +378,57 @@ class _Parser:
 
         return ast.Predict(task=task, target=target, table=table, where=where,
                            train_on=train_on, train_filter=train_filter,
-                           inline_rows=tuple(inline_rows))
+                           inline_rows=tuple(inline_rows), refresh=refresh)
+
+    _PREDICT_OPTIONS = ("refresh",)
+
+    def _peek_predict_options(self) -> bool:
+        """True when the upcoming ``WITH`` introduces an options list:
+        ``WITH ( refresh = auto|manual`` — a known option key, ``=``, and
+        one of the option's literal values.  Any other value token (a
+        number, a string, a different identifier) leaves the clause to
+        the expression parser, so a parenthesized training filter on a
+        column that happens to be named ``refresh`` still parses — the
+        only truly ambiguous spelling is a comparison of a ``refresh``
+        column against a column named ``auto``/``manual``, which the
+        options grammar claims."""
+        return (self._peek(1).type is TokenType.PUNCT
+                and self._peek(1).value == "("
+                and self._peek(2).type is TokenType.IDENT
+                and self._peek(2).value in self._PREDICT_OPTIONS
+                and self._peek(3).type is TokenType.OPERATOR
+                and self._peek(3).value == "="
+                and self._peek(4).type is TokenType.IDENT
+                and self._peek(4).value in ("auto", "manual"))
+
+    def _parse_predict_options(self) -> str:
+        """Parse ``(refresh = auto|manual)``; returns the refresh mode."""
+        self._expect_punct("(")
+        refresh: str | None = None
+        while True:
+            token = self._advance()
+            if token.type is not TokenType.IDENT or \
+                    token.value not in self._PREDICT_OPTIONS:
+                raise ParseError(f"unknown PREDICT option {token.value!r}",
+                                 token.position)
+            if token.value == "refresh" and refresh is not None:
+                raise ParseError("duplicate PREDICT option 'refresh'",
+                                 token.position)
+            eq = self._advance()
+            if eq.type is not TokenType.OPERATOR or eq.value != "=":
+                raise ParseError(f"expected '=', got {eq.value!r}",
+                                 eq.position)
+            value = self._advance()
+            if value.type is not TokenType.IDENT or \
+                    value.value not in ("auto", "manual"):
+                raise ParseError(
+                    f"refresh expects auto or manual, got {value.value!r}",
+                    value.position)
+            refresh = value.value
+            if not self._match_punct(","):
+                break
+        self._expect_punct(")")
+        return refresh
 
     def _parse_train_columns(self) -> list[str]:
         token = self._peek()

@@ -351,6 +351,80 @@ class TestMonitor:
         with pytest.raises(ValueError):
             monitor.register("x")
 
+    def test_stream_shorter_than_reference_window_never_fires(self):
+        # drift needs a full reference AND a full recent window: the first
+        # 2*window-1 observations can never fire, however degraded
+        monitor = Monitor()
+        monitor.register("loss", threshold=0.1, window=5)
+        events = [monitor.observe("loss", 1.0 if i < 5 else 100.0)
+                  for i in range(9)]
+        assert all(e is None for e in events)
+        assert monitor.drift_count("loss") == 0
+
+    def test_higher_is_better_improvement_never_fires(self):
+        monitor = Monitor()
+        monitor.register("tput", higher_is_better=True, threshold=0.3,
+                         window=3)
+        for _ in range(6):
+            monitor.observe("tput", 100.0)
+        events = [monitor.observe("tput", 500.0) for _ in range(10)]
+        assert all(e is None for e in events)
+
+    def test_lower_is_better_improvement_never_fires(self):
+        monitor = Monitor()
+        monitor.register("loss", threshold=0.3, window=3)
+        for _ in range(6):
+            monitor.observe("loss", 1.0)
+        events = [monitor.observe("loss", 0.01) for _ in range(10)]
+        assert all(e is None for e in events)
+
+    def test_trigger_callback_error_captured_not_raised(self):
+        # an erroring adaptation trigger must not break the metric
+        # pipeline, and later triggers for the same event must still run
+        monitor = Monitor()
+        monitor.register("loss", threshold=0.1, window=3)
+        fired = []
+
+        def bad(_event):
+            raise RuntimeError("refresh enqueue failed")
+
+        monitor.on_drift("loss", bad)
+        monitor.on_drift("loss", fired.append)
+        for _ in range(6):
+            monitor.observe("loss", 1.0)
+        for _ in range(4):
+            monitor.observe("loss", 9.0)
+        assert fired, "second trigger must still run"
+        assert monitor.trigger_errors
+        event, error = monitor.trigger_errors[0]
+        assert event.stream == "loss"
+        assert isinstance(error, RuntimeError)
+
+    def test_drift_count_filters_by_stream(self):
+        monitor = Monitor()
+        monitor.register("a", threshold=0.1, window=3)
+        monitor.register("b", threshold=0.1, window=3)
+        for _ in range(6):
+            monitor.observe("a", 1.0)
+            monitor.observe("b", 1.0)
+        for _ in range(4):
+            monitor.observe("a", 9.0)  # only stream a drifts
+            monitor.observe("b", 1.0)
+        assert monitor.drift_count("a") >= 1
+        assert monitor.drift_count("b") == 0
+        assert monitor.drift_count() == monitor.drift_count("a")
+        assert monitor.drift_count("nope") == 0  # unknown name: no events
+
+    def test_has_stream_and_ensure_stream(self):
+        monitor = Monitor()
+        assert not monitor.has_stream("loss")
+        created = monitor.ensure_stream("loss", threshold=0.2, window=4)
+        assert monitor.has_stream("loss")
+        # idempotent: the existing stream (and its parameters) win
+        again = monitor.ensure_stream("loss", threshold=0.9, window=99)
+        assert again is created
+        assert again.threshold == 0.2
+
 
 class TestARMNet:
     def test_forward_shape(self):

@@ -38,7 +38,16 @@ PARITY_QUERIES = [
     "SELECT * FROM users WHERE name LIKE 'user7'",            # no wildcard
     "SELECT * FROM users WHERE nickname LIKE '%3'",           # NULL-heavy col
     "SELECT * FROM users WHERE name LIKE city",               # row fallback
-    "SELECT * FROM users WHERE length(name) = 6",             # row fallback
+    # vectorized scalar functions (and their declined/fallback corners)
+    "SELECT * FROM users WHERE length(name) = 6",
+    "SELECT * FROM users WHERE lower(city) = 'sg'",
+    "SELECT * FROM users WHERE upper(name) = 'USER7'",
+    "SELECT * FROM users WHERE length(nickname) = 5",         # NULL-heavy
+    "SELECT * FROM users WHERE abs(age - 30) <= 5",
+    "SELECT * FROM users WHERE round(score) = 12",            # NULL-heavy
+    "SELECT * FROM users WHERE round(score, 1) > 3",          # 2-arg: row
+    "SELECT * FROM users WHERE coalesce(score, 0) < 10",
+    "SELECT * FROM users WHERE length(coalesce(nickname, name)) > 5",
     "SELECT * FROM users WHERE age * 2 + 1 > 60",
     "SELECT * FROM users WHERE age / 2 >= 15",
     "SELECT * FROM users WHERE age % 3 = 1",

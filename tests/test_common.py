@@ -89,6 +89,33 @@ class TestSimClock:
         assert clock.now == pytest.approx(sum(increments))
 
 
+class TestLaneSchedule:
+    def test_serial_lane_queues(self):
+        from repro.common.simtime import LaneSchedule
+        lanes = LaneSchedule(1)
+        assert lanes.assign(0.0, 2.0) == (0, 0.0, 2.0)
+        assert lanes.assign(1.0, 2.0) == (0, 2.0, 4.0)  # queued behind
+        assert lanes.assign(9.0, 1.0) == (0, 9.0, 10.0)  # lane idled
+        assert lanes.makespan() == 10.0
+        assert lanes.busy_time() == 5.0
+
+    def test_earliest_free_lane_wins(self):
+        from repro.common.simtime import LaneSchedule
+        lanes = LaneSchedule(2)
+        assert lanes.assign(0.0, 4.0)[0] == 0
+        assert lanes.assign(0.0, 1.0)[0] == 1
+        lane, start, completion = lanes.assign(0.0, 1.0)
+        assert (lane, start, completion) == (1, 1.0, 2.0)
+        assert lanes.makespan() == 4.0
+
+    def test_validation(self):
+        from repro.common.simtime import LaneSchedule
+        with pytest.raises(ValueError):
+            LaneSchedule(0)
+        with pytest.raises(ValueError):
+            LaneSchedule(1).assign(0.0, -1.0)
+
+
 class TestCostModel:
     def test_page_read_dwarfs_hit(self):
         assert CostModel.PAGE_READ > 10 * CostModel.PAGE_HIT

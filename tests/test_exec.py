@@ -106,6 +106,134 @@ class TestExpressionEvaluation:
         assert to_bool(0) is False
 
 
+def _vector_of(predicate_sql: str, layout: RowLayout):
+    from repro.exec.expr import compile_expr_vector
+    stmt = parse(f"SELECT 1 FROM t WHERE {predicate_sql}")
+    return stmt.where, compile_expr_vector(stmt.where, layout)
+
+
+def _block(layout: RowLayout, rows):
+    from repro.exec.batch import RowBlock
+    return RowBlock.from_rows(layout, rows)
+
+
+class TestVectorizedScalarFunctions:
+    """The vectorizer must lower the scalar-function predicates that used
+    to force whole-block row fallback — and still defer to the row
+    evaluator wherever runtime values could make the two paths diverge."""
+
+    LAYOUT = RowLayout([("t", "name"), ("t", "age"), ("t", "nick")])
+
+    def _mask(self, predicate_sql: str, rows):
+        from repro.exec.expr import compile_predicate_batch
+        stmt = parse(f"SELECT 1 FROM t WHERE {predicate_sql}")
+        evaluate = compile_predicate_batch(stmt.where, self.LAYOUT)
+        return list(evaluate(_block(self.LAYOUT, rows)))
+
+    def test_string_functions_lower(self):
+        for predicate in ("lower(name) = 'bob'", "upper(name) = 'BOB'",
+                          "length(name) > 2"):
+            _, vector = _vector_of(predicate, self.LAYOUT)
+            assert vector is not None, predicate
+
+    def test_numeric_functions_lower(self):
+        for predicate in ("abs(age) > 1", "round(age) = 2",
+                          "floor(age) = 2", "ceil(age) = 2",
+                          "coalesce(age, 0) > 1"):
+            _, vector = _vector_of(predicate, self.LAYOUT)
+            assert vector is not None, predicate
+
+    def test_declined_forms_stay_row_fallback(self):
+        # 2-arg round (numpy's scaled rounding can disagree on ties) and
+        # wrong arity must leave error/tie semantics to the row evaluator
+        for predicate in ("round(age, 2) = 1.5", "abs(age, age) = 1"):
+            _, vector = _vector_of(predicate, self.LAYOUT)
+            assert vector is None, predicate
+
+    def test_masks_match_row_semantics(self):
+        rows = [("Bob", 2, None), ("bob", -3, "x"), ("ann", None, "yy"),
+                (None, 5, "zzz")]
+        assert self._mask("lower(name) = 'bob'", rows) == [
+            True, True, False, False]
+        assert self._mask("length(coalesce(nick, name)) >= 2", rows) == [
+            True, False, True, True]
+        assert self._mask("abs(age) = 3", rows) == [False, True, False,
+                                                    False]
+        assert self._mask("round(age) BETWEEN 2 AND 5", rows) == [
+            True, False, False, True]
+
+    def test_round_half_even_matches_python(self):
+        layout = RowLayout([("t", "x")])
+        from repro.exec.expr import compile_predicate_batch
+        stmt = parse("SELECT 1 FROM t WHERE round(x) = 2")
+        evaluate = compile_predicate_batch(stmt.where, layout)
+        rows = [(0.5,), (1.5,), (2.5,), (3.5,), (-2.5,)]
+        got = list(evaluate(_block(layout, rows)))
+        assert got == [round(x) == 2 for (x,) in rows]
+
+    def test_string_function_on_numbers_falls_back_to_row_error(self):
+        # lower(5) raises in the row engine; the vector path must not
+        # swallow or reorder that
+        db = repro.connect()
+        db.execute("CREATE TABLE fx (a INT)")
+        db.execute("INSERT INTO fx VALUES (5)")
+        with pytest.raises(Exception):
+            db.execute("SELECT * FROM fx WHERE lower(a) = 'x'")
+
+    def test_mixed_type_coalesce_defers_to_rows(self):
+        # INT column coalesced with a TEXT default: dtypes mix at runtime,
+        # so the vector plan must fall back, not guess
+        rows = [("a", None, None), ("b", 3, "n")]
+        got = self._mask("coalesce(age, name) = 'a'", rows)
+        assert got == [True, False]
+
+
+class TestCompiledExpressionCache:
+    def test_row_compile_cached_by_node_identity(self):
+        from repro.exec.expr import compile_expr_cached
+        layout = RowLayout([("t", "a")])
+        stmt = parse("SELECT 1 FROM t WHERE a > 1")
+        first = compile_expr_cached(stmt.where, layout)
+        second = compile_expr_cached(stmt.where, layout)
+        assert first is second
+
+    def test_distinct_nodes_not_shared(self):
+        from repro.exec.expr import compile_expr_cached
+        layout = RowLayout([("t", "a")])
+        one = parse("SELECT 1 FROM t WHERE a > 1").where
+        two = parse("SELECT 1 FROM t WHERE a > 1").where
+        assert compile_expr_cached(one, layout) is not \
+            compile_expr_cached(two, layout)
+
+    def test_layout_shape_part_of_key(self):
+        from repro.exec.expr import compile_expr_cached
+        stmt = parse("SELECT 1 FROM t WHERE a > 1")
+        narrow = compile_expr_cached(stmt.where, RowLayout([("t", "a")]))
+        wide = compile_expr_cached(stmt.where,
+                                   RowLayout([("t", "x"), ("t", "a")]))
+        assert narrow((5,)) is True
+        assert wide((0, 5)) is True  # resolved against the wider layout
+
+    def test_predicate_batch_cached_including_vector_funcs(self):
+        from repro.exec.expr import compile_predicate_batch
+        layout = RowLayout([("t", "name")])
+        stmt = parse("SELECT 1 FROM t WHERE lower(name) = 'x'")
+        first = compile_predicate_batch(stmt.where, layout)
+        second = compile_predicate_batch(stmt.where, layout)
+        assert first is second
+
+    def test_cache_clears_at_capacity_instead_of_growing(self):
+        from repro.exec import expr as expr_module
+        layout = RowLayout([("t", "a")])
+        keep = []  # pin AST nodes so ids cannot be recycled mid-test
+        for _ in range(expr_module._COMPILE_CACHE_MAX + 10):
+            node = parse("SELECT 1 FROM t WHERE a > 1").where
+            keep.append(node)
+            expr_module.compile_expr_cached(node, layout)
+        assert len(expr_module._compile_cache) <= \
+            expr_module._COMPILE_CACHE_MAX
+
+
 class TestQueryExecution:
     def test_count_star(self, users_orders_db):
         assert users_orders_db.execute(
