@@ -1,10 +1,23 @@
-"""Row-engine vs batch-engine throughput on scan -> filter -> aggregate.
+"""Execution-engine throughput gates, written to ``BENCH_exec.json``.
 
-The vectorization acceptance gate: the batch engine must clear >= 5x the
-row engine's rows/sec on a 100k-row scan/filter/aggregate pipeline, with
-identical results.  Wall-clock numbers (host rows/sec, not virtual time)
-are written to ``benchmarks/BENCH_exec.json`` so future PRs have a
-performance trajectory to compare against.
+Two workload families keep a wall-clock trajectory (host rows/sec, not
+virtual time) for future PRs to compare against:
+
+* ``scan_filter_aggregate`` — the PR 1 vectorization gate: the batch
+  engine must clear >= 5x the row engine's rows/sec on a 100k-row
+  scan/filter/aggregate pipeline, with identical results.
+* ``fused_pipeline`` — the PR 5 fusion gate: the fused pipeline drive
+  loop (scan→filter→project as one pass per block, selection masks
+  deferred, morsel-sized scan blocks) must clear >= 1.5x the unfused
+  per-operator batch pull at the largest of three scales, with identical
+  rows and identical charged virtual time.  Measured at the engine's
+  block level — the stream breakers, sinks, and the AI feed consume —
+  so the gate isolates the execution pipeline rather than Python
+  row-tuple conversion.
+
+CI smoke mode (``BENCH_SMOKE=1``): tiny scales, relaxed floors, JSON to
+a scratch path so the committed trajectory isn't clobbered (see
+``.github/workflows/ci.yml``).
 """
 
 from __future__ import annotations
@@ -18,22 +31,46 @@ import numpy as np
 
 import repro
 from repro.exec.executor import Executor
+from repro.exec.pipeline import compile_pipelines, run_program
 from repro.sql import parse
 
-# CI smoke mode: tiny scale, relaxed floor, JSON to a scratch path so the
-# committed trajectory isn't clobbered (see .github/workflows/ci.yml)
 SMOKE = os.environ.get("BENCH_SMOKE") == "1"
-ROWS = 8_000 if SMOKE else 100_000
-SPEEDUP_FLOOR = 1.5 if SMOKE else 5.0
-QUERY = ("SELECT grp, count(*), sum(v), avg(w) FROM t "
-         "WHERE v > 0.25 AND w < 0.9 GROUP BY grp")
 RESULT_PATH = (os.path.join(tempfile.gettempdir(), "BENCH_exec.json")
                if SMOKE else
                os.path.join(os.path.dirname(os.path.abspath(__file__)),
                             "BENCH_exec.json"))
 
+AGG_ROWS = 8_000 if SMOKE else 100_000
+AGG_FLOOR = 1.5 if SMOKE else 5.0
+AGG_QUERY = ("SELECT grp, count(*), sum(v), avg(w) FROM t "
+             "WHERE v > 0.25 AND w < 0.9 GROUP BY grp")
 
-def _build_db(rows: int):
+FUSED_SCALES = [6_000] if SMOKE else [20_000, 50_000, 100_000]
+FUSED_FLOOR = 1.1 if SMOKE else 1.5
+FUSED_QUERY = "SELECT id, v FROM wide WHERE v > 0.25 AND w2 < 0.9"
+
+
+def _update_report(family: str, payload: dict) -> None:
+    """Read-modify-write one workload family's entry in the JSON."""
+    data: dict = {}
+    if os.path.exists(RESULT_PATH):
+        try:
+            with open(RESULT_PATH) as fh:
+                data = json.load(fh)
+        except (json.JSONDecodeError, OSError):
+            data = {}
+    if not isinstance(data, dict) or "workload" in data:
+        data = {}  # pre-PR-5 flat layout: start fresh
+    data[family] = payload
+    with open(RESULT_PATH, "w") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+
+
+# -- scan -> filter -> aggregate (batch vs row) -------------------------------
+
+
+def _build_agg_db(rows: int):
     db = repro.connect()
     db.execute("CREATE TABLE t (id INT UNIQUE, grp TEXT, v FLOAT, w FLOAT)")
     heap = db.catalog.table("t")
@@ -48,7 +85,7 @@ def _build_db(rows: int):
 
 
 def _run(db, engine: str):
-    plan = db.planner.plan_select(parse(QUERY))
+    plan = db.planner.plan_select(parse(AGG_QUERY))
     executor = Executor(db.catalog, db.clock, engine=engine)
     executor.run(plan)  # warm caches (compiled expressions, buffers)
     start = time.perf_counter()
@@ -58,31 +95,114 @@ def _run(db, engine: str):
 
 
 def test_batch_engine_throughput():
-    db = _build_db(ROWS)
+    db = _build_agg_db(AGG_ROWS)
     row_result, row_seconds = _run(db, "row")
     batch_result, batch_seconds = _run(db, "batch")
 
     assert sorted(batch_result.rows) == sorted(row_result.rows)
 
-    row_rate = ROWS / row_seconds
-    batch_rate = ROWS / batch_seconds
+    row_rate = AGG_ROWS / row_seconds
+    batch_rate = AGG_ROWS / batch_seconds
     speedup = batch_rate / row_rate
-    report = {
-        "workload": QUERY,
-        "rows": ROWS,
+    _update_report("scan_filter_aggregate", {
+        "workload": AGG_QUERY,
+        "rows": AGG_ROWS,
         "row_engine": {"seconds": round(row_seconds, 4),
                        "rows_per_sec": round(row_rate)},
         "batch_engine": {"seconds": round(batch_seconds, 4),
                          "rows_per_sec": round(batch_rate)},
         "speedup": round(speedup, 2),
-    }
-    with open(RESULT_PATH, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
-    print(f"\nscan->filter->aggregate over {ROWS} rows:")
+    })
+    print(f"\nscan->filter->aggregate over {AGG_ROWS} rows:")
     print(f"  row engine:   {row_seconds:.3f}s ({row_rate:,.0f} rows/s)")
     print(f"  batch engine: {batch_seconds:.3f}s ({batch_rate:,.0f} rows/s)")
     print(f"  speedup:      {speedup:.1f}x")
-    assert speedup >= SPEEDUP_FLOOR, (
+    assert speedup >= AGG_FLOOR, (
         f"batch engine only {speedup:.1f}x over row engine "
-        f"(acceptance floor is {SPEEDUP_FLOOR}x)")
+        f"(acceptance floor is {AGG_FLOOR}x)")
+
+
+# -- fused pipeline vs unfused per-operator pull ------------------------------
+
+
+def _build_wide_db(rows: int):
+    """An 8-column table: fusion's copy-avoidance grows with the gap
+    between table width and projection width."""
+    db = repro.connect()
+    db.execute("CREATE TABLE wide (id INT UNIQUE, grp TEXT, v FLOAT, "
+               "w2 FLOAT, a FLOAT, b FLOAT, c TEXT, d FLOAT)")
+    heap = db.catalog.table("wide")
+    rng = np.random.default_rng(7)
+    groups = ["alpha", "beta", "gamma", "delta"]
+    v = rng.random(rows)
+    w2 = rng.random(rows)
+    for i in range(rows):
+        heap.insert((i, groups[i & 3], float(v[i]), float(w2[i]),
+                     float(v[i] * 2), float(w2[i] * 3), f"s{i % 100}",
+                     float(i)))
+    db.execute("ANALYZE")
+    return db
+
+
+def _block_seconds(db, plan, fused: bool, repeats: int = 5) -> float:
+    """Best-of-N wall-clock to drain the engine's block stream."""
+    executor = Executor(db.catalog, db.clock, engine="batch", fused=fused)
+    best = float("inf")
+    for _ in range(repeats + 1):  # first lap warms caches
+        operator = executor.build(plan)
+        blocks = (run_program(compile_pipelines(operator), db.clock)
+                  if fused else operator.batches())
+        start = time.perf_counter()
+        for _block in blocks:
+            pass
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_fused_pipeline_throughput():
+    scales = []
+    speedup = 0.0
+    for rows in FUSED_SCALES:
+        db = _build_wide_db(rows)
+        plan = db.planner.plan_select(parse(FUSED_QUERY))
+
+        # parity first: identical rows and charged virtual time
+        unfused_exec = Executor(db.catalog, db.clock, engine="batch",
+                                fused=False)
+        fused_exec = Executor(db.catalog, db.clock, engine="batch")
+        before = db.clock.now
+        expected = unfused_exec.run(plan)
+        unfused_charged = db.clock.now - before
+        before = db.clock.now
+        got = fused_exec.run(plan)
+        fused_charged = db.clock.now - before
+        assert got.rows == expected.rows
+        assert abs(fused_charged - unfused_charged) <= 1e-9 * unfused_charged
+
+        unfused_s = _block_seconds(db, plan, fused=False)
+        fused_s = _block_seconds(db, plan, fused=True)
+        speedup = unfused_s / fused_s
+        scales.append({
+            "rows": rows,
+            "unfused": {"seconds": round(unfused_s, 4),
+                        "rows_per_sec": round(rows / unfused_s)},
+            "fused": {"seconds": round(fused_s, 4),
+                      "rows_per_sec": round(rows / fused_s)},
+            "speedup": round(speedup, 2),
+        })
+        print(f"\nfused pipeline over {rows} rows:")
+        print(f"  unfused: {unfused_s:.4f}s ({rows / unfused_s:,.0f} rows/s)")
+        print(f"  fused:   {fused_s:.4f}s ({rows / fused_s:,.0f} rows/s)")
+        print(f"  speedup: {speedup:.2f}x")
+
+    _update_report("fused_pipeline", {
+        "workload": FUSED_QUERY,
+        "measure": "engine block stream (what sinks and the AI feed pull)",
+        "scales": scales,
+        "floor": FUSED_FLOOR,
+    })
+    # the gate applies at the largest scale, where per-query constants
+    # have washed out
+    assert speedup >= FUSED_FLOOR, (
+        f"fused pipeline only {speedup:.2f}x over the unfused batch path "
+        f"(acceptance floor is {FUSED_FLOOR}x)")

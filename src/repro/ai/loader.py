@@ -73,6 +73,19 @@ class ColumnTrainingSet:
     def slice_columns(self, start: int, stop: int) -> list[np.ndarray]:
         return [col[start:stop] for col in self.columns]
 
+    def tail(self, rows: int) -> "ColumnTrainingSet":
+        """The most recent ``rows`` rows (scan order = insertion order for
+        the append-mostly heap) — the sliding recency window the serving
+        subsystem's background refresh fine-tunes on.  Returns ``self``
+        when the window already covers everything."""
+        if rows < 1:
+            raise ValueError(f"tail needs rows >= 1, got {rows}")
+        n = len(self)
+        if rows >= n:
+            return self
+        return ColumnTrainingSet([col[n - rows:] for col in self.columns],
+                                 self.targets[n - rows:])
+
 
 class ColumnFeatures:
     """Materialized columnar inference inputs: feature columns, no targets.
@@ -263,16 +276,18 @@ def table_row_stream(table, feature_columns: list[str],
 
 def map_scan_blocks(table, process: Callable[[RowBlock, SimClock], object],
                     clock: SimClock | None = None, workers: int = 1,
-                    batch_size: int = 4096) -> list:
+                    batch_size: int = 4096, start_page: int = 0) -> list:
     """Apply ``process(block, clock)`` to every scan batch of ``table``;
-    returns the per-block results in scan order.
+    returns the per-block results in scan order.  ``start_page`` skips
+    earlier pages entirely (tail scans for recency windows).
 
     The single scan-shaping routine both AI materialization paths
     (training sets and prediction inputs) run on:
 
-    * ``workers=1`` — the streaming column scan
-      (:meth:`~repro.storage.heap.HeapTable.scan_column_batches`), blocks
-      processed inline against ``clock``.
+    * ``workers=1`` — the streaming column scan via
+      :func:`~repro.exec.pipeline.table_blocks` (the same scan-block
+      primitive the fused pipeline sources use), blocks processed inline
+      against ``clock``.
     * ``workers>1`` — morsel-parallel: the scan splits into morsels via
       :meth:`~repro.storage.heap.HeapTable.scan_morsels` and a
       :class:`~repro.exec.parallel.MorselScheduler` fans ``process`` out
@@ -292,13 +307,15 @@ def map_scan_blocks(table, process: Callable[[RowBlock, SimClock], object],
                         for c in schema.columns])
     kinds = schema_kinds(schema)
     if workers <= 1:
+        from repro.exec.pipeline import table_blocks
         lane = clock if clock is not None else SimClock()
-        return [process(RowBlock(layout, columns, n, kinds), lane)
-                for columns, n in table.scan_column_batches(batch_size)]
+        return [process(block, lane)
+                for block in table_blocks(table, layout, kinds, batch_size,
+                                          start_page)]
     from repro.exec.parallel import MorselScheduler
     scheduler = MorselScheduler(clock if clock is not None else SimClock(),
                                 workers=workers, morsel_rows=batch_size)
-    morsels = table.scan_morsels(batch_size)
+    morsels = table.scan_morsels(batch_size, start_page)
     try:
         return scheduler.map(
             morsels,
@@ -316,7 +333,8 @@ def table_column_stream(table, feature_columns: list[str],
                         row_filter: Callable[[tuple], bool] | None = None,
                         batch_size: int = 4096,
                         block_predicate: Callable | None = None,
-                        clock: SimClock | None = None, workers: int = 1):
+                        clock: SimClock | None = None, workers: int = 1,
+                        start_page: int = 0):
     """Materialize a heap table as feature column arrays plus a target array.
 
     The columnar twin of :func:`table_row_stream`: pages are scanned in
@@ -360,7 +378,8 @@ def table_column_stream(table, feature_columns: list[str],
 
     results = [part for part in
                map_scan_blocks(table, materialize, clock=clock,
-                               workers=workers, batch_size=batch_size)
+                               workers=workers, batch_size=batch_size,
+                               start_page=start_page)
                if part is not None]
     if not results:
         return ([np.empty(0, dtype=object) for _ in feature_idx],
@@ -375,15 +394,43 @@ def table_training_set(table, feature_columns: list[str],
                        target_column: str,
                        row_filter: Callable[[tuple], bool] | None = None,
                        block_predicate: Callable | None = None,
-                       clock: SimClock | None = None, workers: int = 1
-                       ) -> ColumnTrainingSet:
+                       clock: SimClock | None = None, workers: int = 1,
+                       start_page: int = 0) -> ColumnTrainingSet:
     """One-call columnar training set for a table (batch-engine fed)."""
     columns, targets = table_column_stream(table, feature_columns,
                                            target_column,
                                            row_filter=row_filter,
                                            block_predicate=block_predicate,
-                                           clock=clock, workers=workers)
+                                           clock=clock, workers=workers,
+                                           start_page=start_page)
     return ColumnTrainingSet(columns, targets)
+
+
+def table_training_set_tail(table, feature_columns: list[str],
+                            target_column: str, window: int,
+                            clock: SimClock | None = None,
+                            workers: int = 1) -> ColumnTrainingSet:
+    """Training set of the table's last ``window`` qualifying rows,
+    scanning only the trailing pages — the recency-window feed for
+    background refreshes.
+
+    Starts from the pages covering ``window`` live rows
+    (:meth:`~repro.storage.heap.HeapTable.tail_start_page`, pure
+    metadata) and widens backward (doubling) while NULL-target rows
+    leave fewer than ``window`` qualifying rows in the tail, so the
+    result matches ``table_training_set(...).tail(window)`` exactly
+    while the scan cost tracks the window, not the table history."""
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    min_rows = window
+    while True:
+        start = table.tail_start_page(min_rows)
+        data = table_training_set(table, feature_columns, target_column,
+                                  clock=clock, workers=workers,
+                                  start_page=start)
+        if len(data) >= window or start == 0:
+            return data.tail(window) if len(data) else data
+        min_rows *= 2
 
 
 def table_feature_columns(table, feature_columns: list[str],

@@ -67,6 +67,23 @@ class SimClock:
             return self._now
         return self.advance(per_item * count, category)
 
+    def advance_charges(self, charges) -> float:
+        """Charge an ordered sequence of ``(per_item, count, category)``
+        batch charges in one call — the fused pipeline engine's accounting
+        helper for a single pass over one block.
+
+        Exactly equivalent to the same sequence of :meth:`advance_batch`
+        calls: same order, same float accumulation, same per-category
+        totals, same budget enforcement points.  That equivalence is what
+        keeps fused pipeline execution charge-parity-identical with the
+        unfused engines — a fused pass makes the *same multiset of charges
+        in the same order* as the per-operator pull it replaces, it just
+        makes them from one place.
+        """
+        for per_item, count, category in charges:
+            self.advance_batch(per_item, count, category)
+        return self._now
+
     def set_limit(self, limit: float | None) -> None:
         """Arm (or clear, with None) the budget limit in absolute time."""
         self._limit = limit

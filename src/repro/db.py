@@ -27,7 +27,8 @@ import numpy as np
 
 from repro.ai.engine import AIEngine
 from repro.ai.loader import (ColumnFeatures, ColumnTrainingSet,
-                             table_feature_columns, table_training_set)
+                             table_feature_columns, table_training_set,
+                             table_training_set_tail)
 from repro.ai.model_manager import ModelManager
 from repro.ai.monitor import Monitor
 from repro.ai.tasks import FineTuneTask, InferenceTask, TrainTask
@@ -69,13 +70,24 @@ class NeurDB:
     training sets and inference inputs (1 = the streaming column scan).
     Charged virtual-time totals are parity-identical across worker counts;
     only the modeled makespan changes.
+
+    ``refresh_window`` bounds how many of the table's most recent rows a
+    background refresh fine-tunes on (:meth:`fine_tune_model`'s default
+    window): on a regime shift the freshest rows carry the new
+    distribution, so a sliding window adapts faster *and* cheaper than
+    re-fitting the full history.  None (the default) preserves the
+    historical full-table behavior.
     """
 
     def __init__(self, num_runtimes: int = 1, buffer_pages: int = 4096,
-                 seed: int = 0, predict_workers: int = 1):
+                 seed: int = 0, predict_workers: int = 1,
+                 refresh_window: int | None = None):
         if predict_workers < 1:
             raise ValueError(
                 f"predict_workers must be >= 1, got {predict_workers}")
+        if refresh_window is not None and refresh_window < 1:
+            raise ValueError(
+                f"refresh_window must be >= 1 or None, got {refresh_window}")
         self.clock = SimClock()
         from repro.storage.buffer import BufferPool
         self.buffer_pool = BufferPool(capacity_pages=buffer_pages,
@@ -91,6 +103,7 @@ class NeurDB:
                                   num_runtimes=num_runtimes,
                                   monitor=self.monitor)
         self.predict_workers = predict_workers
+        self.refresh_window = refresh_window
         self._seed = seed
 
     # -- public API ----------------------------------------------------------
@@ -297,14 +310,23 @@ class NeurDB:
     def fine_tune_model(self, table: str, target: str,
                         tune_last_layers: int = 2, epochs: int = 2,
                         learning_rate: float = 5e-3,
-                        batch_size: int | None = None) -> None:
+                        batch_size: int | None = None,
+                        window_rows: int | None = None) -> None:
         """Explicitly trigger the FineTune operator for a bound PREDICT
         model, using the current table contents as the update data.
 
         ``learning_rate`` and ``batch_size`` tune the incremental update:
         adaptation to a drifted distribution wants a larger step and more
         gradient steps per epoch than the conservative defaults (the
-        serving subsystem's refresh worker passes its own)."""
+        serving subsystem's refresh worker passes its own).
+
+        ``window_rows`` restricts the update data to the table's most
+        recent rows via a *tail scan*
+        (:func:`~repro.ai.loader.table_training_set_tail`): only the
+        trailing pages covering the window are read and charged, so the
+        refresh cost tracks the window, not the table history.  It
+        defaults to the connection-level ``refresh_window`` knob, and
+        ``None`` there keeps the historical full-table behavior."""
         model_name = self.catalog.bound_model(table, target)
         if model_name is None:
             raise NeurDBError(f"no model bound for {table}.{target}")
@@ -313,9 +335,16 @@ class NeurDB:
         model = self.models.load_model(model_name)
         feature_columns = [c for c in schema.non_unique_column_names()
                            if c != target.lower()][: model.field_count]
-        data = table_training_set(heap, feature_columns, target,
-                                  clock=self.clock,
-                                  workers=self.predict_workers)
+        window = (window_rows if window_rows is not None
+                  else self.refresh_window)
+        if window is not None:
+            data = table_training_set_tail(heap, feature_columns, target,
+                                           window, clock=self.clock,
+                                           workers=self.predict_workers)
+        else:
+            data = table_training_set(heap, feature_columns, target,
+                                      clock=self.clock,
+                                      workers=self.predict_workers)
         if batch_size is None:
             batch_size = min(4096, max(1, len(data)))
         task = FineTuneTask(model_name=model_name,
@@ -415,7 +444,14 @@ def _status(message: str, rowcount: int = 0) -> ResultSet:
 
 
 def connect(num_runtimes: int = 1, buffer_pages: int = 4096,
-            seed: int = 0, predict_workers: int = 1) -> NeurDB:
-    """Create a fresh in-process NeurDB instance."""
+            seed: int = 0, predict_workers: int = 1,
+            refresh_window: int | None = None) -> NeurDB:
+    """Create a fresh in-process NeurDB instance.
+
+    ``refresh_window``: fine-tune refreshes (manual or the serving
+    subsystem's background ones) train on only the table's most recent
+    rows; None = full table (the historical behavior).
+    """
     return NeurDB(num_runtimes=num_runtimes, buffer_pages=buffer_pages,
-                  seed=seed, predict_workers=predict_workers)
+                  seed=seed, predict_workers=predict_workers,
+                  refresh_window=refresh_window)

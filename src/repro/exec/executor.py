@@ -13,6 +13,7 @@ from repro.exec.parallel import (
     DEFAULT_WORKERS,
     MorselScheduler,
 )
+from repro.exec.pipeline import compile_pipelines, run_program
 from repro.plan import logical as plan
 from repro.plan.optimizer import _EmptyRow
 from repro.storage.catalog import Catalog
@@ -55,13 +56,20 @@ class Executor:
 
     ``engine`` selects the execution strategy:
 
-    * ``"batch"`` (default) — vectorized: operators exchange
-      :class:`~repro.exec.batch.RowBlock` column batches and charge virtual
-      time per batch.  Results are materialized back to row tuples, so
-      callers see the same :class:`ResultSet` as ever.
-    * ``"parallel"`` — morsel-driven parallel execution of the batch
-      engine (:class:`~repro.exec.parallel.MorselScheduler`): scans split
-      into morsels fanned out across ``workers`` threads, with results,
+    * ``"batch"`` (default) — vectorized *and fused*: the plan is
+      compiled into pipelines (:func:`~repro.exec.pipeline.compile_pipelines`)
+      split at breakers, and each pipeline pushes one
+      :class:`~repro.exec.batch.RowBlock` through its whole fused stage
+      chain per pass with no intermediate materialization.  Results are
+      materialized back to row tuples, so callers see the same
+      :class:`ResultSet` as ever.  ``fused=False`` selects the unfused
+      per-operator pull (each operator's ``batches()`` chained through
+      generators) — same rows, same charges, kept for benchmarking the
+      fusion win and as a bisection aid.
+    * ``"parallel"`` — morsel-driven parallel execution of the same
+      compiled pipelines (:class:`~repro.exec.parallel.MorselScheduler`):
+      scans split into morsels fanned out across ``workers`` threads,
+      each task running a whole pipeline pass per morsel, with results,
       ``rows_out`` counters, and charged virtual-time totals identical to
       ``"batch"``.  ``ResultSet.extra["parallel"]`` carries the scheduler
       stats, including the modeled parallel makespan.
@@ -76,7 +84,7 @@ class Executor:
 
     def __init__(self, catalog: Catalog, clock: SimClock | None = None,
                  engine: str = "batch", workers: int | None = None,
-                 morsel_rows: int | None = None):
+                 morsel_rows: int | None = None, fused: bool = True):
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine {engine!r}; "
                              f"expected one of {self.ENGINES}")
@@ -85,16 +93,18 @@ class Executor:
         self._catalog = catalog
         self._clock = clock if clock is not None else catalog.clock
         self.engine = engine
+        self.fused = fused
         self.workers = workers if workers is not None else DEFAULT_WORKERS
         self.morsel_rows = (morsel_rows if morsel_rows is not None
                             else DEFAULT_MORSEL_ROWS)
 
     def with_engine(self, engine: str) -> "Executor":
         """A sibling executor over the same catalog and clock, differing
-        only in engine (worker/morsel knobs carry over).  Used by capped
-        measurement to downgrade ``parallel`` to ``batch``."""
+        only in engine (worker/morsel/fusion knobs carry over).  Used by
+        capped measurement to downgrade ``parallel`` to ``batch``."""
         return Executor(self._catalog, self._clock, engine=engine,
-                        workers=self.workers, morsel_rows=self.morsel_rows)
+                        workers=self.workers, morsel_rows=self.morsel_rows,
+                        fused=self.fused)
 
     def build(self, node: plan.PlanNode) -> ops.Operator:
         """Recursively build the operator tree for a plan."""
@@ -128,6 +138,15 @@ class Executor:
         return MorselScheduler(self._clock, workers=self.workers,
                                morsel_rows=self.morsel_rows)
 
+    def _batch_blocks(self, operator: ops.Operator):
+        """The batch engine's block stream: the fused pipeline drive loop
+        by default, the unfused per-operator pull with ``fused=False``.
+        Both are lazy, so budgets and LIMIT stop exactly where they
+        should."""
+        if self.fused:
+            return run_program(compile_pipelines(operator), self._clock)
+        return operator.batches()
+
     def iter_rows(self, operator: ops.Operator):
         """Row-tuple iterator over an operator tree using the configured
         engine — the facade that keeps batch (and parallel) execution
@@ -138,7 +157,7 @@ class Executor:
             blocks, _ = self._scheduler().run(operator)
             return (row for block in blocks for row in block.iter_rows())
         if self.engine == "batch":
-            return (row for block in operator.batches()
+            return (row for block in self._batch_blocks(operator)
                     for row in block.iter_rows())
         return iter(operator)
 
@@ -151,6 +170,11 @@ class Executor:
             blocks, stats = self._scheduler().run(operator)
             rows = [row for block in blocks for row in block.iter_rows()]
             extra["parallel"] = stats
+        elif self.engine == "batch" and self.fused:
+            program = compile_pipelines(operator)
+            rows = [row for block in run_program(program, self._clock)
+                    for row in block.iter_rows()]
+            extra["pipeline"] = {"pipelines": program.describe()}
         else:
             rows = list(self.iter_rows(operator))
         elapsed = self._clock.now - start

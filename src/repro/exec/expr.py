@@ -8,16 +8,21 @@ and then evaluates per row, so hot loops avoid repeated name resolution.
 Contract between the two compilers: :func:`compile_expr` (row) is the
 semantic reference; :func:`compile_expr_vector` (batch) must agree with it
 bit-for-bit or decline.  It declines in two ways.  At *compile time* it
-returns None for forms it cannot lower — LIKE with a non-constant pattern
-or a non-column operand, 2-argument ``round``, literals float64 cannot
-hold — and the batch predicate wrapper (:func:`compile_predicate_batch`)
-then evaluates the block row-by-row with the reference evaluator.  At
-*runtime* a lowered plan defeated by actual column contents (arithmetic or
-``abs``/``round`` over strings, ``lower``/``upper``/``length`` over
-non-strings, mixed-type ordering or COALESCE branches, a reachable zero
-divisor) raises :class:`VectorFallback`, and the predicate permanently
-degrades to the row evaluator for that plan, so error/short-circuit
-semantics are decided by row order exactly as the row engine would.
+returns None for forms it cannot lower — 2-argument ``round``, literals
+float64 cannot hold, LIKE operands outside the raw-value forms
+:func:`_compile_raw_vector` accepts — and the batch predicate wrapper
+(:func:`compile_predicate_batch`) then evaluates the block row-by-row with
+the reference evaluator.  At *runtime* a lowered plan defeated by actual
+column contents (arithmetic or ``abs``/``round`` over strings,
+``lower``/``upper``/``length`` over non-strings, mixed-type ordering or
+COALESCE branches, a reachable zero divisor, a computed LIKE operand that
+evaluates numerically) raises :class:`VectorFallback`, and the predicate
+permanently degrades to the row evaluator for that plan, so
+error/short-circuit semantics are decided by row order exactly as the row
+engine would.  LIKE lowers for constant patterns (compiled matcher at
+plan-compile time; wildcard-free patterns shortcut to string equality)
+*and* non-constant patterns / computed left operands (per-plan matcher
+cache keyed by runtime pattern value — see :func:`_compile_like_vector`).
 """
 
 from __future__ import annotations
@@ -377,6 +382,10 @@ class VectorFallback(Exception):
 
 VectorEvaluator = Callable[[Any], tuple[np.ndarray, np.ndarray]]
 
+# per-literal bound on cached broadcast arrays (keyed by block length);
+# past it the cache resets, like the compile and LIKE-matcher caches
+_LITERAL_CACHE_MAX = 32
+
 _NP_CMP = {
     "=": lambda a, b: a == b,
     "<>": lambda a, b: a != b,
@@ -406,11 +415,31 @@ def compile_expr_vector(expr: ast.Expr,
                         layout: RowLayout) -> VectorEvaluator | None:
     """Lower an expression to a block evaluator, or None if unsupported."""
     if isinstance(expr, ast.Literal):
+        # literal columns are length-keyed and cached: scan block sizes
+        # repeat (one or two distinct lengths per scan), so each literal
+        # builds its broadcast arrays once per length instead of once per
+        # block.  Bounded (_LITERAL_CACHE_MAX) because join/aggregate
+        # outputs produce data-dependent block lengths; evaluators are
+        # pinned process-wide by the compile cache, so an unbounded dict
+        # would leak one array pair per distinct length seen.  The cached
+        # arrays are read-only by the evaluator contract (consumers copy
+        # before mutating), and concurrent cache writes under the
+        # parallel engine are benign rebuilds.
         value = expr.value
+        cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+        def _cached_lit(n: int, build):
+            hit = cache.get(n)
+            if hit is None:
+                if len(cache) >= _LITERAL_CACHE_MAX:
+                    cache.clear()
+                hit = cache[n] = build(n)
+            return hit
+
         if value is None:
             def eval_null_lit(block):
-                n = len(block)
-                return np.zeros(n, dtype=bool), np.ones(n, dtype=bool)
+                return _cached_lit(len(block), lambda n: (
+                    np.zeros(n, dtype=bool), np.ones(n, dtype=bool)))
             return eval_null_lit
         if isinstance(value, (bool, int, float)):
             scalar = float(value)
@@ -420,15 +449,14 @@ def compile_expr_vector(expr: ast.Expr,
                 return None
 
             def eval_num_lit(block):
-                n = len(block)
-                return (np.full(n, scalar, dtype=np.float64),
-                        np.zeros(n, dtype=bool))
+                return _cached_lit(len(block), lambda n: (
+                    np.full(n, scalar, dtype=np.float64),
+                    np.zeros(n, dtype=bool)))
             return eval_num_lit
 
         def eval_obj_lit(block):
-            n = len(block)
-            return (np.full(n, value, dtype=object),
-                    np.zeros(n, dtype=bool))
+            return _cached_lit(len(block), lambda n: (
+                np.full(n, value, dtype=object), np.zeros(n, dtype=bool)))
         return eval_obj_lit
 
     if isinstance(expr, ast.ColumnRef):
@@ -717,40 +745,106 @@ def _compile_func_vector(expr: ast.FuncCall,
     return None  # unknown function: the row compiler raises BindError
 
 
+def _compile_raw_vector(expr: ast.Expr,
+                        layout: RowLayout) -> VectorEvaluator | None:
+    """Compile an expression for LIKE operands: the *raw* Python values,
+    never a numeric float64 view — the row engine applies ``str()`` to the
+    original value, and ``str(5)`` ≠ ``str(5.0)``.
+
+    Column references read the object column directly.  Anything else
+    compiles through the vectorizer and is accepted only if it evaluates
+    to an object array at runtime (string functions, COALESCE in object
+    mode, string literals); a numeric result raises
+    :class:`VectorFallback` so the row path decides, keeping ``str()``
+    semantics row-identical.
+    """
+    if isinstance(expr, ast.ColumnRef):
+        idx = layout.resolve(expr.name, expr.table)
+
+        def eval_raw_column(block):
+            return block.column(idx), block.null_mask(idx)
+        return eval_raw_column
+    inner = compile_expr_vector(expr, layout)
+    if inner is None:
+        return None
+
+    def eval_raw(block):
+        values, null = inner(block)
+        if values.dtype != object:
+            raise VectorFallback  # numeric view: str() may disagree
+        return values, null
+    return eval_raw
+
+
+# per-plan bound on cached compiled matchers for non-constant LIKE
+# patterns; past it the cache resets (same policy as the compile cache)
+_LIKE_CACHE_MAX = 256
+
+
 def _compile_like_vector(expr: ast.BinaryOp,
                          layout: RowLayout) -> VectorEvaluator | None:
-    """Vectorized LIKE: constant-pattern fast path.
+    """Vectorized LIKE for constant *and* non-constant patterns.
 
-    The pattern is translated to a compiled matcher once at plan-compile
-    time and applied across the raw object column in a single pass — no
-    per-row pattern re-translation, no row-tuple materialization.  Only the
-    ``column LIKE 'constant'`` shape lowers: a non-column left operand or a
-    non-literal pattern keeps the row fallback (returns None), and the
-    column's *original* values are matched (``str()`` of each), never a
-    numeric view, so ``5.0 LIKE '5.0'`` agrees with the row engine.
+    Constant patterns (the PR 2 fast path, untouched): the pattern is
+    translated to a compiled matcher once at plan-compile time and applied
+    across the raw object column in a single pass — no per-row pattern
+    re-translation, no row-tuple materialization; wildcard-free patterns
+    shortcut to string equality.
+
+    Non-constant patterns (``a.name LIKE b.pattern``) and computed left
+    operands (``lower(name) LIKE 'u%'``) lower too: operands compile via
+    :func:`_compile_raw_vector` (raw values only), and each *distinct
+    runtime pattern value* compiles its matcher once into a per-plan
+    cache keyed by the pattern string — the row path re-escapes and
+    re-compiles the regex for every row.  The cache is shared compiled
+    state under the parallel engine: reads and inserts are benign under
+    the GIL (worst case a matcher is compiled twice), the same sanctioned
+    exception class as the predicate wrapper's fallback latch.
     """
-    if not isinstance(expr.left, ast.ColumnRef):
+    left = _compile_raw_vector(expr.left, layout)
+    if left is None:
         return None
-    if not isinstance(expr.right, ast.Literal):
-        return None
-    idx = layout.resolve(expr.left.name, expr.left.table)
-    pattern = expr.right.value
-    if pattern is None:
-        # x LIKE NULL is NULL for every row
-        def eval_like_null(block):
-            n = len(block)
-            return np.zeros(n, dtype=bool), np.ones(n, dtype=bool)
-        return eval_like_null
-    match = _like_matcher(str(pattern))
+    if isinstance(expr.right, ast.Literal):
+        pattern = expr.right.value
+        if pattern is None:
+            # x LIKE NULL is NULL for every row
+            def eval_like_null(block):
+                n = len(block)
+                return np.zeros(n, dtype=bool), np.ones(n, dtype=bool)
+            return eval_like_null
+        match = _like_matcher(str(pattern))
 
-    def eval_like(block):
-        col = block.column(idx)
-        null = block.null_mask(idx)
-        out = np.fromiter(
-            (v is not None and match(str(v)) for v in col),
-            dtype=bool, count=len(col))
+        def eval_like(block):
+            values, null = left(block)
+            out = np.fromiter(
+                (v is not None and match(str(v)) for v in values),
+                dtype=bool, count=len(values))
+            return out, null
+        return eval_like
+
+    right = _compile_raw_vector(expr.right, layout)
+    if right is None:
+        return None
+    matchers: dict[str, Callable[[str], bool]] = {}
+
+    def eval_like_dynamic(block):
+        lv, ln = left(block)
+        rv, rn = right(block)
+        null = ln | rn
+        n = len(lv)
+        out = np.zeros(n, dtype=bool)
+        for i in range(n):
+            if null[i]:
+                continue
+            key = str(rv[i])
+            match = matchers.get(key)
+            if match is None:
+                if len(matchers) >= _LIKE_CACHE_MAX:
+                    matchers.clear()
+                match = matchers[key] = _like_matcher(key)
+            out[i] = match(str(lv[i]))
         return out, null
-    return eval_like
+    return eval_like_dynamic
 
 
 def compile_predicate_batch(expr: ast.Expr, layout: RowLayout):

@@ -19,6 +19,17 @@ state:
 The executor picks one path per query; an operator instance is never driven
 through both.
 
+Since the fused pipeline engine (``repro/exec/pipeline.py``) the batch
+path is normally driven through the *fused hooks* instead of chained
+``batches()`` generators: ``scan_block`` (scan + pushed predicate as a
+deferred mask), ``filter_mask`` (mask without the select),
+``project_block`` (projection straight off a deferred mask),
+``absorb_block``/``finish_state`` (aggregate sink), ``sorted_rows``
+(sort sink), ``limit_block`` (early-exit stage), ``distinct_block``
+(order-sensitive stage).  Every ``batches()`` implementation is built on
+top of the same hooks, so the fused and unfused drives cannot drift:
+identical rows, identical charges, same order.
+
 A third caller exists since the morsel-driven parallel engine
 (``repro/exec/parallel.py``): instead of driving ``batches()``, the
 scheduler calls the *parallel hooks* — ``process_morsel``/``process_block``
@@ -99,6 +110,10 @@ class Operator:
         self.layout = layout
         self._clock = clock
         self.rows_out = 0
+        # the plan node this operator was built from; the fused-pipeline
+        # compiler reads its STREAMING/BREAKER annotations.  None for
+        # synthetic operators (EmptyRow, block replays).
+        self.plan_node: plan.PlanNode | None = None
 
     def __iter__(self) -> Iterator[tuple]:
         raise NotImplementedError
@@ -123,6 +138,7 @@ class SeqScanOp(Operator):
         layout = RowLayout([(node.binding, c.name)
                             for c in table.schema.columns])
         super().__init__(layout, clock)
+        self.plan_node = node
         self._table = table
         self._kinds = schema_kinds(table.schema)
         # LIMIT push-down shrinks this so early termination doesn't pay
@@ -153,19 +169,38 @@ class SeqScanOp(Operator):
             if block is not None:
                 yield self._emit_block(block)
 
+    def make_block(self, columns, n: int) -> RowBlock:
+        """Materialize one scan morsel/batch as a block (no charges)."""
+        return RowBlock(self.layout, columns, n, self._kinds)
+
+    def scan_block(self, block: RowBlock, clock: SimClock
+                   ) -> tuple[RowBlock, np.ndarray | None] | None:
+        """Fused hook: charge one scanned block (and its pushed-down
+        predicate) and return ``(block, mask)`` with the selection
+        *deferred* — downstream fused stages apply the mask only to the
+        columns they actually touch.  ``mask`` is None when no predicate
+        is pushed down; the result is None when every row is rejected."""
+        n = len(block)
+        if self._predicate_batch is None:
+            clock.advance_batch(CostModel.TUPLE_CPU, n, "scan")
+            return block, None
+        clock.advance_charges(((CostModel.TUPLE_CPU, n, "scan"),
+                               (CostModel.EVAL_PREDICATE, n, "filter")))
+        mask = self._predicate_batch(block)
+        if not mask.any():
+            return None
+        return block, mask
+
     def process_morsel(self, columns, n: int,
                        clock: SimClock) -> RowBlock | None:
         """Parallel hook: materialize one scan morsel, apply the pushed-down
         predicate, charge ``clock``.  Returns None when every row is
         rejected."""
-        clock.advance_batch(CostModel.TUPLE_CPU, n, "scan")
-        block = RowBlock(self.layout, columns, n, self._kinds)
-        if self._predicate_batch is not None:
-            clock.advance_batch(CostModel.EVAL_PREDICATE, n, "filter")
-            block = block.select(self._predicate_batch(block))
-            if not block:
-                return None
-        return block
+        out = self.scan_block(self.make_block(columns, n), clock)
+        if out is None:
+            return None
+        block, mask = out
+        return block if mask is None else block.select(mask)
 
 
 class IndexScanOp(Operator):
@@ -175,6 +210,7 @@ class IndexScanOp(Operator):
         layout = RowLayout([(node.binding, c.name)
                             for c in table.schema.columns])
         super().__init__(layout, clock)
+        self.plan_node = node
         self._table = table
         self._node = node
         self._kinds = schema_kinds(table.schema)
@@ -245,6 +281,7 @@ class IndexScanOp(Operator):
 class FilterOp(Operator):
     def __init__(self, node: plan.Filter, child: Operator, clock: SimClock):
         super().__init__(child.layout, clock)
+        self.plan_node = node
         self._child = child
         self._predicate = compile_expr_cached(node.predicate, child.layout)
         self._predicate_batch = compile_predicate_batch(node.predicate,
@@ -262,13 +299,22 @@ class FilterOp(Operator):
             if out is not None:
                 yield self._emit_block(out)
 
+    def filter_mask(self, block: RowBlock,
+                    clock: SimClock) -> np.ndarray | None:
+        """Fused hook: evaluate the predicate over one (materialized)
+        block as a selection mask, charging ``clock``, without building
+        the selected block — the pipeline defers the copy to whichever
+        stage materializes.  None when every row is rejected."""
+        clock.advance_batch(CostModel.EVAL_PREDICATE, len(block), "filter")
+        mask = self._predicate_batch(block)
+        return mask if mask.any() else None
+
     def process_block(self, block: RowBlock,
                       clock: SimClock) -> RowBlock | None:
         """Parallel hook: filter one block, charging ``clock``; None when
         every row is rejected."""
-        clock.advance_batch(CostModel.EVAL_PREDICATE, len(block), "filter")
-        out = block.select(self._predicate_batch(block))
-        return out if out else None
+        mask = self.filter_mask(block, clock)
+        return block.select(mask) if mask is not None else None
 
 
 class ProjectOp(Operator):
@@ -290,6 +336,7 @@ class ProjectOp(Operator):
             sources.append(_value_source(item.expr, child.layout))
             slots.append(("", _output_name(item, i)))
         super().__init__(RowLayout(slots), clock)
+        self.plan_node = node
         self._child = child
         self._evaluators = evaluators
         self._sources = sources
@@ -305,15 +352,26 @@ class ProjectOp(Operator):
 
     def process_block(self, block: RowBlock, clock: SimClock) -> RowBlock:
         """Parallel hook: project one block, charging ``clock``."""
-        clock.advance_batch(CostModel.TUPLE_CPU, len(block), "project")
+        return self.project_block(block, None, len(block), clock)
+
+    def project_block(self, block: RowBlock, mask: np.ndarray | None,
+                      count: int, clock: SimClock) -> RowBlock:
+        """Fused hook: project one block whose selection may still be
+        deferred as ``mask`` (``count`` = surviving rows, what the charge
+        and the output length must reflect).  Column-passthrough items
+        apply the mask per projected column — unprojected columns are
+        never copied; computed items materialize the selected rows once."""
+        clock.advance_batch(CostModel.TUPLE_CPU, count, "project")
         columns = []
         rows: list[tuple] | None = None
         for kind, payload in self._sources:
             if kind == _SLOT:
-                columns.append(block.column(payload))
+                col = block.column(payload)
+                columns.append(col if mask is None else col[mask])
             else:
                 if rows is None:
-                    rows = block.to_rows()
+                    filtered = block if mask is None else block.select(mask)
+                    rows = filtered.to_rows()
                 columns.append([payload(row) for row in rows])
         return RowBlock.from_columns(self.layout, columns)
 
@@ -326,6 +384,7 @@ class NestedLoopJoinOp(Operator):
                  right: Operator, clock: SimClock):
         layout = left.layout.concat(right.layout)
         super().__init__(layout, clock)
+        self.plan_node = node
         self._left = left
         self._right = right
         if node.condition is not None:
@@ -387,6 +446,7 @@ class HashJoinOp(Operator):
                  clock: SimClock):
         layout = left.layout.concat(right.layout)
         super().__init__(layout, clock)
+        self.plan_node = node
         self._left = left
         self._right = right
         self._left_key = compile_expr_cached(node.left_key, left.layout)
@@ -618,6 +678,7 @@ class AggregateOp(Operator):
         slots = [("", _output_name(item, i))
                  for i, item in enumerate(node.items)]
         super().__init__(RowLayout(slots), clock)
+        self.plan_node = node
         self._child = child
         self._node = node
         self._group_evals = [compile_expr_cached(g, child.layout)
@@ -661,22 +722,43 @@ class AggregateOp(Operator):
         yield from self._result_rows(groups, group_order)
 
     def batches(self) -> Iterator[RowBlock]:
-        groups: dict[Any, tuple[list[_Accumulator], tuple]] = {}
-        group_order: list[Any] = []
-        grouped = bool(self._node.group_by)
+        state = self.new_state()
         for block in self._child.batches():
-            n = len(block)
-            self._clock.advance_batch(CostModel.HASH_BUILD_ROW, n, "agg")
-            if not grouped:
-                self._accumulate_all(block, groups, group_order)
-            elif (len(self._group_sources) == 1
-                    and self._group_sources[0][0] == _SLOT):
-                self._accumulate_by_column(block, groups, group_order)
-            else:
-                self._accumulate_by_rows(block, groups, group_order)
+            self.absorb_block(block, state, self._clock)
+        out = self.finish_state(state)
+        if out is not None:
+            yield out
+
+    # -- fused-pipeline hooks ----------------------------------------------
+
+    def new_state(self) -> tuple[dict, list]:
+        """Fresh serial accumulation state: ``(groups, group_order)``."""
+        return {}, []
+
+    def absorb_block(self, block: RowBlock, state: tuple[dict, list],
+                     clock: SimClock) -> None:
+        """Fused sink hook: fold one block into the accumulation state,
+        charging ``clock``.  Strategy per block: whole-block accumulators
+        for global aggregates, mask partitioning for narrow single-column
+        GROUP BY, per-row partitioning otherwise."""
+        groups, group_order = state
+        clock.advance_batch(CostModel.HASH_BUILD_ROW, len(block), "agg")
+        if not self._node.group_by:
+            self._accumulate_all(block, groups, group_order)
+        elif (len(self._group_sources) == 1
+                and self._group_sources[0][0] == _SLOT):
+            self._accumulate_by_column(block, groups, group_order)
+        else:
+            self._accumulate_by_rows(block, groups, group_order)
+
+    def finish_state(self, state: tuple[dict, list]) -> RowBlock | None:
+        """Fused sink hook: emit the result block (rows_out attributed),
+        or None when a grouped query saw no rows."""
+        groups, group_order = state
         rows = list(self._result_rows(groups, group_order, count=False))
         if rows:
-            yield self._emit_block(RowBlock.from_rows(self.layout, rows))
+            return self._emit_block(RowBlock.from_rows(self.layout, rows))
+        return None
 
     def _call_arrays(self, block: RowBlock):
         """(values array, clean) per aggregate call; None for COUNT(*)."""
@@ -989,6 +1071,7 @@ class _Descending:
 class SortOp(Operator):
     def __init__(self, node: plan.Sort, child: Operator, clock: SimClock):
         super().__init__(child.layout, clock)
+        self.plan_node = node
         self._child = child
         self._keys = [(compile_expr_cached(k.expr, child.layout),
                        k.descending) for k in node.keys]
@@ -1014,12 +1097,19 @@ class SortOp(Operator):
         import math
         return n * math.log2(n) * CostModel.SORT_ROW_LOG
 
-    def _sorted(self, rows: list[tuple]) -> list[tuple]:
+    def sorted_rows(self, rows: list[tuple],
+                    clock: SimClock) -> list[tuple]:
+        """Fused sink hook: sort collected rows in place, charging
+        ``clock`` the full n·log₂(n) — the one sort charge the serial
+        engines make."""
         cost = self._sort_cost(len(rows))
         if cost:
-            self._clock.advance(cost, "sort")
+            clock.advance(cost, "sort")
         rows.sort(key=self._composite_key)
         return rows
+
+    def _sorted(self, rows: list[tuple]) -> list[tuple]:
+        return self.sorted_rows(rows, self._clock)
 
     def __iter__(self) -> Iterator[tuple]:
         for row in self._sorted(list(self._child)):
@@ -1115,6 +1205,7 @@ def _sort_key(value: Any) -> tuple:
 class LimitOp(Operator):
     def __init__(self, node: plan.Limit, child: Operator, clock: SimClock):
         super().__init__(child.layout, clock)
+        self.plan_node = node
         self._child = child
         self._limit = node.limit
         self._offset = node.offset
@@ -1143,30 +1234,48 @@ class LimitOp(Operator):
             yield self._emit(row)
 
     def batches(self) -> Iterator[RowBlock]:
-        produced = 0
-        skipped = 0
+        state = self.limit_state()
         for block in self._child.batches():
-            if skipped < self._offset:
-                drop = min(len(block), self._offset - skipped)
-                skipped += drop
-                block = block.slice(drop, len(block))
-                if not block:
-                    continue
-            if self._limit is not None:
-                remaining = self._limit - produced
-                if remaining <= 0:
-                    return
-                if len(block) > remaining:
-                    block = block.slice(0, remaining)
-            produced += len(block)
-            yield self._emit_block(block)
-            if self._limit is not None and produced >= self._limit:
+            out, done = self.limit_block(block, state)
+            if out is not None:
+                yield self._emit_block(out)
+            if done:
                 return
+
+    # -- fused-pipeline hooks ----------------------------------------------
+
+    def limit_state(self) -> dict:
+        """Fresh streaming state for one execution."""
+        return {"produced": 0, "skipped": 0}
+
+    def limit_block(self, block: RowBlock,
+                    state: dict) -> tuple[RowBlock | None, bool]:
+        """Fused stage hook: apply OFFSET/LIMIT to one block.  Returns
+        ``(trimmed block or None, done)`` — ``done`` means the limit is
+        satisfied and the caller must stop driving the source pipeline
+        (the early-exit contract).  Charges nothing, like the row path."""
+        if state["skipped"] < self._offset:
+            drop = min(len(block), self._offset - state["skipped"])
+            state["skipped"] += drop
+            block = block.slice(drop, len(block))
+            if not block:
+                return None, False
+        if self._limit is not None:
+            remaining = self._limit - state["produced"]
+            if remaining <= 0:
+                return None, True
+            if len(block) > remaining:
+                block = block.slice(0, remaining)
+        state["produced"] += len(block)
+        done = (self._limit is not None
+                and state["produced"] >= self._limit)
+        return block, done
 
 
 class DistinctOp(Operator):
     def __init__(self, node: plan.Distinct, child: Operator, clock: SimClock):
         super().__init__(child.layout, clock)
+        self.plan_node = node
         self._child = child
 
     def __iter__(self) -> Iterator[tuple]:
@@ -1181,16 +1290,25 @@ class DistinctOp(Operator):
     def batches(self) -> Iterator[RowBlock]:
         seen: set[tuple] = set()
         for block in self._child.batches():
-            self._clock.advance_batch(CostModel.HASH_BUILD_ROW, len(block),
-                                      "distinct")
-            fresh: list[tuple] = []
-            for row in block.iter_rows():
-                if row not in seen:
-                    seen.add(row)
-                    fresh.append(row)
-            if fresh:
-                yield self._emit_block(
-                    RowBlock.from_rows(self.layout, fresh))
+            out = self.distinct_block(block, seen, self._clock)
+            if out is not None:
+                yield self._emit_block(out)
+
+    def distinct_block(self, block: RowBlock, seen: set,
+                       clock: SimClock) -> RowBlock | None:
+        """Fused stage hook: the streaming DISTINCT step for one block —
+        charge ``clock``, keep first-seen rows in order, None when the
+        whole block is duplicates.  Order-sensitive (the shared ``seen``
+        set), so the parallel engine runs it on the serial lane."""
+        clock.advance_batch(CostModel.HASH_BUILD_ROW, len(block), "distinct")
+        fresh: list[tuple] = []
+        for row in block.iter_rows():
+            if row not in seen:
+                seen.add(row)
+                fresh.append(row)
+        if not fresh:
+            return None
+        return RowBlock.from_rows(self.layout, fresh)
 
 
 class EmptyRowOp(Operator):

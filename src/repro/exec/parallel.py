@@ -1,16 +1,20 @@
-"""Morsel-driven parallel execution on top of the batch engine.
+"""Morsel-driven parallel execution of fused pipelines.
 
 A :class:`RowBlock` is a self-contained unit of work, so the batch engine
 parallelizes the way Leis et al.'s morsel-driven scheduler does: the scan
 is split into *morsels* (fixed-size column batches, default
 :data:`DEFAULT_MORSEL_ROWS` rows), workers pull the next morsel index from
 a shared counter — natural load balancing, no static partitioning — and
-push each morsel through as much of the operator pipeline as is
-order-insensitive.  Stateful operators contribute per-worker *partial*
-state that a merge step folds together: thread-local hash-aggregate
-partials merged in morsel order (hash-partitioned across workers for wide
-GROUP BY), per-morsel sorted runs k-way merged on the serial lane, and
-hash-join build parts merged in morsel order before a parallel probe.
+push each morsel through a whole compiled **pipeline**
+(:func:`~repro.exec.pipeline.compile_pipelines`, the same program the
+serial batch engine drives): one task runs the scan's fused hook plus
+every parallel-safe fused stage (filter masks, projections off deferred
+masks, hash-join probes) with zero intermediate materialization.
+Breaker sinks contribute per-worker *partial* state that a merge step
+folds together: thread-local hash-aggregate partials merged in morsel
+order (hash-partitioned across workers for wide GROUP BY), per-morsel
+sorted runs k-way merged on the serial lane, and hash-join build parts
+merged in morsel order before a parallel probe.
 
 The module's contract, which `tests/test_parallel.py` and the three-way
 parity sweep in `tests/test_batch_parity.py` enforce:
@@ -37,16 +41,19 @@ parity sweep in `tests/test_batch_parity.py` enforce:
   modeled as free: its real cost scales with group counts, not row counts,
   and every per-row cost has already been charged in a worker — charging
   it again would break total parity.
-* **Scope of parallelism** — Scan→Filter→Project chains, aggregate
-  partials (with a hash-partitioned parallel merge for wide GROUP BY),
-  sort (per-morsel sorted runs, k-way merged on the serial lane), and
-  hash-join build/probe all run morsel-parallel.  Operators whose
-  semantics are stream-sensitive (Distinct, NestedLoopJoin, IndexScan,
-  EmptyRow) run their serial batch path on the scheduler's serial lane,
-  with their *inputs* still computed in parallel.  A plan containing LIMIT
-  anywhere runs entirely on the serial lane: LIMIT stops pulling
-  mid-stream, and eager morsel dispatch would scan (and charge) rows the
-  serial engines never touch.
+* **Scope of parallelism** — every pipeline whose stages are all
+  ``parallel_safe`` runs morsel-parallel end to end: scan→filter→project
+  chains, hash-join probes (and any filters/projections above the join)
+  fused into the probe-side scan task, aggregate partials (with a
+  hash-partitioned parallel merge for wide GROUP BY), and sort runs.
+  Order-sensitive stages (Distinct's seen set) split the pipeline: the
+  parallel-safe prefix runs on the workers, the rest on the serial lane.
+  Operators without a parallel decomposition (NestedLoopJoin, IndexScan,
+  EmptyRow) run their serial batch path on the serial lane, with their
+  *inputs* still computed in parallel.  A plan containing LIMIT anywhere
+  runs entirely on the serial lane: LIMIT stops pulling mid-stream, and
+  eager morsel dispatch would scan (and charge) rows the serial engines
+  never touch.
 * **Single-worker mode** — ``workers=1`` dispatches inline on the calling
   thread with no threads created at all: fully deterministic, used as the
   reference in scheduler tests.
@@ -68,8 +75,8 @@ from typing import Any, Callable
 
 from repro.common.simtime import BudgetExceeded, SimClock, WorkerClocks
 from repro.exec import operators as ops
+from repro.exec import pipeline as pl
 from repro.exec.batch import RowBlock
-from repro.exec.expr import RowLayout
 
 DEFAULT_MORSEL_ROWS = 4096
 DEFAULT_WORKERS = 4
@@ -77,36 +84,19 @@ DEFAULT_WORKERS = 4
 # operator attributes that point at child operators
 _CHILD_ATTRS = ("_child", "_left", "_right")
 
-
-class _BlockSource(ops.Operator):
-    """Replays pre-computed blocks as an operator child.
-
-    Used to feed a serially-executed operator (Sort, Distinct, ...) with
-    the output of a parallel sub-plan.  Charges nothing and counts nothing:
-    the blocks' producers already charged their cost and attributed their
-    row counts.
-    """
-
-    def __init__(self, layout: RowLayout, blocks: list[RowBlock],
-                 clock: SimClock):
-        super().__init__(layout, clock)
-        self._blocks = blocks
-
-    def __iter__(self):
-        for block in self._blocks:
-            yield from block.iter_rows()
-
-    def batches(self):
-        yield from self._blocks
+# re-exported for backwards compatibility: the block-replay child now
+# lives in repro.exec.pipeline, shared with the serial fused driver
+_BlockSource = pl.BlockSource
 
 
 class MorselScheduler:
-    """Fans an operator tree's work out across a worker pool, morsel-wise.
+    """Fans a compiled pipeline program's work out across a worker pool,
+    morsel-wise.
 
-    ``run(operator)`` executes the tree and returns ``(blocks, stats)``:
-    the result blocks in serial-engine order and a stats dict with the
-    modeled parallel timings.  The scheduler is single-use, like the
-    operator tree it drives.
+    ``run(operator)`` compiles the tree into pipelines, executes them, and
+    returns ``(blocks, stats)``: the result blocks in serial-engine order
+    and a stats dict with the modeled parallel timings.  The scheduler is
+    single-use, like the operator tree it drives.
     """
 
     def __init__(self, clock: SimClock, workers: int = DEFAULT_WORKERS,
@@ -137,10 +127,11 @@ class MorselScheduler:
         """
         start = self._clock.now
         try:
-            if self._contains(operator, ops.LimitOp):
+            program = pl.compile_pipelines(operator)
+            if program.has_limit:
                 blocks = self._serial_tree(operator)
             else:
-                blocks = self._execute(operator)
+                blocks = self._pipeline_blocks(program.root)
             # serial-lane charges since the last phase close (run merges,
             # spill surcharges) are budget-checked here, before the merge
             self._check_budget()
@@ -264,70 +255,119 @@ class MorselScheduler:
         self._check_budget()
         return results
 
-    # -- execution strategies ----------------------------------------------
+    # -- pipeline execution ------------------------------------------------
 
-    def _execute(self, op: ops.Operator) -> list[RowBlock]:
-        """Parallel execution of a subtree; returns its blocks in
-        serial-engine order."""
-        if isinstance(op, ops.SeqScanOp):
-            return self._scan_pipeline(op, [])
-        if isinstance(op, (ops.FilterOp, ops.ProjectOp)):
-            stages: list[ops.Operator] = []
-            node: ops.Operator = op
-            while isinstance(node, (ops.FilterOp, ops.ProjectOp)):
-                stages.append(node)
-                node = node._child
-            stages.reverse()
-            if isinstance(node, ops.SeqScanOp):
-                return self._scan_pipeline(node, stages)
-            return self._map_stages(self._execute(node), stages)
-        if isinstance(op, ops.AggregateOp):
-            return self._aggregate(op)
-        if isinstance(op, ops.HashJoinOp):
-            return self._hash_join(op)
-        if isinstance(op, ops.SortOp):
-            return self._sort(op)
-        return self._serial_op(op)
+    def _pipeline_blocks(self, pipe: pl.Pipeline) -> list[RowBlock]:
+        """Execute one pipeline (inputs first); returns its output blocks
+        in serial-engine order.  The parallel-safe stage prefix runs fused
+        inside the morsel tasks; an order-sensitive tail (Distinct) runs
+        on the serial lane."""
+        for dep in pipe.inputs:
+            self._run_to_sink(dep)
+        safe: list[pl.PipelineStage] = []
+        tail: list[pl.PipelineStage] = []
+        for stage in pipe.stages:
+            (tail if tail or not stage.parallel_safe else safe).append(stage)
+        source = pipe.source
+        if isinstance(source, pl.ScanSource):
+            blocks = self._scan_pipeline(source.op, safe)
+        else:
+            blocks = self._source_blocks(source)
+            if safe:
+                blocks = self._map_stages(blocks, safe)
+        if tail:
+            blocks = self._serial_stages(blocks, tail)
+        return blocks
+
+    def _run_to_sink(self, pipe: pl.Pipeline) -> None:
+        """Run a breaker pipeline and fold its blocks into its sink via
+        the operator's parallel hooks (partial/merge for aggregation,
+        sorted runs + k-way merge for sort, build parts merged in morsel
+        order for hash join)."""
+        blocks = self._pipeline_blocks(pipe)
+        sink = pipe.sink
+        if isinstance(sink, pl.AggregateSink):
+            sink.result_blocks = self._aggregate_blocks(sink.op, blocks)
+        elif isinstance(sink, pl.SortSink):
+            sink.result_blocks = self._sort_blocks(sink.op, blocks)
+        elif isinstance(sink, pl.BuildSink):
+            parts = self._map(blocks, sink.op.build_block)
+            buckets, factor = sink.op.merge_build(
+                parts, self._worker_clocks.serial_lane)
+            sink.set_built(buckets, factor)
+        else:  # CollectSink and friends: plain collection, no charges
+            sink.result_blocks = blocks
+
+    def _source_blocks(self, source: pl.PipelineSource) -> list[RowBlock]:
+        """Blocks for a non-scan source: breaker sinks replay their merged
+        result; serial operators (IndexScan, NestedLoopJoin, EmptyRow) run
+        their unchanged batch path on the serial lane."""
+        if isinstance(source, pl.SinkSource):
+            return source.sink.result_blocks
+        lane = self._worker_clocks.serial_lane
+        source.op._clock = lane
+        return [carrier.materialize() for carrier in source.carriers(lane)]
 
     def _scan_pipeline(self, scan: ops.SeqScanOp,
-                       stages: list[ops.Operator]) -> list[RowBlock]:
-        """Scan→Filter→Project chain: one task per scan morsel pushes the
-        morsel through the whole chain without re-materializing between
-        phases."""
+                       stages: list[pl.PipelineStage]) -> list[RowBlock]:
+        """One task per scan morsel pushes the morsel through the
+        pipeline's whole fused stage chain — deferred selection masks and
+        all — without re-materializing between stages."""
         morsels = scan._table.scan_morsels(self.morsel_rows)
 
         def task(morsel, shard: SimClock):
             columns, n = morsel
             lens = [0] * (1 + len(stages))
-            block = scan.process_morsel(columns, n, shard)
-            if block is None:
+            out = scan.scan_block(scan.make_block(columns, n), shard)
+            if out is None:
                 return lens, None
-            lens[0] = len(block)
+            carrier = pl.BlockCarrier(*out)
+            lens[0] = carrier.count
             for j, stage in enumerate(stages):
-                block = stage.process_block(block, shard)
-                if block is None:
+                carrier = stage.apply(carrier, shard)
+                if carrier is None:
                     return lens, None
-                lens[j + 1] = len(block)
-            return lens, block
+                lens[j + 1] = carrier.count
+            return lens, carrier.materialize()
 
-        return self._gather([scan, *stages], self._map(morsels, task))
+        chain = [scan] + [stage.op for stage in stages]
+        return self._gather(chain, self._map(morsels, task))
 
     def _map_stages(self, blocks: list[RowBlock],
-                    stages: list[ops.Operator]) -> list[RowBlock]:
-        """Filter/Project chain over a non-scan source (join or aggregate
-        output): same per-morsel tasks, with the source's blocks as the
-        morsels."""
+                    stages: list[pl.PipelineStage]) -> list[RowBlock]:
+        """Fused stage chain over a non-scan source (breaker output or a
+        serial operator's blocks): same per-morsel tasks, with the
+        source's blocks as the morsels."""
 
         def task(block: RowBlock, shard: SimClock):
             lens = [0] * len(stages)
+            carrier: pl.BlockCarrier | None = pl.BlockCarrier(block)
             for j, stage in enumerate(stages):
-                block = stage.process_block(block, shard)
-                if block is None:
+                carrier = stage.apply(carrier, shard)
+                if carrier is None:
                     return lens, None
-                lens[j] = len(block)
-            return lens, block
+                lens[j] = carrier.count
+            return lens, carrier.materialize()
 
-        return self._gather(stages, self._map(blocks, task))
+        chain = [stage.op for stage in stages]
+        return self._gather(chain, self._map(blocks, task))
+
+    def _serial_stages(self, blocks: list[RowBlock],
+                       stages: list[pl.PipelineStage]) -> list[RowBlock]:
+        """Order-sensitive stage tail (Distinct) on the serial lane, in
+        morsel order, attributing counts inline (single-threaded)."""
+        lane = self._worker_clocks.serial_lane
+        out: list[RowBlock] = []
+        for block in blocks:
+            carrier: pl.BlockCarrier | None = pl.BlockCarrier(block)
+            for stage in stages:
+                carrier = stage.apply(carrier, lane)
+                if carrier is None:
+                    break
+                stage.op.rows_out += carrier.count
+            if carrier is not None:
+                out.append(carrier.materialize())
+        return out
 
     @staticmethod
     def _gather(chain: list[ops.Operator], results: list) -> list[RowBlock]:
@@ -342,7 +382,10 @@ class MorselScheduler:
                 out.append(block)
         return out
 
-    def _aggregate(self, op: ops.AggregateOp) -> list[RowBlock]:
+    # -- breaker sinks -----------------------------------------------------
+
+    def _aggregate_blocks(self, op: ops.AggregateOp,
+                          blocks: list[RowBlock]) -> list[RowBlock]:
         """Parallel partial aggregation, then either the plain serial
         morsel-order merge (narrow GROUP BY, global aggregates) or the
         hash-partitioned parallel merge (wide GROUP BY): morsel partials
@@ -353,7 +396,6 @@ class MorselScheduler:
         stamps.  Either way the raw-value replay order is unchanged, so
         results stay bit-identical; the merge charges nothing on any path
         (every per-row cost was already charged in a worker)."""
-        blocks = self._execute(op._child)
         partials = self._map(blocks, op.partial_block)
         if (self.workers > 1 and op._node.group_by and partials
                 and max(len(p) for p in partials) > op.PARTITION_MIN_KEYS):
@@ -373,52 +415,21 @@ class MorselScheduler:
             result = op.finish_partials(partials)
         return [result] if result is not None else []
 
-    def _sort(self, op: ops.SortOp) -> list[RowBlock]:
+    def _sort_blocks(self, op: ops.SortOp,
+                     blocks: list[RowBlock]) -> list[RowBlock]:
         """Parallel sort: per-morsel sorted runs on the workers (each run
         charging its own n_i*log2(n_i)), then a k-way merge on the serial
         lane charging the remainder — charged totals stay identical to the
         serial engines' single full sort, and the merge's key ties break
         by (run, position), reproducing the serial sort's stability over
         input order exactly."""
-        blocks = self._execute(op._child)
         runs = self._map(blocks, op.sort_block)
         out = op.merge_runs(runs, self._worker_clocks.serial_lane)
         for block in out:
             op.rows_out += len(block)
         return out
 
-    def _hash_join(self, op: ops.HashJoinOp) -> list[RowBlock]:
-        """Parallel build over left morsels, serial bucket merge (morsel
-        order keeps bucket insertion order identical to the serial
-        engines), then parallel probe over right morsels."""
-        left_blocks = self._execute(op._left)
-        parts = self._map(left_blocks, op.build_block)
-        buckets, probe_factor = op.merge_build(
-            parts, self._worker_clocks.serial_lane)
-        right_blocks = self._execute(op._right)
-
-        def probe(block: RowBlock, shard: SimClock):
-            return op.probe_block(block, buckets, probe_factor, shard)
-
-        out = [block for block in self._map(right_blocks, probe)
-               if block is not None]
-        for block in out:
-            op.rows_out += len(block)
-        return out
-
-    def _serial_op(self, op: ops.Operator) -> list[RowBlock]:
-        """Operators without a parallel decomposition (Distinct,
-        NestedLoopJoin, IndexScan, EmptyRow): inputs are still computed
-        morsel-parallel, then the operator itself runs its serial batch
-        path on the serial lane."""
-        lane = self._worker_clocks.serial_lane
-        op._clock = lane
-        for attr in _CHILD_ATTRS:
-            child = getattr(op, attr, None)
-            if isinstance(child, ops.Operator):
-                blocks = self._execute(child)
-                setattr(op, attr, _BlockSource(child.layout, blocks, lane))
-        return list(op.batches())
+    # -- whole-tree serial fallback ----------------------------------------
 
     def _serial_tree(self, op: ops.Operator) -> list[RowBlock]:
         """Whole-tree serial fallback (LIMIT plans): rebind every
@@ -435,13 +446,3 @@ class MorselScheduler:
             child = getattr(op, attr, None)
             if isinstance(child, ops.Operator):
                 cls._rebind(child, lane)
-
-    @classmethod
-    def _contains(cls, op: ops.Operator, kind: type) -> bool:
-        if isinstance(op, kind):
-            return True
-        for attr in _CHILD_ATTRS:
-            child = getattr(op, attr, None)
-            if isinstance(child, ops.Operator) and cls._contains(child, kind):
-                return True
-        return False

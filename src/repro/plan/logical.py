@@ -24,7 +24,27 @@ class PlanNode:
     Attributes populated by the optimizer:
         est_rows: estimated output cardinality.
         est_cost: estimated virtual-time cost of the subtree.
+
+    Class-level pipeline annotations (consumed by
+    ``repro/exec/pipeline.py`` when a plan is compiled into fused
+    pipelines):
+
+    * ``STREAMING`` — the node processes one block at a time and fuses
+      into its child's pipeline as a :class:`~repro.exec.pipeline.PipelineStage`
+      (Filter, Project; the HashJoin *probe* side is the one streaming
+      half of a breaker node).
+    * ``BREAKER`` — the node must consume (some of) its input entirely
+      before producing output, so the pipeline splits here: the input
+      subtree becomes its own pipeline feeding a sink (Aggregate, Sort,
+      HashJoin build, NestedLoopJoin, Distinct) or an order-sensitive
+      stage that ends fusion for the parallel engine (Distinct's seen
+      set, Limit's early-exit counter).
+
+    Scans are neither: they are pipeline *sources*.
     """
+
+    STREAMING = False
+    BREAKER = False
 
     est_rows: float = field(default=0.0, init=False)
     est_cost: float = field(default=0.0, init=False)
@@ -87,6 +107,8 @@ class IndexScan(PlanNode):
 
 @dataclass
 class Filter(PlanNode):
+    STREAMING = True
+
     child: PlanNode = None  # type: ignore[assignment]
     predicate: ast.Expr = None  # type: ignore[assignment]
 
@@ -97,6 +119,8 @@ class Filter(PlanNode):
 
 @dataclass
 class Project(PlanNode):
+    STREAMING = True
+
     child: PlanNode = None  # type: ignore[assignment]
     items: tuple[ast.SelectItem, ...] = ()
 
@@ -107,6 +131,8 @@ class Project(PlanNode):
 
 @dataclass
 class NestedLoopJoin(PlanNode):
+    BREAKER = True
+
     left: PlanNode = None  # type: ignore[assignment]
     right: PlanNode = None  # type: ignore[assignment]
     condition: Optional[ast.Expr] = None  # None = cross join
@@ -122,6 +148,10 @@ class NestedLoopJoin(PlanNode):
 
 @dataclass
 class HashJoin(PlanNode):
+    # the build (left) side is the breaker; the probe side fuses into the
+    # right child's pipeline as a streaming stage
+    BREAKER = True
+
     left: PlanNode = None   # build side  # type: ignore[assignment]
     right: PlanNode = None  # probe side  # type: ignore[assignment]
     left_key: ast.ColumnRef = None  # type: ignore[assignment]
@@ -140,6 +170,8 @@ class HashJoin(PlanNode):
 
 @dataclass
 class Aggregate(PlanNode):
+    BREAKER = True
+
     child: PlanNode = None  # type: ignore[assignment]
     group_by: tuple[ast.Expr, ...] = ()
     items: tuple[ast.SelectItem, ...] = ()
@@ -151,6 +183,8 @@ class Aggregate(PlanNode):
 
 @dataclass
 class Sort(PlanNode):
+    BREAKER = True
+
     child: PlanNode = None  # type: ignore[assignment]
     keys: tuple[ast.OrderItem, ...] = ()
 
@@ -161,6 +195,10 @@ class Sort(PlanNode):
 
 @dataclass
 class Limit(PlanNode):
+    # runs as the pipeline-terminating early-exit stage: a satisfied LIMIT
+    # stops driving its source pipeline
+    BREAKER = True
+
     child: PlanNode = None  # type: ignore[assignment]
     limit: Optional[int] = None
     offset: int = 0
@@ -172,6 +210,10 @@ class Limit(PlanNode):
 
 @dataclass
 class Distinct(PlanNode):
+    # order-sensitive streaming state (the seen set): rides the pipeline
+    # as a stage serially, ends fusion for the parallel engine
+    BREAKER = True
+
     child: PlanNode = None  # type: ignore[assignment]
 
     @property

@@ -175,6 +175,11 @@ class PredictServer:
             handed to ``Db.fine_tune_model``.  Defaults lean aggressive
             (large step, small batches => many gradient steps): a refresh
             only runs because the served distribution has already moved.
+        refresh_window: fine-tune on only the table's most recent rows (a
+            sliding recency window — on a regime shift the freshest rows
+            carry the new distribution, so refreshes adapt faster and
+            cheaper).  None defers to the database's connection-level
+            ``refresh_window`` knob, whose own default is the full table.
         serving_threshold / serving_window / serving_cooldown: drift
             parameters for the ``serving:<model>`` metric streams.
     """
@@ -185,11 +190,15 @@ class PredictServer:
                  refresh_epochs: int = 8, refresh_tune_last_layers: int = 2,
                  refresh_learning_rate: float = 5e-2,
                  refresh_batch_size: int = 256,
+                 refresh_window: int | None = None,
                  serving_threshold: float = 0.5, serving_window: int = 4,
                  serving_cooldown: int | None = None):
         if refresh not in ("auto", "manual"):
             raise ValueError(f"refresh must be auto or manual, "
                              f"got {refresh!r}")
+        if refresh_window is not None and refresh_window < 1:
+            raise ValueError(f"refresh_window must be >= 1 or None, "
+                             f"got {refresh_window}")
         if max_batch_requests < 1:
             raise ValueError("max_batch_requests must be >= 1")
         if max_batch_rows < 1:
@@ -206,6 +215,7 @@ class PredictServer:
         self.refresh_tune_last_layers = refresh_tune_last_layers
         self.refresh_learning_rate = refresh_learning_rate
         self.refresh_batch_size = refresh_batch_size
+        self.refresh_window = refresh_window
         self._serving_params = dict(threshold=serving_threshold,
                                     window=serving_window,
                                     cooldown=serving_cooldown)
@@ -523,7 +533,8 @@ class PredictServer:
                     tune_last_layers=self.refresh_tune_last_layers,
                     epochs=self.refresh_epochs,
                     learning_rate=self.refresh_learning_rate,
-                    batch_size=self.refresh_batch_size)
+                    batch_size=self.refresh_batch_size,
+                    window_rows=self.refresh_window)
                 task.version_after = \
                     self.db.models.versions(task.model_name)[-1]
                 task.status = "done"

@@ -124,7 +124,8 @@ class HeapTable:
         if buffer:
             yield buffer
 
-    def scan_column_batches(self, batch_size: int = 1024
+    def scan_column_batches(self, batch_size: int = 1024,
+                            start_page: int = 0
                             ) -> Iterator[tuple[list, int]]:
         """Full scan yielding ``(columns, row_count)`` column batches.
 
@@ -136,12 +137,16 @@ class HeapTable:
         consumers that stop early, like LIMIT, therefore pull no more than
         one batch beyond what they need.  Overfull pages are sliced as
         numpy views, not copied.
+
+        ``start_page`` skips the pages before it entirely — no buffer-pool
+        touches, no charges — the tail-scan primitive behind recency
+        windows (:meth:`tail_start_page`).
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         pending: list[list] = []
         pending_rows = 0
-        for page in self._pages:
+        for page in self._pages[max(0, start_page):]:
             self._touch_page(page.page_no)
             columns = page.live_columns()
             if not columns:
@@ -158,7 +163,8 @@ class HeapTable:
         if pending_rows:
             yield self._merge_column_batches(pending, pending_rows)
 
-    def scan_morsels(self, morsel_rows: int = 4096) -> list[tuple[list, int]]:
+    def scan_morsels(self, morsel_rows: int = 4096,
+                     start_page: int = 0) -> list[tuple[list, int]]:
         """Materialize the full scan as a random-access list of column
         morsels — the parallel engine's scan splitter.
 
@@ -173,9 +179,25 @@ class HeapTable:
         reassemble results by morsel index.  The column arrays are shared
         read-only snapshots of the columnar page cache: workers must only
         mask/slice them, never write.  Mutating the table after splitting
-        is undefined, as with :meth:`scan`.
+        is undefined, as with :meth:`scan`.  ``start_page`` as in
+        :meth:`scan_column_batches`.
         """
-        return list(self.scan_column_batches(morsel_rows))
+        return list(self.scan_column_batches(morsel_rows, start_page))
+
+    def tail_start_page(self, min_rows: int) -> int:
+        """Index of the first page such that the pages from it onward
+        hold at least ``min_rows`` live rows (0 when the whole table is
+        needed).  Pure metadata — per-page live counts — so locating a
+        recency window costs nothing before the tail pages are scanned.
+        """
+        if min_rows < 0:
+            raise ValueError(f"min_rows must be >= 0, got {min_rows}")
+        remaining = min_rows
+        for idx in range(len(self._pages) - 1, -1, -1):
+            remaining -= self._pages[idx].live_count
+            if remaining <= 0:
+                return idx
+        return 0
 
     @staticmethod
     def _merge_column_batches(parts: list[list], rows: int

@@ -96,6 +96,45 @@ PARITY_QUERIES = [
     "SELECT count(*) FROM avazu WHERE click_rate IS NOT NULL",
     "SELECT f0, count(*), avg(click_rate) FROM avazu WHERE f1 >= 0 "
     "GROUP BY f0 ORDER BY f0 LIMIT 20",
+    # fused-pipeline shapes (PR 5): multi-conjunct filters, computed
+    # projections, join-probe chains, LIMIT, NULL-heavy columns
+    "SELECT id, name FROM users WHERE age > 22 AND city <> 'ny' "
+    "AND id % 2 = 0",
+    "SELECT age * 2 + 1 AS a2, length(name) AS ln, "
+    "coalesce(nickname, name) AS nm FROM users WHERE age BETWEEN 21 AND 50",
+    "SELECT u.name, o.amount * 2 AS dbl FROM users u JOIN orders o "
+    "ON u.id = o.user_id WHERE o.status = 'paid' AND u.age > 21",
+    "SELECT u.city, count(*), sum(o.amount) FROM users u JOIN orders o "
+    "ON u.id = o.user_id WHERE o.amount > 50 GROUP BY u.city",
+    "SELECT id, name FROM users LIMIT 7 OFFSET 3",
+    "SELECT u.name, o.oid FROM users u JOIN orders o ON u.id = o.user_id "
+    "ORDER BY oid LIMIT 5",
+    "SELECT score, nickname FROM users "
+    "WHERE score IS NOT NULL OR nickname IS NULL",
+    # computed-operand / non-constant LIKE (vectorized since PR 5)
+    "SELECT name FROM users WHERE upper(name) LIKE 'USER1%'",
+    "SELECT name FROM users WHERE coalesce(nickname, name) LIKE '%1%'",
+]
+
+# the fused-pipeline sweep: shapes whose stage chains exercise deferred
+# masks, probe fusion, breakers, and early exit — run at several worker
+# counts below, asserting rows AND charged totals against the row engine
+FUSED_PIPELINE_QUERIES = [
+    "SELECT id, name FROM users WHERE age > 22 AND city <> 'ny' "
+    "AND id % 2 = 0",
+    "SELECT age * 2 + 1 AS a2, length(name) AS ln, "
+    "coalesce(nickname, name) AS nm FROM users WHERE age BETWEEN 21 AND 50",
+    "SELECT u.name, o.amount * 2 AS dbl FROM users u JOIN orders o "
+    "ON u.id = o.user_id WHERE o.status = 'paid' AND u.age > 21",
+    "SELECT u.city, count(*), sum(o.amount) FROM users u JOIN orders o "
+    "ON u.id = o.user_id WHERE o.amount > 50 GROUP BY u.city",
+    "SELECT id, name FROM users LIMIT 7 OFFSET 3",
+    "SELECT u.name, o.oid FROM users u JOIN orders o ON u.id = o.user_id "
+    "ORDER BY oid LIMIT 5",
+    "SELECT score, nickname FROM users "
+    "WHERE score IS NOT NULL OR nickname IS NULL",
+    "SELECT DISTINCT city FROM users WHERE age > 25",
+    "SELECT count(score), sum(score) FROM users WHERE nickname IS NULL",
 ]
 
 
@@ -151,6 +190,66 @@ def test_query_parity(parity_db, sql):
         # identical work => identical virtual time, modulo float accumulation
         assert got.virtual_seconds == pytest.approx(
             expected.virtual_seconds, rel=1e-6, abs=1e-9)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_fused_pipeline_parity_across_workers(parity_db, workers):
+    """The fused-pipeline sweep at workers 1/2/4: bit-identical rows
+    (values, types, order) AND charged virtual-time totals against the
+    row engine, for the serial fused driver and the morsel scheduler
+    alike."""
+    for sql in FUSED_PIPELINE_QUERIES:
+        plan = parity_db.planner.plan_select(parse(sql))
+        expected = Executor(parity_db.catalog, parity_db.clock,
+                            engine="row").run(plan)
+        for engine in (
+                Executor(parity_db.catalog, parity_db.clock,
+                         engine="batch"),
+                Executor(parity_db.catalog, parity_db.clock,
+                         engine="parallel", workers=workers,
+                         morsel_rows=16)):
+            got = engine.run(plan)
+            assert _typed(got.rows) == _typed(expected.rows), sql
+            assert got.virtual_seconds == pytest.approx(
+                expected.virtual_seconds, rel=1e-6, abs=1e-9), sql
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_fused_pipeline_nan_and_null_columns(workers):
+    """Fused scan→filter→project chains over NaN-bearing and NULL-bearing
+    float columns: NaN comparisons reject on every engine, the total-order
+    sort buckets NaN deterministically, and grouped sums stay
+    bit-identical at every worker count."""
+    db = repro.connect()
+    db.execute("CREATE TABLE g (k TEXT, v FLOAT, x FLOAT)")
+    heap = db.catalog.table("g")
+    nan = float("nan")
+    values = [1.0, nan, -2.5, None, 0.0, nan, 7.25, None, 3.5, -0.5]
+    for i, v in enumerate(values):
+        heap.insert((["p", "q"][i % 2], v, float(i)))
+    # (no ANALYZE: histogram stats reject NaN); warm the buffer pool so
+    # the first engine's run doesn't eat the page-miss charges alone
+    db.execute("SELECT count(*) FROM g")
+    queries = [
+        "SELECT k, v FROM g WHERE v > 0",
+        "SELECT k, v FROM g WHERE v <= 1 AND x >= 0",
+        "SELECT v, x FROM g ORDER BY v DESC, x",
+        "SELECT k, count(v), sum(v) FROM g GROUP BY k",
+        "SELECT v FROM g WHERE v IS NOT NULL",
+    ]
+    for sql in queries:
+        plan = db.planner.plan_select(parse(sql))
+        expected = Executor(db.catalog, db.clock, engine="row").run(plan)
+        for engine in (
+                Executor(db.catalog, db.clock, engine="batch"),
+                Executor(db.catalog, db.clock, engine="parallel",
+                         workers=workers, morsel_rows=2)):
+            got = engine.run(plan)
+            assert len(got.rows) == len(expected.rows), sql
+            assert [tuple(repr(v) for v in row) for row in got.rows] == \
+                [tuple(repr(v) for v in row) for row in expected.rows], sql
+            assert got.virtual_seconds == pytest.approx(
+                expected.virtual_seconds, rel=1e-6, abs=1e-9), sql
 
 
 def test_candidate_plans_parity(parity_db):

@@ -496,3 +496,122 @@ class TestServerValidation:
             PredictServer(db, max_batch_requests=0)
         with pytest.raises(ValueError):
             ModelCache(db.models, capacity=0)
+
+
+class TestRefreshWindow:
+    """Recency-weighted refresh data: fine-tunes train on a sliding
+    window of the table's most recent rows (``refresh_window`` on
+    ``connect()`` / ``PredictServer``), default full-table."""
+
+    @staticmethod
+    def _spy_fine_tune(db, captured):
+        original = db.ai_engine.fine_tune
+
+        def spy(task, data, targets):
+            captured.append(len(data))
+            return original(task, data, targets)
+
+        db.ai_engine.fine_tune = spy
+
+    def test_training_set_tail(self):
+        from repro.ai.loader import ColumnTrainingSet
+        data = ColumnTrainingSet(
+            [np.array(list(range(10)), dtype=object)],
+            np.arange(10, dtype=np.float64))
+        tail = data.tail(4)
+        assert len(tail) == 4
+        assert tail.rows() == [(6,), (7,), (8,), (9,)]
+        assert np.array_equal(tail.targets, np.array([6.0, 7.0, 8.0, 9.0]))
+        assert data.tail(10) is data        # window covers everything
+        assert data.tail(99) is data
+        with pytest.raises(ValueError):
+            data.tail(0)
+
+    def test_connect_knob_bounds_finetune_data(self):
+        db = repro.connect(refresh_window=8)
+        db.execute("CREATE TABLE p (a FLOAT, b FLOAT, y FLOAT)")
+        for i in range(30):
+            db.execute(f"INSERT INTO p VALUES ({i}.5, {i + 1}.0, {i * 0.1})")
+        db.execute("PREDICT VALUE OF y FROM p TRAIN ON a, b")
+        captured: list[int] = []
+        self._spy_fine_tune(db, captured)
+        db.fine_tune_model("p", "y")
+        assert captured == [8]
+        db.fine_tune_model("p", "y", window_rows=5)  # per-call override
+        assert captured == [8, 5]
+        db.fine_tune_model("p", "y", window_rows=1000)  # window > table
+        assert captured == [8, 5, 30]
+
+    def test_default_stays_full_table(self):
+        db = _build_review_db(n=40)
+        db.execute(REVIEW_SQL)
+        captured: list[int] = []
+        self._spy_fine_tune(db, captured)
+        db.fine_tune_model("review", "score")
+        # full table minus the NULL-score rows (every 5th)
+        assert captured == [32]
+
+    def test_server_refresh_uses_window(self):
+        db = _build_review_db(n=60)
+        db.execute(REVIEW_SQL)
+        captured: list[int] = []
+        self._spy_fine_tune(db, captured)
+        server = PredictServer(db, refresh_window=10)
+        server.refresh_now("review", "score")
+        server.drain()
+        task = server.refreshes[-1]
+        assert task.status == "done"
+        assert captured == [10]
+
+    def test_server_rejects_bad_window(self):
+        db = _build_review_db(n=10)
+        with pytest.raises(ValueError):
+            PredictServer(db, refresh_window=0)
+        with pytest.raises(ValueError):
+            repro.connect(refresh_window=0)
+
+    def test_tail_scan_reads_only_trailing_pages(self):
+        """The windowed refresh scans only the pages covering the window
+        (plus NULL-target widening), not the full history — identical
+        rows to full-scan-then-tail, far smaller scan charge."""
+        from repro.ai.loader import table_training_set
+        from repro.common.simtime import CostModel
+        db = repro.connect(refresh_window=40)
+        db.execute("CREATE TABLE big (a FLOAT, y FLOAT)")
+        heap = db.catalog.table("big")
+        rows = 1500
+        for i in range(rows):
+            heap.insert((float(i), None if i % 7 == 0 else i * 0.01))
+        db.execute("ANALYZE")
+        db.execute("PREDICT VALUE OF y FROM big TRAIN ON a")
+        captured: list = []
+        original = db.ai_engine.fine_tune
+        db.ai_engine.fine_tune = lambda task, data, targets: (
+            captured.append(data), original(task, data, targets))[1]
+        before = db.clock.category_total("predict-materialize")
+        db.fine_tune_model("big", "y")
+        scanned = db.clock.category_total("predict-materialize") - before
+        full = table_training_set(heap, ["a"], "y")
+        assert captured[0].rows() == full.tail(40).rows()
+        # scan charge tracks the window, not the 1500-row history
+        assert scanned < rows * CostModel.TUPLE_CPU * 0.5
+
+    def test_tail_scan_widens_past_null_targets(self):
+        """A tail whose trailing rows are mostly NULL targets widens
+        backward until the window is filled — same result as tailing the
+        full-history training set."""
+        from repro.ai.loader import table_training_set, table_training_set_tail
+        db = repro.connect()
+        db.execute("CREATE TABLE holey (a FLOAT, y FLOAT)")
+        heap = db.catalog.table("holey")
+        for i in range(600):
+            # the last 300 rows are almost all NULL targets
+            target = None if (i >= 300 and i % 10 != 0) else i * 1.0
+            heap.insert((float(i), target))
+        data = table_training_set_tail(heap, ["a"], "y", 50)
+        full = table_training_set(heap, ["a"], "y")
+        assert data.rows() == full.tail(50).rows()
+        assert len(data) == 50
+        # window larger than all qualifying rows: everything, no error
+        everything = table_training_set_tail(heap, ["a"], "y", 10_000)
+        assert everything.rows() == full.rows()

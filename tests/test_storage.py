@@ -364,3 +364,41 @@ class TestBatchScans:
         list(table.scan_column_batches(64))
         assert (pool._hits + pool._misses
                 - accesses_then) == table.page_count
+
+
+def test_scan_column_batches_start_page_and_tail_start_page():
+    """Tail scans: start_page skips earlier pages (no buffer touches, no
+    reads), and tail_start_page locates the window from per-page live
+    counts alone."""
+    import repro
+    db = repro.connect()
+    db.execute("CREATE TABLE t (id INT, v FLOAT)")
+    heap = db.catalog.table("t")
+    for i in range(2000):
+        heap.insert((i, float(i)))
+    assert heap.page_count > 2
+    serial = [row for _, row in heap.scan()]
+
+    # suffix reconstruction from any start page
+    start = heap.page_count - 2
+    skipped = sum(heap._pages[i].live_count for i in range(start))
+    suffix = [row for columns, n in heap.scan_column_batches(64, start)
+              for row in zip(*columns)]
+    assert suffix == serial[skipped:]
+
+    # only the scanned pages touch the buffer pool
+    pool = db.catalog.buffer_pool
+    before = pool._hits + pool._misses
+    list(heap.scan_column_batches(64, start))
+    assert (pool._hits + pool._misses) - before == heap.page_count - start
+
+    # tail_start_page: pure metadata window location
+    assert heap.tail_start_page(0) == heap.page_count - 1
+    assert heap.tail_start_page(1) == heap.page_count - 1
+    assert heap.tail_start_page(len(heap)) == 0
+    assert heap.tail_start_page(10 ** 9) == 0
+    last_live = heap._pages[-1].live_count
+    assert heap.tail_start_page(last_live + 1) == heap.page_count - 2
+    covered = sum(p.live_count
+                  for p in heap._pages[heap.tail_start_page(200):])
+    assert covered >= 200
