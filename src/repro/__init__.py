@@ -12,8 +12,9 @@ Public entry points:
   TPC-C / STATS.
 """
 
-from repro.db import NeurDB, connect
+from repro.common.faults import FaultPlan
+from repro.db import NeurDB, RetryPolicy, connect
 
 __version__ = "1.0.0"
 
-__all__ = ["NeurDB", "connect", "__version__"]
+__all__ = ["FaultPlan", "NeurDB", "RetryPolicy", "connect", "__version__"]

@@ -276,7 +276,8 @@ def table_row_stream(table, feature_columns: list[str],
 
 def map_scan_blocks(table, process: Callable[[RowBlock, SimClock], object],
                     clock: SimClock | None = None, workers: int = 1,
-                    batch_size: int = 4096, start_page: int = 0) -> list:
+                    batch_size: int = 4096, start_page: int = 0,
+                    faults=None, retry_limit: int | None = None) -> list:
     """Apply ``process(block, clock)`` to every scan batch of ``table``;
     returns the per-block results in scan order.  ``start_page`` skips
     earlier pages entirely (tail scans for recency windows).
@@ -301,6 +302,12 @@ def map_scan_blocks(table, process: Callable[[RowBlock, SimClock], object],
     Either way each batch holds ``batch_size`` rows (the final one may be
     short), so the two paths see identical block boundaries and therefore
     charge identical per-block amounts.
+
+    ``faults`` / ``retry_limit`` thread the caller's fault plan and retry
+    budget into the scheduler (see :mod:`repro.common.faults`), so PREDICT
+    materialization recovers from injected worker crashes and transient
+    task errors exactly like query execution; the serial path has no
+    injection sites (its fault surface is the storage layer).
     """
     schema = table.schema
     layout = RowLayout([(schema.table_name, c.name)
@@ -313,8 +320,10 @@ def map_scan_blocks(table, process: Callable[[RowBlock, SimClock], object],
                 for block in table_blocks(table, layout, kinds, batch_size,
                                           start_page)]
     from repro.exec.parallel import MorselScheduler
+    kwargs = {} if retry_limit is None else {"retry_limit": retry_limit}
     scheduler = MorselScheduler(clock if clock is not None else SimClock(),
-                                workers=workers, morsel_rows=batch_size)
+                                workers=workers, morsel_rows=batch_size,
+                                faults=faults, **kwargs)
     morsels = table.scan_morsels(batch_size, start_page)
     try:
         return scheduler.map(
@@ -334,7 +343,8 @@ def table_column_stream(table, feature_columns: list[str],
                         batch_size: int = 4096,
                         block_predicate: Callable | None = None,
                         clock: SimClock | None = None, workers: int = 1,
-                        start_page: int = 0):
+                        start_page: int = 0, faults=None,
+                        retry_limit: int | None = None):
     """Materialize a heap table as feature column arrays plus a target array.
 
     The columnar twin of :func:`table_row_stream`: pages are scanned in
@@ -379,7 +389,8 @@ def table_column_stream(table, feature_columns: list[str],
     results = [part for part in
                map_scan_blocks(table, materialize, clock=clock,
                                workers=workers, batch_size=batch_size,
-                               start_page=start_page)
+                               start_page=start_page, faults=faults,
+                               retry_limit=retry_limit)
                if part is not None]
     if not results:
         return ([np.empty(0, dtype=object) for _ in feature_idx],
@@ -395,21 +406,26 @@ def table_training_set(table, feature_columns: list[str],
                        row_filter: Callable[[tuple], bool] | None = None,
                        block_predicate: Callable | None = None,
                        clock: SimClock | None = None, workers: int = 1,
-                       start_page: int = 0) -> ColumnTrainingSet:
+                       start_page: int = 0, faults=None,
+                       retry_limit: int | None = None) -> ColumnTrainingSet:
     """One-call columnar training set for a table (batch-engine fed)."""
     columns, targets = table_column_stream(table, feature_columns,
                                            target_column,
                                            row_filter=row_filter,
                                            block_predicate=block_predicate,
                                            clock=clock, workers=workers,
-                                           start_page=start_page)
+                                           start_page=start_page,
+                                           faults=faults,
+                                           retry_limit=retry_limit)
     return ColumnTrainingSet(columns, targets)
 
 
 def table_training_set_tail(table, feature_columns: list[str],
                             target_column: str, window: int,
                             clock: SimClock | None = None,
-                            workers: int = 1) -> ColumnTrainingSet:
+                            workers: int = 1, faults=None,
+                            retry_limit: int | None = None
+                            ) -> ColumnTrainingSet:
     """Training set of the table's last ``window`` qualifying rows,
     scanning only the trailing pages — the recency-window feed for
     background refreshes.
@@ -427,7 +443,8 @@ def table_training_set_tail(table, feature_columns: list[str],
         start = table.tail_start_page(min_rows)
         data = table_training_set(table, feature_columns, target_column,
                                   clock=clock, workers=workers,
-                                  start_page=start)
+                                  start_page=start, faults=faults,
+                                  retry_limit=retry_limit)
         if len(data) >= window or start == 0:
             return data.tail(window) if len(data) else data
         min_rows *= 2
@@ -437,7 +454,8 @@ def table_feature_columns(table, feature_columns: list[str],
                           block_predicate: Callable | None = None,
                           target_column: str | None = None,
                           clock: SimClock | None = None, workers: int = 1,
-                          batch_size: int = 4096):
+                          batch_size: int = 4096, faults=None,
+                          retry_limit: int | None = None):
     """Materialize PREDICT inference inputs as columnar features.
 
     Scans the table (optionally morsel-parallel, see
@@ -475,7 +493,8 @@ def table_feature_columns(table, feature_columns: list[str],
 
     results = [part for part in
                map_scan_blocks(table, materialize, clock=clock,
-                               workers=workers, batch_size=batch_size)
+                               workers=workers, batch_size=batch_size,
+                               faults=faults, retry_limit=retry_limit)
                if part is not None]
     if not results:
         features = ColumnFeatures([np.empty(0, dtype=object)

@@ -5,15 +5,21 @@ from repro.common.errors import (
     BindError,
     CatalogError,
     ConstraintViolation,
+    DeadlineExceeded,
     ExecutionError,
     ModelNotFound,
     NeurDBError,
     ParseError,
     PlanError,
+    ReplicaUnavailable,
     StreamProtocolError,
     TransactionAborted,
+    TransientError,
     TypeMismatchError,
+    WorkerCrash,
+    is_retryable,
 )
+from repro.common.faults import FaultPlan, FaultSpec
 from repro.common.rng import make_rng, stable_hash, zipf_sample
 from repro.common.simtime import CostModel, SimClock
 
@@ -23,15 +29,22 @@ __all__ = [
     "CatalogError",
     "ConstraintViolation",
     "CostModel",
+    "DeadlineExceeded",
     "ExecutionError",
+    "FaultPlan",
+    "FaultSpec",
     "ModelNotFound",
     "NeurDBError",
     "ParseError",
     "PlanError",
+    "ReplicaUnavailable",
     "SimClock",
     "StreamProtocolError",
     "TransactionAborted",
+    "TransientError",
     "TypeMismatchError",
+    "WorkerCrash",
+    "is_retryable",
     "make_rng",
     "stable_hash",
     "zipf_sample",

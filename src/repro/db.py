@@ -32,7 +32,9 @@ from repro.ai.loader import (ColumnFeatures, ColumnTrainingSet,
 from repro.ai.model_manager import ModelManager
 from repro.ai.monitor import Monitor
 from repro.ai.tasks import FineTuneTask, InferenceTask, TrainTask
-from repro.common.errors import BindError, ExecutionError, NeurDBError
+from repro.common.errors import (BindError, ExecutionError, NeurDBError,
+                                 is_retryable)
+from repro.common.faults import FaultPlan
 from repro.common.simtime import SimClock
 from repro.exec.executor import Executor, ResultSet
 from repro.exec.expr import (RowLayout, compile_expr,
@@ -42,6 +44,32 @@ from repro.sql import ast
 from repro.sql.parser import parse
 from repro.storage.catalog import Catalog
 from repro.storage.schema import Column, TableSchema
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the facade retries transiently failed statements.
+
+    A statement whose execution raises a *retryable* error
+    (:func:`~repro.common.errors.is_retryable`: ``TransientError``,
+    ``WorkerCrash``, ``ReplicaUnavailable``...) is re-executed up to
+    ``max_retries`` times; each retry first charges an exponential
+    backoff (``backoff * 2**(attempt-1)`` virtual seconds, category
+    ``retry-backoff``) to the shared clock, so recovery cost is modeled
+    like any other.  Retries re-execute the whole statement — safe for
+    reads, and for writes because the storage layer raises its retryable
+    errors before applying any mutation.
+    """
+
+    max_retries: int = 2
+    backoff: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
 
 
 @dataclass
@@ -77,25 +105,42 @@ class NeurDB:
     distribution, so a sliding window adapts faster *and* cheaper than
     re-fitting the full history.  None (the default) preserves the
     historical full-table behavior.
+
+    Robustness knobs (``docs/faults.md``): ``faults`` threads a seeded
+    :class:`~repro.common.faults.FaultPlan` into the catalog (replica
+    outages) and executor (worker crashes / transient task errors);
+    ``replication`` backs every created table with a primary/backup
+    :class:`~repro.storage.replica.ReplicatedTable`; ``retry_policy``
+    makes :meth:`execute` retry transiently failed statements with
+    charged exponential backoff.  Absorbed failures surface through
+    :meth:`warnings`.
     """
 
     def __init__(self, num_runtimes: int = 1, buffer_pages: int = 4096,
                  seed: int = 0, predict_workers: int = 1,
-                 refresh_window: int | None = None):
+                 refresh_window: int | None = None,
+                 faults: FaultPlan | None = None,
+                 replication: bool = False,
+                 retry_policy: "RetryPolicy | int | None" = None):
         if predict_workers < 1:
             raise ValueError(
                 f"predict_workers must be >= 1, got {predict_workers}")
         if refresh_window is not None and refresh_window < 1:
             raise ValueError(
                 f"refresh_window must be >= 1 or None, got {refresh_window}")
+        if isinstance(retry_policy, int):
+            retry_policy = RetryPolicy(max_retries=retry_policy)
         self.clock = SimClock()
+        self.faults = faults
+        self.retry_policy = retry_policy
         from repro.storage.buffer import BufferPool
         self.buffer_pool = BufferPool(capacity_pages=buffer_pages,
                                       clock=self.clock)
         self.catalog = Catalog(buffer_pool=self.buffer_pool,
-                               clock=self.clock)
+                               clock=self.clock, replication=replication,
+                               faults=faults)
         self.planner = Planner(self.catalog)
-        self.executor = Executor(self.catalog, self.clock)
+        self.executor = Executor(self.catalog, self.clock, faults=faults)
         self.monitor = Monitor()
         self.models = ModelManager(self.clock)
         self.ai_engine = AIEngine(model_manager=self.models,
@@ -105,6 +150,8 @@ class NeurDB:
         self.predict_workers = predict_workers
         self.refresh_window = refresh_window
         self._seed = seed
+        self.query_retries = 0
+        self._warnings: list[str] = []
 
     # -- public API ----------------------------------------------------------
 
@@ -120,6 +167,31 @@ class NeurDB:
 
     def execute_statement(self, statement: ast.Statement,
                           force_retrain: bool = False) -> ResultSet:
+        """Run one parsed statement under the connection's retry policy:
+        transiently failed statements (injected faults, replica outages,
+        exhausted scheduler budgets) are re-executed after a charged
+        exponential backoff, up to ``retry_policy.max_retries`` times.
+        Each retry is recorded in :meth:`warnings` and
+        ``query_retries``."""
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            try:
+                return self._dispatch_statement(statement, force_retrain)
+            except Exception as exc:
+                if (policy is None or not is_retryable(exc)
+                        or attempt >= policy.max_retries):
+                    raise
+                attempt += 1
+                self.query_retries += 1
+                self.clock.advance(policy.backoff * (2 ** (attempt - 1)),
+                                   "retry-backoff")
+                self._warn(f"retry {attempt}/{policy.max_retries} of "
+                           f"{type(statement).__name__} after "
+                           f"{type(exc).__name__}: {exc}")
+
+    def _dispatch_statement(self, statement: ast.Statement,
+                            force_retrain: bool = False) -> ResultSet:
         if isinstance(statement, ast.Select):
             plan = self.planner.plan_select(statement)
             return self.executor.run(plan)
@@ -148,6 +220,23 @@ class NeurDB:
             # repro.txn / repro.txnsim where contention actually exists.
             return _status(type(statement).__name__.upper())
         raise NeurDBError(f"unsupported statement {type(statement).__name__}")
+
+    # -- absorbed-failure surfacing -------------------------------------------
+
+    def warnings(self) -> list[str]:
+        """Failures this connection absorbed instead of raising: query
+        retries under the retry policy, and drift-trigger callbacks that
+        raised inside the monitor (which swallows them so observation
+        never fails).  Empty on a healthy run — tests assert on it so
+        nothing gets dropped silently."""
+        out = list(self._warnings)
+        for event, exc in self.monitor.trigger_errors:
+            out.append(f"drift trigger failed on {event.stream!r}: "
+                       f"{type(exc).__name__}: {exc}")
+        return out
+
+    def _warn(self, message: str) -> None:
+        self._warnings.append(message)
 
     # -- DDL ------------------------------------------------------------------
 
@@ -340,11 +429,16 @@ class NeurDB:
         if window is not None:
             data = table_training_set_tail(heap, feature_columns, target,
                                            window, clock=self.clock,
-                                           workers=self.predict_workers)
+                                           workers=self.predict_workers,
+                                           faults=self.faults,
+                                           retry_limit=self.executor
+                                           .retry_limit)
         else:
             data = table_training_set(heap, feature_columns, target,
                                       clock=self.clock,
-                                      workers=self.predict_workers)
+                                      workers=self.predict_workers,
+                                      faults=self.faults,
+                                      retry_limit=self.executor.retry_limit)
         if batch_size is None:
             batch_size = min(4096, max(1, len(data)))
         task = FineTuneTask(model_name=model_name,
@@ -394,7 +488,9 @@ class NeurDB:
                                   statement.target,
                                   block_predicate=predicate,
                                   clock=self.clock,
-                                  workers=self.predict_workers)
+                                  workers=self.predict_workers,
+                                  faults=self.faults,
+                                  retry_limit=self.executor.retry_limit)
         return data, data.targets
 
     def prediction_inputs(self, ctx: PredictContext,
@@ -427,7 +523,8 @@ class NeurDB:
         return table_feature_columns(
             ctx.table, ctx.feature_columns, block_predicate=predicate,
             target_column=ctx.target if with_targets else None,
-            clock=self.clock, workers=self.predict_workers)
+            clock=self.clock, workers=self.predict_workers,
+            faults=self.faults, retry_limit=self.executor.retry_limit)
 
     def _observe_losses(self, model_name: str,
                         losses: Iterable[float]) -> None:
@@ -445,13 +542,22 @@ def _status(message: str, rowcount: int = 0) -> ResultSet:
 
 def connect(num_runtimes: int = 1, buffer_pages: int = 4096,
             seed: int = 0, predict_workers: int = 1,
-            refresh_window: int | None = None) -> NeurDB:
+            refresh_window: int | None = None,
+            faults: FaultPlan | None = None, replication: bool = False,
+            retry_policy: "RetryPolicy | int | None" = None) -> NeurDB:
     """Create a fresh in-process NeurDB instance.
 
     ``refresh_window``: fine-tune refreshes (manual or the serving
     subsystem's background ones) train on only the table's most recent
     rows; None = full table (the historical behavior).
+
+    ``faults`` / ``replication`` / ``retry_policy``: the robustness
+    knobs (``docs/faults.md``) — a seeded fault plan injected across the
+    engine, primary/backup replication for every created table, and
+    bounded retry of transiently failed statements (pass a
+    :class:`RetryPolicy` or an int shorthand for ``max_retries``).
     """
     return NeurDB(num_runtimes=num_runtimes, buffer_pages=buffer_pages,
                   seed=seed, predict_workers=predict_workers,
-                  refresh_window=refresh_window)
+                  refresh_window=refresh_window, faults=faults,
+                  replication=replication, retry_policy=retry_policy)

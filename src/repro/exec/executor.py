@@ -10,6 +10,7 @@ from repro.common.simtime import SimClock
 from repro.exec import operators as ops
 from repro.exec.parallel import (
     DEFAULT_MORSEL_ROWS,
+    DEFAULT_RETRY_LIMIT,
     DEFAULT_WORKERS,
     MorselScheduler,
 )
@@ -84,7 +85,8 @@ class Executor:
 
     def __init__(self, catalog: Catalog, clock: SimClock | None = None,
                  engine: str = "batch", workers: int | None = None,
-                 morsel_rows: int | None = None, fused: bool = True):
+                 morsel_rows: int | None = None, fused: bool = True,
+                 faults=None, retry_limit: int | None = None):
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine {engine!r}; "
                              f"expected one of {self.ENGINES}")
@@ -97,6 +99,12 @@ class Executor:
         self.workers = workers if workers is not None else DEFAULT_WORKERS
         self.morsel_rows = (morsel_rows if morsel_rows is not None
                             else DEFAULT_MORSEL_ROWS)
+        # fault injection + recovery knobs for the parallel engine (see
+        # repro.common.faults); the serial engines ignore them — their
+        # fault surface is the storage layer's replicated tables
+        self.faults = faults
+        self.retry_limit = (retry_limit if retry_limit is not None
+                            else DEFAULT_RETRY_LIMIT)
 
     def with_engine(self, engine: str) -> "Executor":
         """A sibling executor over the same catalog and clock, differing
@@ -104,7 +112,8 @@ class Executor:
         capped measurement to downgrade ``parallel`` to ``batch``."""
         return Executor(self._catalog, self._clock, engine=engine,
                         workers=self.workers, morsel_rows=self.morsel_rows,
-                        fused=self.fused)
+                        fused=self.fused, faults=self.faults,
+                        retry_limit=self.retry_limit)
 
     def build(self, node: plan.PlanNode) -> ops.Operator:
         """Recursively build the operator tree for a plan."""
@@ -136,7 +145,9 @@ class Executor:
 
     def _scheduler(self) -> MorselScheduler:
         return MorselScheduler(self._clock, workers=self.workers,
-                               morsel_rows=self.morsel_rows)
+                               morsel_rows=self.morsel_rows,
+                               faults=self.faults,
+                               retry_limit=self.retry_limit)
 
     def _batch_blocks(self, operator: ops.Operator):
         """The batch engine's block stream: the fused pipeline drive loop

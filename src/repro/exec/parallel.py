@@ -65,6 +65,21 @@ parity sweep in `tests/test_batch_parity.py` enforce:
   the serial engines do.  Capped measurement
   (`src/repro/exec/measure.py`) still downgrades to the batch engine: a
   phase is coarser than the serial engines' per-charge enforcement.
+* **Fault tolerance** — with a :class:`~repro.common.faults.FaultPlan`
+  armed (``faults=``), morsel tasks can suffer injected transient errors,
+  latency spikes, and worker crashes; real retryable errors escaping a
+  task (e.g. :class:`~repro.common.errors.ReplicaUnavailable` from a
+  replicated scan mid-failover) are handled identically.  A transient
+  task error re-runs the morsel up to ``retry_limit`` extra attempts
+  before failing the query; a worker crash *loses the attempt's result
+  but keeps its charges* (the work really ran before the worker died),
+  removes one virtual worker from the phase's makespan model, and a
+  survivor re-executes the morsel.  Every parallel hook a task runs is
+  stateless after construction (the ``parallel_safe`` contract), so
+  re-execution is result-identical — under any seeded fault plan,
+  recovered results are **bit-identical to the fault-free run**, while
+  the retried/lost charges land on :class:`WorkerClocks` so the modeled
+  recovery cost (total inflation and makespan) stays measurable.
 """
 
 from __future__ import annotations
@@ -73,6 +88,8 @@ import threading
 from itertools import count as _shared_counter
 from typing import Any, Callable
 
+from repro.common.errors import WorkerCrash, is_retryable
+from repro.common.faults import FaultPlan
 from repro.common.simtime import BudgetExceeded, SimClock, WorkerClocks
 from repro.exec import operators as ops
 from repro.exec import pipeline as pl
@@ -80,6 +97,7 @@ from repro.exec.batch import RowBlock
 
 DEFAULT_MORSEL_ROWS = 4096
 DEFAULT_WORKERS = 4
+DEFAULT_RETRY_LIMIT = 3
 
 # operator attributes that point at child operators
 _CHILD_ATTRS = ("_child", "_left", "_right")
@@ -100,16 +118,31 @@ class MorselScheduler:
     """
 
     def __init__(self, clock: SimClock, workers: int = DEFAULT_WORKERS,
-                 morsel_rows: int = DEFAULT_MORSEL_ROWS):
+                 morsel_rows: int = DEFAULT_MORSEL_ROWS,
+                 faults: FaultPlan | None = None,
+                 retry_limit: int = DEFAULT_RETRY_LIMIT):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if morsel_rows < 1:
             raise ValueError(f"morsel_rows must be >= 1, got {morsel_rows}")
+        if retry_limit < 0:
+            raise ValueError(f"retry_limit must be >= 0, got {retry_limit}")
         self.workers = workers
         self.morsel_rows = morsel_rows
         self._clock = clock
         self._worker_clocks = WorkerClocks()
         self.tasks_dispatched = 0
+        self.faults = faults
+        self.retry_limit = retry_limit
+        # one scope per scheduler, handed out in program order, so a
+        # *retried query* (a fresh scheduler) rolls fresh fault decisions
+        # while a re-run of the same program hits the same ones
+        self._fault_scope = faults.scope("sched") if faults is not None \
+            else ""
+        self._phase_no = 0
+        self.task_retries = 0
+        self.crashes_recovered = 0
+        self._counter_lock = threading.Lock()
 
     # -- public entry ------------------------------------------------------
 
@@ -178,6 +211,8 @@ class MorselScheduler:
             "virtual_charged": charged,
             "virtual_makespan": makespan,
             "modeled_speedup": (charged / makespan) if makespan > 0 else 1.0,
+            "task_retries": self.task_retries,
+            "crashes_recovered": self.crashes_recovered,
         }
 
     # -- budget enforcement ------------------------------------------------
@@ -203,28 +238,75 @@ class MorselScheduler:
         """Run ``fn(item, shard_clock)`` over items, morsel-driven: workers
         pull the next item index from a shared counter, so a slow morsel
         never stalls the others.  Results come back in item order
-        regardless of which worker ran what."""
+        regardless of which worker ran what.
+
+        Recovery: retryable failures (injected or real — see
+        :func:`~repro.common.errors.is_retryable`) re-run the morsel on a
+        fresh shard clock, up to ``retry_limit`` extra attempts; every
+        attempt's charges — including lost crashed attempts — are kept, in
+        morsel/attempt order, so recovery cost shows up in the totals and
+        the makespan.  Each distinct worker crash removes one virtual
+        worker from this phase's makespan model (the survivors finish the
+        work)."""
         if not items:
             return []
         self.tasks_dispatched += len(items)
         n_workers = min(self.workers, len(items))
-        # one shard clock per task: charges are later list-scheduled onto
-        # virtual workers in morsel order (WorkerClocks.close_phase), so
-        # the modeled makespan does not depend on which OS thread happened
-        # to grab which morsel under the GIL
-        task_clocks = [SimClock() for _ in range(len(items))]
+        phase = self._phase_no
+        self._phase_no += 1
+        # one shard clock per *attempt*: charges are later list-scheduled
+        # onto virtual workers in morsel/attempt order
+        # (WorkerClocks.close_phase), so the modeled makespan does not
+        # depend on which OS thread happened to grab which morsel under
+        # the GIL.  attempt_clocks[i] is only ever touched by the single
+        # worker running morsel i.
+        attempt_clocks: list[list[SimClock]] = [[] for _ in items]
         results: list[Any] = [None] * len(items)
+        crashes = [0]
+
+        def run_task(i: int) -> Any:
+            attempt = 0
+            while True:
+                shard = SimClock()
+                try:
+                    result = self._attempt(fn, items[i], shard, phase, i,
+                                           attempt)
+                except Exception as exc:
+                    # partial/lost charges are kept either way: the work
+                    # (or part of it) really ran before the failure
+                    attempt_clocks[i].append(shard)
+                    crashed = isinstance(exc, WorkerCrash)
+                    if not is_retryable(exc) or attempt >= self.retry_limit:
+                        raise
+                    with self._counter_lock:
+                        if crashed:
+                            crashes[0] += 1
+                            self.crashes_recovered += 1
+                        else:
+                            self.task_retries += 1
+                    attempt += 1
+                    continue
+                attempt_clocks[i].append(shard)
+                return result
+
+        def close_phase() -> None:
+            flat = [shard for per_task in attempt_clocks
+                    for shard in per_task]
+            survivors = max(1, n_workers - crashes[0])
+            self._worker_clocks.close_phase(flat, survivors)
+
         if n_workers == 1:
             # deterministic inline mode: no threads at all
             try:
-                for i, item in enumerate(items):
-                    results[i] = fn(item, task_clocks[i])
+                for i in range(len(items)):
+                    results[i] = run_task(i)
             finally:
-                self._worker_clocks.close_phase(task_clocks, n_workers)
+                close_phase()
             self._check_budget()
             return results
         grab = _shared_counter()
         errors: list[tuple[int, BaseException]] = []
+        interrupts: list[BaseException] = []
         stop = threading.Event()
 
         def work() -> None:
@@ -233,7 +315,13 @@ class MorselScheduler:
                 if i >= len(items):
                     return
                 try:
-                    results[i] = fn(items[i], task_clocks[i])
+                    results[i] = run_task(i)
+                except (KeyboardInterrupt, SystemExit) as exc:
+                    # not a task failure: surface the interrupt itself,
+                    # never retry it or bury it under a morsel error
+                    interrupts.append(exc)
+                    stop.set()
+                    return
                 except BaseException as exc:
                     errors.append((i, exc))
                     stop.set()  # no new morsels; in-flight ones finish
@@ -245,7 +333,9 @@ class MorselScheduler:
             thread.start()
         for thread in threads:
             thread.join()
-        self._worker_clocks.close_phase(task_clocks, n_workers)
+        close_phase()
+        if interrupts:
+            raise interrupts[0]
         if errors:
             # morsels are pulled in index order, so every morsel before a
             # recorded error also ran (and recorded its own error if it had
@@ -254,6 +344,33 @@ class MorselScheduler:
             raise min(errors, key=lambda pair: pair[0])[1]
         self._check_budget()
         return results
+
+    def _attempt(self, fn: Callable[[Any, SimClock], Any], item: Any,
+                 shard: SimClock, phase: int, index: int,
+                 attempt: int) -> Any:
+        """One attempt at one morsel, with fault injection around it.
+
+        Injection order models the lifecycle: a ``task_error`` strikes
+        before the work starts (nothing charged yet); a ``slow_worker``
+        spike charges extra time on the shard after the work; a
+        ``worker_crash`` strikes last — the work ran and charged, then the
+        worker died before reporting, so the result is lost but the cost
+        is real.  Fault decisions are pure functions of
+        (seed, scope, phase, morsel, attempt), never of thread timing.
+        """
+        faults = self.faults
+        if faults is None:
+            return fn(item, shard)
+        site = f"{self._fault_scope}:{phase}:{index}:{attempt}"
+        faults.maybe_raise("task_error", site, index=index, attempt=attempt)
+        result = fn(item, shard)
+        spec = faults.decide("slow_worker", site, index=index,
+                             attempt=attempt)
+        if spec is not None and spec.latency > 0:
+            shard.advance(spec.latency, "fault-slow")
+        faults.maybe_raise("worker_crash", site, index=index,
+                           attempt=attempt)
+        return result
 
     # -- pipeline execution ------------------------------------------------
 

@@ -41,6 +41,28 @@ suite in ``tests/test_serve.py`` asserts this at several
 ``predict_workers`` settings); micro-batching and the model cache then
 cut the *per-request* cost, which is where the modeled throughput win in
 ``benchmarks/BENCH_serve.json`` comes from.
+
+Robustness
+----------
+Serving survives injected and real failures (``docs/faults.md``):
+
+* **Per-request deadlines** — ``submit(..., deadline=...)`` (or the
+  server-wide ``default_deadline``) bounds a request's time in the
+  system; requests that expire before service fail fast with
+  ``DeadlineExceeded`` at zero cost, and a batch that completes past a
+  member's deadline fails just that member (the result is dropped — the
+  client already gave up).
+* **Bounded retry with backoff** — a micro-batch whose execution raises
+  a *retryable* error (:func:`~repro.common.errors.is_retryable`) is
+  re-executed up to ``max_batch_retries`` times; each retry is placed on
+  the serving lanes after an exponential backoff
+  (``retry_backoff * 2**(attempt-1)``), so retries cost latency on the
+  modeled timeline exactly like real ones would.
+* **Graceful refresh degradation** — a failed background refresh never
+  takes serving down: the pinned version keeps serving, the failure is
+  recorded in :meth:`PredictServer.stats`, and retryable failures re-arm
+  the refresh with exponential backoff up to ``refresh_max_retries``
+  before giving up (after which the next drift event may try again).
 """
 
 from __future__ import annotations
@@ -55,7 +77,8 @@ from repro.ai.armnet import ARMNet
 from repro.ai.loader import ColumnFeatures
 from repro.ai.monitor import DriftEvent
 from repro.ai.tasks import InferenceTask
-from repro.common.errors import NeurDBError
+from repro.common.errors import NeurDBError, is_retryable
+from repro.common.faults import FaultPlan
 from repro.common.simtime import LaneSchedule
 from repro.db import NeurDB, PredictContext
 from repro.exec.executor import ResultSet
@@ -70,6 +93,7 @@ class PredictRequest:
     request_id: int
     statement: ast.Predict
     arrival: float
+    deadline: Optional[float] = None   # absolute virtual-time deadline
     result: Optional[ResultSet] = None
     error: Optional[str] = None
     batch_id: Optional[int] = None
@@ -79,6 +103,7 @@ class PredictRequest:
     completed_at: Optional[float] = None
     model_name: Optional[str] = None
     model_version: Optional[int] = None
+    retries: int = 0               # batch re-executions this request rode
 
     @property
     def latency(self) -> float:
@@ -94,8 +119,10 @@ class RefreshTask:
     State machine: ``queued`` (a drift event enqueued it) -> ``done``
     (the incremental fine-tune ran; the new version swaps in once serving
     time passes ``completed_at``) or ``failed`` (the fine-tune raised;
-    serving continues on the pinned version, and the next drift event may
-    retry).
+    serving continues on the pinned version).  A *retryable* failure
+    re-arms a successor task with exponential backoff (``attempt + 1``)
+    until the server's ``refresh_max_retries`` budget runs out, after
+    which the next drift event may try again.
     """
 
     task_id: int
@@ -104,6 +131,7 @@ class RefreshTask:
     target: str
     trigger: Optional[DriftEvent]
     enqueued_at: float
+    attempt: int = 0               # 0 = original, n = nth backoff retry
     status: str = "queued"
     started_at: Optional[float] = None
     completed_at: Optional[float] = None
@@ -182,6 +210,21 @@ class PredictServer:
             ``refresh_window`` knob, whose own default is the full table.
         serving_threshold / serving_window / serving_cooldown: drift
             parameters for the ``serving:<model>`` metric streams.
+        faults: a seeded :class:`~repro.common.faults.FaultPlan`;
+            ``serve_error`` specs fail batch executions (then retried),
+            ``refresh_fail`` specs fail background refreshes (then
+            re-armed).  Defaults to the database's plan.
+        max_batch_retries: how many times one micro-batch may be
+            re-executed after a retryable failure before its requests
+            fail for good.
+        retry_backoff: base of the exponential backoff (virtual seconds)
+            between batch attempts; attempt *n* waits
+            ``retry_backoff * 2**(n-1)`` after the failed completion.
+        default_deadline: relative deadline (virtual seconds from
+            arrival) applied to every request that does not pass its own
+            to :meth:`submit`; None (default) means no deadline.
+        refresh_max_retries / refresh_backoff: the same retry budget and
+            backoff base for failed background refreshes.
     """
 
     def __init__(self, db: NeurDB, lanes: int = 1,
@@ -192,7 +235,12 @@ class PredictServer:
                  refresh_batch_size: int = 256,
                  refresh_window: int | None = None,
                  serving_threshold: float = 0.5, serving_window: int = 4,
-                 serving_cooldown: int | None = None):
+                 serving_cooldown: int | None = None,
+                 faults: FaultPlan | None = None,
+                 max_batch_retries: int = 2, retry_backoff: float = 1e-3,
+                 default_deadline: float | None = None,
+                 refresh_max_retries: int = 3,
+                 refresh_backoff: float = 1e-2):
         if refresh not in ("auto", "manual"):
             raise ValueError(f"refresh must be auto or manual, "
                              f"got {refresh!r}")
@@ -203,6 +251,15 @@ class PredictServer:
             raise ValueError("max_batch_requests must be >= 1")
         if max_batch_rows < 1:
             raise ValueError("max_batch_rows must be >= 1")
+        if max_batch_retries < 0:
+            raise ValueError("max_batch_retries must be >= 0")
+        if refresh_max_retries < 0:
+            raise ValueError("refresh_max_retries must be >= 0")
+        if retry_backoff < 0 or refresh_backoff < 0:
+            raise ValueError("backoff bases must be >= 0")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError(f"default_deadline must be > 0 or None, "
+                             f"got {default_deadline}")
         self.db = db
         self.clock = db.clock
         self.cache = ModelCache(db.models, capacity=model_cache_size)
@@ -216,6 +273,17 @@ class PredictServer:
         self.refresh_learning_rate = refresh_learning_rate
         self.refresh_batch_size = refresh_batch_size
         self.refresh_window = refresh_window
+        # robustness knobs + counters (docs/faults.md)
+        self.faults = faults if faults is not None else getattr(
+            db, "faults", None)
+        self.max_batch_retries = max_batch_retries
+        self.retry_backoff = retry_backoff
+        self.default_deadline = default_deadline
+        self.refresh_max_retries = refresh_max_retries
+        self.refresh_backoff = refresh_backoff
+        self.deadline_misses = 0
+        self.batch_retries = 0
+        self.refresh_retries = 0
         self._serving_params = dict(threshold=serving_threshold,
                                     window=serving_window,
                                     cooldown=serving_cooldown)
@@ -237,10 +305,17 @@ class PredictServer:
     # -- admission -----------------------------------------------------------
 
     def submit(self, statement: "str | ast.Predict",
-               at: float | None = None) -> PredictRequest:
+               at: float | None = None,
+               deadline: float | None = None) -> PredictRequest:
         """Admit one PREDICT request at virtual arrival time ``at``
         (default: the latest arrival admitted so far).  Requests must be
-        submitted in arrival order and are served by :meth:`drain`."""
+        submitted in arrival order and are served by :meth:`drain`.
+
+        ``deadline`` bounds the request's time in the system, in virtual
+        seconds *relative to arrival* (default: the server's
+        ``default_deadline``); a request that cannot complete in time
+        fails with ``DeadlineExceeded`` instead of returning a late
+        result."""
         if isinstance(statement, str):
             statement = parse(statement)
         if not isinstance(statement, ast.Predict):
@@ -250,9 +325,16 @@ class PredictServer:
             at = self._last_arrival
         if at < self._last_arrival:
             raise NeurDBError("requests must be submitted in arrival order")
+        if deadline is None:
+            deadline = self.default_deadline
+        elif deadline <= 0:
+            raise NeurDBError(f"deadline must be > 0, got {deadline}")
         self._last_arrival = float(at)
         request = PredictRequest(request_id=self._next_request_id,
-                                 statement=statement, arrival=float(at))
+                                 statement=statement, arrival=float(at),
+                                 deadline=(float(at) + deadline
+                                           if deadline is not None
+                                           else None))
         self._next_request_id += 1
         self._pending.append(request)
         return request
@@ -291,24 +373,23 @@ class PredictServer:
         self._apply_swaps(form_time)
         self._event_time = form_time
 
+        if self._expired(head, form_time):
+            return [self._fail_unserved(head, form_time)]
         head_ctx = self._bind(head)
         if head_ctx is None:  # bind failure: complete as failed, zero cost
-            head.batch_id = self._next_batch_id
-            self._next_batch_id += 1
-            head.batched_with = 1
-            lane, start, completion = self.lanes.assign(form_time, 0.0)
-            head.lane, head.started_at, head.completed_at = (lane, start,
-                                                             completion)
-            self._contexts.pop(head.request_id, None)
-            self.completed.append(head)
-            return [head]
+            return [self._fail_unserved(head, form_time)]
 
         batch = [(head, head_ctx)]
+        expired: list[PredictRequest] = []
         skipped: list[PredictRequest] = []
         while self._pending and len(batch) < self.max_batch_requests:
             candidate = self._pending[0]
             if candidate.arrival > form_time:
                 break
+            if self._expired(candidate, form_time):
+                expired.append(self._fail_unserved(self._pending.popleft(),
+                                                   form_time))
+                continue
             ctx = self._bind(candidate)
             if ctx is None or ctx.model_name != head_ctx.model_name:
                 # different model (or unbindable): leave for a later batch
@@ -318,7 +399,32 @@ class PredictServer:
             self._pending.popleft()
         for request in reversed(skipped):
             self._pending.appendleft(request)
-        return self._execute_batch(batch, form_time)
+        return expired + self._execute_batch(batch, form_time)
+
+    def _expired(self, request: PredictRequest, now: float) -> bool:
+        """Has the request's deadline passed before service could even
+        start?  Records the miss (error + counter) when so."""
+        if request.deadline is None or now <= request.deadline:
+            return False
+        request.error = (f"DeadlineExceeded: deadline "
+                         f"{request.deadline:.6f} passed at {now:.6f} "
+                         f"before service")
+        self.deadline_misses += 1
+        return True
+
+    def _fail_unserved(self, request: PredictRequest,
+                       at: float) -> PredictRequest:
+        """Complete a request that never executed (bind failure, expired
+        deadline) at zero cost; its error is already recorded."""
+        request.batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        request.batched_with = 1
+        lane, start, completion = self.lanes.assign(at, 0.0)
+        request.lane, request.started_at, request.completed_at = (
+            lane, start, completion)
+        self._contexts.pop(request.request_id, None)
+        self.completed.append(request)
+        return request
 
     def _bind(self, request: PredictRequest) -> PredictContext | None:
         """Bind (and cache) a request's statement; None on bind errors,
@@ -346,66 +452,96 @@ class PredictServer:
         self._next_batch_id += 1
         head_ctx = batch[0][1]
         model_name = head_ctx.model_name
-        before = self.clock.now
+        faults = self.faults
 
-        failure: str | None = None
-        parts: list[dict] = []
-        model_version: int | None = None
-        try:
-            trained_now = self.db.ensure_predict_model(head_ctx)
-            self._model_binding[model_name] = (head_ctx.statement.table,
-                                               head_ctx.target)
-            # pin the serving version: set on first sight of the model,
-            # changed only by an atomic swap at a batch boundary
-            version = self._serving_version.setdefault(
-                model_name, self.db.models.versions(model_name)[-1])
-            model_version = version
+        # retry loop: each attempt re-executes the whole batch (training
+        # is idempotent-by-presence, materialization re-runs, charges
+        # accumulate) and occupies the serving lanes again after an
+        # exponential backoff, so recovery shows up in latency exactly
+        # like the modeled cost of the work itself
+        attempt = 0
+        ready = form_time
+        trained_ever = False
+        while True:
+            before = self.clock.now
+            failure: str | None = None
+            retryable = False
+            parts: list[dict] = []
+            model_version: int | None = None
+            try:
+                if faults is not None:
+                    faults.maybe_raise(
+                        "serve_error", f"serve:{batch_id}:{attempt}",
+                        index=batch_id, target=model_name, attempt=attempt)
+                trained_now = (self.db.ensure_predict_model(head_ctx)
+                               or trained_ever)
+                trained_ever = trained_now
+                self._model_binding[model_name] = (head_ctx.statement.table,
+                                                   head_ctx.target)
+                # pin the serving version: set on first sight of the model,
+                # changed only by an atomic swap at a batch boundary
+                version = self._serving_version.setdefault(
+                    model_name, self.db.models.versions(model_name)[-1])
+                model_version = version
 
-            total_rows = 0
-            for request, ctx in batch:
-                if total_rows >= self.max_batch_rows and parts:
-                    # row cap reached: push the not-yet-materialized tail
-                    # back to the queue front (nothing scanned twice)
-                    index = [r for r, _ in batch].index(request)
-                    for deferred, _ in reversed(batch[index:]):
-                        self._pending.appendleft(deferred)
-                    batch = batch[:index]
-                    break
-                features, targets, target_null = self.db.prediction_inputs(
-                    ctx, with_targets=True)
-                parts.append(dict(request=request, ctx=ctx,
-                                  features=features, targets=targets,
-                                  target_null=target_null,
-                                  trained_now=trained_now and
-                                  request is batch[0][0]))
-                total_rows += len(features)
+                total_rows = 0
+                for request, ctx in batch:
+                    if total_rows >= self.max_batch_rows and parts:
+                        # row cap reached: push the not-yet-materialized
+                        # tail back to the queue front (nothing scanned
+                        # twice; a truncated batch stays truncated across
+                        # retries, so nothing is deferred twice either)
+                        index = [r for r, _ in batch].index(request)
+                        for deferred, _ in reversed(batch[index:]):
+                            self._pending.appendleft(deferred)
+                        batch = batch[:index]
+                        break
+                    features, targets, target_null = \
+                        self.db.prediction_inputs(ctx, with_targets=True)
+                    parts.append(dict(request=request, ctx=ctx,
+                                      features=features, targets=targets,
+                                      target_null=target_null,
+                                      trained_now=trained_now and
+                                      request is batch[0][0]))
+                    total_rows += len(features)
 
-            occupied = [p for p in parts if p["features"]]
-            if occupied:
-                # load (or hit) the pinned snapshot only when there is
-                # something to infer — the facade path skips the model
-                # load for an empty prediction set, and parity holds us
-                # to the same charges
-                model = self.cache.get(model_name, version)
-                combined = ColumnFeatures.concat(
-                    [p["features"] for p in occupied])
-                inference = self.db.ai_engine.infer_with_model(
-                    InferenceTask(model_name=model_name), model, combined)
-                offset = 0
-                for part in occupied:
-                    n = len(part["features"])
-                    part["predictions"] = \
-                        inference.predictions[offset:offset + n]
-                    offset += n
-        except Exception as exc:
-            # a server isolates request failures: whatever escaped
-            # training, materialization, or inference fails this batch's
-            # requests (error recorded, charges kept) without stranding
-            # the rest of the queue
-            failure = f"{type(exc).__name__}: {exc}"
+                occupied = [p for p in parts if p["features"]]
+                if occupied:
+                    # load (or hit) the pinned snapshot only when there is
+                    # something to infer — the facade path skips the model
+                    # load for an empty prediction set, and parity holds
+                    # us to the same charges
+                    model = self.cache.get(model_name, version)
+                    combined = ColumnFeatures.concat(
+                        [p["features"] for p in occupied])
+                    inference = self.db.ai_engine.infer_with_model(
+                        InferenceTask(model_name=model_name), model,
+                        combined)
+                    offset = 0
+                    for part in occupied:
+                        n = len(part["features"])
+                        part["predictions"] = \
+                            inference.predictions[offset:offset + n]
+                        offset += n
+            except Exception as exc:
+                # a server isolates request failures: whatever escaped
+                # training, materialization, or inference fails this
+                # batch's requests (error recorded, charges kept) without
+                # stranding the rest of the queue
+                failure = f"{type(exc).__name__}: {exc}"
+                retryable = is_retryable(exc)
 
-        cost = self.clock.now - before
-        lane, start, completion = self.lanes.assign(form_time, cost)
+            cost = self.clock.now - before
+            lane, start, completion = self.lanes.assign(ready, cost)
+            if (failure and retryable
+                    and attempt < self.max_batch_retries):
+                self.batch_retries += 1
+                attempt += 1
+                ready = (completion
+                         + self.retry_backoff * (2 ** (attempt - 1)))
+                continue
+            break
+
         served: list[PredictRequest] = []
         if not failure:
             for part in parts:
@@ -425,8 +561,18 @@ class PredictServer:
             request.lane, request.started_at, request.completed_at = (
                 lane, start, completion)
             request.model_version = model_version
+            request.retries = attempt
             if failure:
                 request.error = failure
+            elif (request.deadline is not None
+                    and completion > request.deadline):
+                # finished, but too late: the client already gave up, so
+                # the result is dropped and the request fails
+                request.result = None
+                request.error = (f"DeadlineExceeded: completed at "
+                                 f"{completion:.6f} past deadline "
+                                 f"{request.deadline:.6f}")
+                self.deadline_misses += 1
             self._contexts.pop(request.request_id, None)
             self.completed.append(request)
             served.append(request)
@@ -525,9 +671,17 @@ class PredictServer:
         while self._refresh_queue:
             task = self._refresh_queue.popleft()
             before = self.clock.now
+            retryable = False
             try:
                 task.version_before = \
                     self.db.models.versions(task.model_name)[-1]
+                if self.faults is not None:
+                    self.faults.maybe_raise(
+                        "refresh_fail",
+                        f"refresh:{task.model_name}:{task.task_id}"
+                        f":{task.attempt}",
+                        index=task.task_id, target=task.model_name,
+                        attempt=task.attempt)
                 self.db.fine_tune_model(
                     task.table, task.target,
                     tune_last_layers=self.refresh_tune_last_layers,
@@ -541,14 +695,31 @@ class PredictServer:
             except Exception as exc:
                 # adaptation is best-effort: a failed refresh must not
                 # take serving down — the pinned version keeps serving
-                # and a later drift event may retry
+                # while the failure is recorded (stats()["refresh_failed"])
+                # and retryable failures re-arm below
                 task.status = "failed"
                 task.error = f"{type(exc).__name__}: {exc}"
+                retryable = is_retryable(exc)
             cost = self.clock.now - before
             _, start, completion = self.refresh_lane.assign(
                 task.enqueued_at, cost)
             task.started_at, task.completed_at = start, completion
             self.refreshes.append(task)
+            if (task.status == "failed" and retryable
+                    and task.attempt < self.refresh_max_retries):
+                # re-arm with exponential backoff on the refresh lane;
+                # the retry is a fresh queued task, so the one-in-flight
+                # dedupe in _on_drift keeps holding while it waits
+                self.refresh_retries += 1
+                retry = RefreshTask(
+                    task_id=self._next_refresh_id,
+                    model_name=task.model_name, table=task.table,
+                    target=task.target, trigger=task.trigger,
+                    enqueued_at=(completion + self.refresh_backoff
+                                 * (2 ** task.attempt)),
+                    attempt=task.attempt + 1)
+                self._next_refresh_id += 1
+                self._refresh_queue.append(retry)
 
     def _apply_swaps(self, now: float) -> None:
         """Atomically swap in refreshed versions whose background
@@ -587,6 +758,15 @@ class PredictServer:
             "refreshes": len(self.refreshes),
             "refreshes_swapped": sum(1 for t in self.refreshes
                                      if t.swapped),
+            # robustness counters: nothing fails silently (docs/faults.md)
+            "deadline_misses": self.deadline_misses,
+            "batch_retries": self.batch_retries,
+            "refresh_failed": sum(1 for t in self.refreshes
+                                  if t.status == "failed"),
+            "refresh_retries": self.refresh_retries,
+            "trigger_errors": len(self.db.monitor.trigger_errors),
+            "faults_injected": (self.faults.counts()
+                                if self.faults is not None else {}),
         }
         if len(latencies):
             out["latency"] = {

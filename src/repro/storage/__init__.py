@@ -6,6 +6,7 @@ from repro.storage.catalog import Catalog, IndexEntry
 from repro.storage.heap import HeapTable
 from repro.storage.index import BPlusTreeIndex, HashIndex
 from repro.storage.page import PAGE_CAPACITY_BYTES, HeapPage, RecordId
+from repro.storage.replica import BACKUP, PRIMARY, ReplicatedTable
 from repro.storage.schema import Column, TableSchema
 from repro.storage.stats import (
     ColumnStats,
@@ -16,9 +17,12 @@ from repro.storage.stats import (
 from repro.storage.types import DataType, coerce_value, is_numeric, value_size_bytes
 
 __all__ = [
+    "BACKUP",
     "BPlusTreeIndex",
     "BufferPool",
     "Catalog",
+    "PRIMARY",
+    "ReplicatedTable",
     "Column",
     "ColumnStats",
     "DataType",

@@ -12,10 +12,12 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.common.errors import CatalogError
+from repro.common.faults import FaultPlan
 from repro.common.simtime import SimClock
 from repro.storage.buffer import BufferPool
 from repro.storage.heap import HeapTable
 from repro.storage.index import BPlusTreeIndex, HashIndex
+from repro.storage.replica import BACKUP_SUFFIX, ReplicatedTable
 from repro.storage.schema import TableSchema
 from repro.storage.stats import TableStats, compute_table_stats
 
@@ -33,11 +35,17 @@ class Catalog:
     """Registry of all persistent objects in one database instance."""
 
     def __init__(self, buffer_pool: BufferPool | None = None,
-                 clock: SimClock | None = None):
+                 clock: SimClock | None = None, replication: bool = False,
+                 faults: FaultPlan | None = None):
         self.clock = clock if clock is not None else SimClock()
         self.buffer_pool = (buffer_pool if buffer_pool is not None
                             else BufferPool(clock=self.clock))
-        self._tables: dict[str, HeapTable] = {}
+        # replication=True backs every created table with a
+        # primary/backup ReplicatedTable (repro.storage.replica); the
+        # fault plan drives its deterministic replica_down outages
+        self.replication = replication
+        self.faults = faults
+        self._tables: dict[str, HeapTable | ReplicatedTable] = {}
         self._indexes: dict[str, IndexEntry] = {}
         self._stats: dict[str, TableStats] = {}
         self._stats_version = 0
@@ -46,11 +54,19 @@ class Catalog:
 
     # -- tables --------------------------------------------------------------
 
-    def create_table(self, schema: TableSchema) -> HeapTable:
+    def create_table(self, schema: TableSchema,
+                     replicated: bool | None = None
+                     ) -> "HeapTable | ReplicatedTable":
         name = schema.table_name
         if name in self._tables:
             raise CatalogError(f"table {name!r} already exists")
-        table = HeapTable(schema, buffer_pool=self.buffer_pool, clock=self.clock)
+        if replicated if replicated is not None else self.replication:
+            table: HeapTable | ReplicatedTable = ReplicatedTable(
+                schema, buffer_pool=self.buffer_pool, clock=self.clock,
+                faults=self.faults)
+        else:
+            table = HeapTable(schema, buffer_pool=self.buffer_pool,
+                              clock=self.clock)
         self._tables[name] = table
         return table
 
@@ -63,6 +79,7 @@ class Catalog:
         del self._tables[name]
         self._stats.pop(name, None)
         self.buffer_pool.evict_table(name)
+        self.buffer_pool.evict_table(name + BACKUP_SUFFIX)
         for index_name in [n for n, e in self._indexes.items()
                            if e.table == name]:
             del self._indexes[index_name]
