@@ -1,6 +1,6 @@
 """Execution-engine throughput gates, written to ``BENCH_exec.json``.
 
-Two workload families keep a wall-clock trajectory (host rows/sec, not
+Three workload families keep a wall-clock trajectory (host rows/sec, not
 virtual time) for future PRs to compare against:
 
 * ``scan_filter_aggregate`` — the PR 1 vectorization gate: the batch
@@ -14,6 +14,13 @@ virtual time) for future PRs to compare against:
   block level — the stream breakers, sinks, and the AI feed consume —
   so the gate isolates the execution pipeline rather than Python
   row-tuple conversion.
+* ``fused_aggregate`` — the PR 7 typed-storage gate: with columns typed
+  at rest (typed scan blocks sliced from the merged page views,
+  dictionary-coded group keys, the selection mask deferred all the way
+  into the aggregate sink), fused scan→filter→aggregate must clear
+  >= 2.5x the unfused pull — up from the ~1.57x the object-array layout
+  capped it at.  Same parity bar as ``fused_pipeline``: identical rows
+  and identical charged virtual time.
 
 CI smoke mode (``BENCH_SMOKE=1``): tiny scales, relaxed floors, JSON to
 a scratch path so the committed trajectory isn't clobbered (see
@@ -48,6 +55,11 @@ AGG_QUERY = ("SELECT grp, count(*), sum(v), avg(w) FROM t "
 FUSED_SCALES = [6_000] if SMOKE else [20_000, 50_000, 100_000]
 FUSED_FLOOR = 1.1 if SMOKE else 1.5
 FUSED_QUERY = "SELECT id, v FROM wide WHERE v > 0.25 AND w2 < 0.9"
+
+FUSED_AGG_SCALES = [6_000] if SMOKE else [20_000, 50_000, 100_000]
+FUSED_AGG_FLOOR = 1.2 if SMOKE else 2.5
+FUSED_AGG_QUERY = ("SELECT grp, count(*), sum(v) FROM wide "
+                   "WHERE v > 0.25 AND w2 < 0.9 GROUP BY grp")
 
 
 def _update_report(family: str, payload: dict) -> None:
@@ -206,3 +218,56 @@ def test_fused_pipeline_throughput():
     assert speedup >= FUSED_FLOOR, (
         f"fused pipeline only {speedup:.2f}x over the unfused batch path "
         f"(acceptance floor is {FUSED_FLOOR}x)")
+
+
+# -- fused scan -> filter -> aggregate (typed storage gate) -------------------
+
+
+def test_fused_aggregate_throughput():
+    """Typed columns end to end: the aggregate sink consumes deferred
+    (block, mask) carriers over dictionary-coded group keys, so the fused
+    path never materializes a filtered block the unfused pull must copy."""
+    scales = []
+    speedup = 0.0
+    for rows in FUSED_AGG_SCALES:
+        db = _build_wide_db(rows)
+        plan = db.planner.plan_select(parse(FUSED_AGG_QUERY))
+
+        # parity first: identical rows and charged virtual time
+        unfused_exec = Executor(db.catalog, db.clock, engine="batch",
+                                fused=False)
+        fused_exec = Executor(db.catalog, db.clock, engine="batch")
+        before = db.clock.now
+        expected = unfused_exec.run(plan)
+        unfused_charged = db.clock.now - before
+        before = db.clock.now
+        got = fused_exec.run(plan)
+        fused_charged = db.clock.now - before
+        assert got.rows == expected.rows
+        assert abs(fused_charged - unfused_charged) <= 1e-9 * unfused_charged
+
+        unfused_s = _block_seconds(db, plan, fused=False)
+        fused_s = _block_seconds(db, plan, fused=True)
+        speedup = unfused_s / fused_s
+        scales.append({
+            "rows": rows,
+            "unfused": {"seconds": round(unfused_s, 4),
+                        "rows_per_sec": round(rows / unfused_s)},
+            "fused": {"seconds": round(fused_s, 4),
+                      "rows_per_sec": round(rows / fused_s)},
+            "speedup": round(speedup, 2),
+        })
+        print(f"\nfused aggregate over {rows} rows:")
+        print(f"  unfused: {unfused_s:.4f}s ({rows / unfused_s:,.0f} rows/s)")
+        print(f"  fused:   {fused_s:.4f}s ({rows / fused_s:,.0f} rows/s)")
+        print(f"  speedup: {speedup:.2f}x")
+
+    _update_report("fused_aggregate", {
+        "workload": FUSED_AGG_QUERY,
+        "measure": "engine block stream (what sinks and the AI feed pull)",
+        "scales": scales,
+        "floor": FUSED_AGG_FLOOR,
+    })
+    assert speedup >= FUSED_AGG_FLOOR, (
+        f"fused aggregate only {speedup:.2f}x over the unfused batch path "
+        f"(acceptance floor is {FUSED_AGG_FLOOR}x)")

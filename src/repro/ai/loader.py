@@ -383,8 +383,13 @@ def table_column_stream(table, feature_columns: list[str],
             block = block.select(block_predicate(block))
         if not block:
             return None
-        return (block.column(target_idx).astype(np.float64),
-                [block.column(idx) for idx in feature_idx])
+        # typed scan blocks hand the target straight out of the float64
+        # page layout (bit-identical to the object astype, no boxing);
+        # the object fallback covers precision-declined columns
+        target = block.numeric(target_idx)
+        if target is None:
+            target = block.column(target_idx).astype(np.float64)
+        return (target, [block.column(idx) for idx in feature_idx])
 
     results = [part for part in
                map_scan_blocks(table, materialize, clock=clock,

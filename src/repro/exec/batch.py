@@ -1,12 +1,15 @@
 """Column batches for vectorized execution.
 
 A :class:`RowBlock` is the unit of data flow in the batch engine: a fixed
-:class:`~repro.exec.expr.RowLayout` plus one column array per slot.  Columns
-are numpy ``object`` arrays holding the *original* Python values, so a block
-round-trips to row tuples bit-identically; numeric views (``float64`` plus a
-null mask) are derived lazily and cached for vectorized expression
-evaluation.  Selection (filtering) and slicing fancy-index the object arrays
-in C instead of looping per row in the interpreter.
+:class:`~repro.exec.expr.RowLayout` plus one column per slot.  A column is
+either a :class:`~repro.storage.types.TypedColumn` (the typed at-rest
+representation scans produce: int64/float64/bool arrays with validity
+bitmaps, dictionary-encoded strings) or a numpy ``object`` array holding
+the *original* Python values (computed columns, row-engine adaptors).
+Both round-trip to row tuples bit-identically; numeric views (``float64``
+plus a null mask) come straight from the typed layout where one exists and
+are derived lazily otherwise.  Selection (filtering) and slicing
+fancy-index the arrays in C instead of looping per row in the interpreter.
 
 The batch size is a throughput/latency trade-off: big enough to amortize
 per-batch dispatch (numpy call overhead, one clock charge per batch), small
@@ -37,6 +40,8 @@ from __future__ import annotations
 from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
+
+from repro.storage.types import TypedColumn
 
 DEFAULT_BATCH_SIZE = 1024
 
@@ -100,7 +105,8 @@ class RowBlock:
     def from_columns(cls, layout,
                      columns: Sequence[Sequence[Any]]) -> "RowBlock":
         length = len(columns[0]) if columns else 0
-        cols = [c if isinstance(c, np.ndarray) and c.dtype == object
+        cols = [c if isinstance(c, TypedColumn)
+                or (isinstance(c, np.ndarray) and c.dtype == object)
                 else _object_array(list(c)) for c in columns]
         return cls(layout, cols, length)
 
@@ -119,14 +125,38 @@ class RowBlock:
         if not self.columns:
             # zero-width layout still carries a row count (e.g. SELECT 1)
             return iter(() for _ in range(self._length))
-        return zip(*self.columns)
+        return zip(*(self.column(i) for i in range(len(self.columns))))
 
     def to_rows(self) -> list[tuple]:
         return list(self.iter_rows())
 
     def column(self, idx: int) -> np.ndarray:
-        """The raw object column at slot ``idx``."""
-        return self.columns[idx]
+        """The object-array view of the column at slot ``idx`` — exact
+        Python values, ``None`` at NULLs (typed columns materialize their
+        cached object view)."""
+        col = self.columns[idx]
+        if isinstance(col, TypedColumn):
+            return col.objects()
+        return col
+
+    def dict_column(self, idx: int) -> TypedColumn | None:
+        """The column at ``idx`` as a dictionary-encoded TypedColumn, or
+        None — predicate fast paths compare int32 codes instead of
+        strings when this is available."""
+        col = self.columns[idx]
+        if isinstance(col, TypedColumn) and col.kind == "dict":
+            return col
+        return None
+
+    def values_list(self, idx: int, mask: np.ndarray | None = None) -> list:
+        """Python values of the column (optionally masked) as a list,
+        via the typed fast path where one exists."""
+        col = self.columns[idx]
+        if isinstance(col, TypedColumn):
+            return col.values_list(mask)
+        if mask is not None:
+            col = col[mask]
+        return col.tolist()
 
     # -- vectorization support ---------------------------------------------
 
@@ -134,12 +164,16 @@ class RowBlock:
         """Boolean mask, True where the column value is NULL."""
         mask = self._null.get(idx)
         if mask is None:
+            col = self.columns[idx]
+            if isinstance(col, TypedColumn):
+                mask = col.null_mask()
+                self._null[idx] = mask
+                return mask
             # numeric() derives the mask for free on its fast path
             if idx not in self._numeric:
                 self.numeric(idx)
                 mask = self._null.get(idx)
             if mask is None:
-                col = self.columns[idx]
                 mask = np.fromiter((v is None for v in col), dtype=bool,
                                    count=self._length)
                 self._null[idx] = mask
@@ -151,6 +185,22 @@ class RowBlock:
         if idx in self._numeric:
             return self._numeric[idx]
         col = self.columns[idx]
+        if isinstance(col, TypedColumn):
+            pair = col.float64()
+            if pair is not None:
+                values, null = pair
+                self._null[idx] = null
+                self._numeric[idx] = values
+                return values
+            if col.kind != "obj":
+                # dict strings / precision-declined int64: definitively
+                # non-numeric, no object-path retry needed
+                self._null[idx] = col.null_mask()
+                self._numeric[idx] = None
+                return None
+            # object fallback (NaN floats, out-of-range ints): derive from
+            # the raw values exactly as an untyped column would
+            col = col.objects()
         kind = self.kinds[idx]
         values: np.ndarray | None
         if kind == TEXT:

@@ -532,8 +532,13 @@ def compile_expr_vector(expr: ast.Expr,
         if operand is None or any(item is None for item in items):
             return None
         negated = expr.negated
+        dict_probe = _dict_in_probe(expr, layout)
 
         def eval_in(block):
+            if dict_probe is not None:
+                fast = dict_probe(block)
+                if fast is not None:
+                    return fast
             v, null = operand(block)
             found = np.zeros(len(v), dtype=bool)
             for item in items:
@@ -587,8 +592,14 @@ def _compile_binary_vector(expr: ast.BinaryOp,
     if op in _NP_CMP:
         cmp = _NP_CMP[op]
         ordered = op in _ORDERED_CMP
+        dict_probe = (_dict_cmp_probe(expr, layout)
+                      if op in ("=", "<>") else None)
 
         def eval_cmp(block):
+            if dict_probe is not None:
+                fast = dict_probe(block)
+                if fast is not None:
+                    return fast
             av, an = left(block)
             bv, bn = right(block)
             null = an | bn
@@ -745,6 +756,81 @@ def _compile_func_vector(expr: ast.FuncCall,
     return None  # unknown function: the row compiler raises BindError
 
 
+# -- dictionary-code fast paths ----------------------------------------------
+#
+# Typed storage v2 delivers TEXT columns dictionary-encoded (int32 codes
+# over first-seen string dictionaries, NULL rows at code -1).  String
+# predicates of the shapes below then run one C comparison / lookup over
+# the code array instead of touching Python string objects at all.  Each
+# probe decides at *runtime* per block: non-dict blocks (computed columns,
+# dictionary-overflow fallbacks, row-engine adaptors) return None and the
+# generic object-array evaluator takes over, so semantics never depend on
+# which layout a block happens to arrive in.
+
+
+def _dict_cmp_probe(expr: ast.BinaryOp, layout: RowLayout):
+    """``col = 'lit'`` / ``col <> 'lit'`` (literal on either side) as a
+    code comparison, or None when the shape doesn't apply."""
+    if (isinstance(expr.left, ast.ColumnRef)
+            and isinstance(expr.right, ast.Literal)):
+        colref, lit = expr.left, expr.right.value
+    elif (isinstance(expr.right, ast.ColumnRef)
+            and isinstance(expr.left, ast.Literal)):
+        colref, lit = expr.right, expr.left.value
+    else:
+        return None
+    if not isinstance(lit, str):
+        return None
+    idx = layout.resolve(colref.name, colref.table)
+    negate = expr.op == "<>"
+
+    def probe(block):
+        tc = block.dict_column(idx)
+        if tc is None:
+            return None
+        code = tc.code_of(lit)
+        if code is None:
+            out = np.zeros(len(tc.data), dtype=bool)
+        else:
+            out = tc.data == code
+        if negate:
+            out = ~out  # garbage at NULL rows (code -1) hidden by the mask
+        return out, block.null_mask(idx)
+    return probe
+
+
+def _dict_in_probe(expr: ast.InList, layout: RowLayout):
+    """``col IN ('a', 'b', ...)`` as one boolean LUT over the code array,
+    or None when the operand isn't a bare column / items aren't string
+    literals."""
+    if not isinstance(expr.operand, ast.ColumnRef):
+        return None
+    values: list[str] = []
+    for item in expr.items:
+        if not (isinstance(item, ast.Literal)
+                and isinstance(item.value, str)):
+            return None
+        values.append(item.value)
+    idx = layout.resolve(expr.operand.name, expr.operand.table)
+    negated = expr.negated
+
+    def probe(block):
+        tc = block.dict_column(idx)
+        if tc is None:
+            return None
+        # one slot per dictionary entry plus a trailing False that NULL
+        # rows (code -1) index via numpy's negative indexing
+        lut = np.zeros(len(tc.dictionary) + 1, dtype=bool)
+        for v in values:
+            code = tc.code_of(v)
+            if code is not None:
+                lut[code] = True
+        found = lut[tc.data]
+        out = ~found if negated else found
+        return out, block.null_mask(idx)
+    return probe
+
+
 def _compile_raw_vector(expr: ast.Expr,
                         layout: RowLayout) -> VectorEvaluator | None:
     """Compile an expression for LIKE operands: the *raw* Python values,
@@ -813,8 +899,21 @@ def _compile_like_vector(expr: ast.BinaryOp,
                 return np.zeros(n, dtype=bool), np.ones(n, dtype=bool)
             return eval_like_null
         match = _like_matcher(str(pattern))
+        dict_idx = (layout.resolve(expr.left.name, expr.left.table)
+                    if isinstance(expr.left, ast.ColumnRef) else None)
 
         def eval_like(block):
+            if dict_idx is not None:
+                tc = block.dict_column(dict_idx)
+                if tc is not None:
+                    # match each distinct dictionary string once, then
+                    # fan the verdicts out over the code array; the
+                    # trailing False serves NULL rows (code -1)
+                    lut = np.empty(len(tc.dictionary) + 1, dtype=bool)
+                    lut[-1] = False
+                    for i, s in enumerate(tc.dictionary):
+                        lut[i] = match(s)
+                    return lut[tc.data], block.null_mask(dict_idx)
             values, null = left(block)
             out = np.fromiter(
                 (v is not None and match(str(v)) for v in values),

@@ -79,6 +79,7 @@ from repro.exec.expr import (
 from repro.plan import logical as plan
 from repro.sql import ast
 from repro.storage.catalog import Catalog
+from repro.storage.types import TypedColumn
 
 # A value source for the batch path: either a direct column slot or a
 # compiled row evaluator applied inside the block.
@@ -97,7 +98,7 @@ def _value_source(expr: ast.Expr, layout: RowLayout):
 def _source_values(source, block: RowBlock) -> list:
     kind, payload = source
     if kind == _SLOT:
-        return block.column(payload).tolist()
+        return block.values_list(payload)
     return [payload(row) for row in block.iter_rows()]
 
 
@@ -366,7 +367,9 @@ class ProjectOp(Operator):
         rows: list[tuple] | None = None
         for kind, payload in self._sources:
             if kind == _SLOT:
-                col = block.column(payload)
+                # raw column (typed or object) so typed-ness survives
+                # straight-through projections
+                col = block.columns[payload]
                 columns.append(col if mask is None else col[mask])
             else:
                 if rows is None:
@@ -430,8 +433,10 @@ class NestedLoopJoinOp(Operator):
                 n = len(chunk)
                 pairs = n * m
                 self._clock.advance_batch(CostModel.TUPLE_CPU, pairs, "join")
-                columns = [np.repeat(c, m) for c in chunk.columns]
-                columns += [np.tile(c, n) for c in right.columns]
+                columns = [np.repeat(chunk.column(i), m)
+                           for i in range(len(chunk.columns))]
+                columns += [np.tile(right.column(i), n)
+                            for i in range(len(right.columns))]
                 block = RowBlock(self.layout, columns, pairs)
                 if condition is not None:
                     self._clock.advance_batch(CostModel.EVAL_PREDICATE,
@@ -693,6 +698,12 @@ class AggregateOp(Operator):
             None if (not call.args or isinstance(call.args[0], ast.Star))
             else _value_source(call.args[0], child.layout)
             for call in self._agg_calls]
+        # deferred-mask absorption is safe only when every group key and
+        # aggregate argument is a plain column passthrough: row evaluators
+        # must never see rows the mask already rejected
+        self._slot_only = (
+            all(s[0] == _SLOT for s in self._group_sources)
+            and all(s is None or s[0] == _SLOT for s in self._agg_sources))
 
     def _collect_aggs(self, expr: ast.Expr) -> None:
         if isinstance(expr, ast.FuncCall) and expr.name in ast.AGGREGATE_FUNCTIONS:
@@ -741,14 +752,32 @@ class AggregateOp(Operator):
         charging ``clock``.  Strategy per block: whole-block accumulators
         for global aggregates, mask partitioning for narrow single-column
         GROUP BY, per-row partitioning otherwise."""
+        self.absorb_carrier(block, None, len(block), state, clock)
+
+    def absorb_carrier(self, block: RowBlock, mask: np.ndarray | None,
+                       count: int, state: tuple[dict, list],
+                       clock: SimClock) -> None:
+        """Deferred-mask sink hook: fold the ``count`` surviving rows of
+        ``(block, mask)`` into the accumulation state without
+        materializing the selection.  When every key/argument is a column
+        passthrough the mask rides along into the partitioners (group
+        masks are AND-ed with it, value takes fancy-index through it);
+        otherwise the block is selected once so row evaluators only ever
+        see surviving rows — exactly what :meth:`absorb_block` on a
+        pre-selected block would have done."""
         groups, group_order = state
-        clock.advance_batch(CostModel.HASH_BUILD_ROW, len(block), "agg")
+        clock.advance_batch(CostModel.HASH_BUILD_ROW, count, "agg")
+        if mask is not None and not self._slot_only:
+            block = block.select(mask)
+            mask = None
         if not self._node.group_by:
-            self._accumulate_all(block, groups, group_order)
+            self._accumulate_all(block, groups, group_order, mask, count)
         elif (len(self._group_sources) == 1
                 and self._group_sources[0][0] == _SLOT):
-            self._accumulate_by_column(block, groups, group_order)
+            self._accumulate_by_column(block, groups, group_order, mask)
         else:
+            if mask is not None:
+                block = block.select(mask)
             self._accumulate_by_rows(block, groups, group_order)
 
     def finish_state(self, state: tuple[dict, list]) -> RowBlock | None:
@@ -769,7 +798,9 @@ class AggregateOp(Operator):
                 continue
             kind, payload = source
             if kind == _SLOT:
-                arrays.append((block.column(payload),
+                # raw column: TypedColumn keeps its C-speed tolist/take
+                # paths; both kinds support [mask], [i], and .tolist()
+                arrays.append((block.columns[payload],
                                not block.null_mask(payload).any()))
             else:
                 values = np.empty(len(block), dtype=object)
@@ -777,28 +808,104 @@ class AggregateOp(Operator):
                 arrays.append((values, False))
         return arrays
 
-    def _accumulate_all(self, block, groups, group_order) -> None:
-        """No GROUP BY: the whole block feeds one accumulator set."""
+    def _accumulate_all(self, block, groups, group_order,
+                        mask=None, count=None) -> None:
+        """No GROUP BY: the whole block (or its masked selection) feeds
+        one accumulator set."""
+        if count is None:
+            count = len(block)
         if () not in groups:
-            representative = tuple(c[0] for c in block.columns)
+            first = 0 if mask is None else int(mask.argmax())
+            representative = tuple(c[first] for c in block.columns)
             groups[()] = (self._new_accs(), representative)
             group_order.append(())
         for acc, entry in zip(groups[()][0], self._call_arrays(block)):
             if entry is None:
-                acc.add_count(len(block))
+                acc.add_count(count)
             else:
                 values, clean = entry
+                if mask is not None:
+                    values = values[mask]
                 acc.add_values(values.tolist(), clean)
 
     # mask partitioning costs one full-column comparison per distinct key;
     # past this many keys per block the per-row dict loop is cheaper
     _MASK_PARTITION_MAX_KEYS = 32
 
-    def _accumulate_by_column(self, block, groups, group_order) -> None:
+    def _accumulate_by_column(self, block, groups, group_order,
+                              mask=None) -> None:
         """Single-column GROUP BY: partition with boolean masks — one C
-        comparison per distinct key instead of a per-row dict loop."""
-        col = block.column(self._group_sources[0][1])
-        distinct = dict.fromkeys(col.tolist())
+        comparison per distinct key instead of a per-row dict loop.
+
+        Typed group columns partition without touching Python values:
+        dictionary strings compare int32 codes (NULL rows carry code -1,
+        so the NULL group falls out of the same comparison), and clean
+        int64/float64/bool columns compare their data arrays directly.
+        A deferred selection ``mask`` is AND-ed into each group's mask —
+        rejected rows are never materialized."""
+        slot = self._group_sources[0][1]
+        raw = block.columns[slot]
+        typed = raw if isinstance(raw, TypedColumn) else None
+
+        if typed is not None and typed.kind == "dict":
+            codes = typed.data
+            sel = codes if mask is None else codes[mask]
+            # one O(n) bincount pass finds the distinct codes AND each
+            # group's row count; +1 shifts the NULL code -1 into range
+            counts = np.bincount(sel + 1,
+                                 minlength=len(typed.dictionary) + 1)
+            distinct_codes = (np.nonzero(counts)[0] - 1).tolist()
+            if len(distinct_codes) > self._MASK_PARTITION_MAX_KEYS:
+                self._fallback_by_rows(block, mask, groups, group_order)
+                return
+            if len(distinct_codes) > 1:
+                # bincount yields codes in sorted order; unseen keys must
+                # enter group_order in first-occurrence order to match the
+                # row path, so order the fresh ones by first hit (known
+                # groups accumulate independently — their order is free)
+                fresh = [c for c in distinct_codes
+                         if (None if c < 0 else typed.dictionary[c])
+                         not in groups]
+                if len(fresh) > 1:
+                    firsts = {c: int(np.argmax(sel == c)) for c in fresh}
+                    distinct_codes.sort(key=lambda c: firsts.get(c, -1))
+            call_arrays = self._call_arrays(block)
+            for code in distinct_codes:
+                key = None if code < 0 else typed.dictionary[code]
+                gmask = codes == code
+                if mask is not None:
+                    gmask &= mask
+                self._absorb_group(block, key, gmask, groups, group_order,
+                                   call_arrays,
+                                   rows_in_group=int(counts[code + 1]))
+            return
+
+        if typed is not None and typed.kind in ("i8", "f8", "bool"):
+            # f8 typed columns are NaN-free by construction (NaN floats
+            # fall back to the object layout), so no NaN-key guard needed
+            keys = typed.values_list(mask)
+            distinct = dict.fromkeys(keys)
+            if len(distinct) > self._MASK_PARTITION_MAX_KEYS:
+                self._fallback_by_rows(block, mask, groups, group_order)
+                return
+            call_arrays = self._call_arrays(block)
+            for key in distinct:
+                if key is None:
+                    gmask = typed.null_mask()
+                    gmask = gmask if mask is None else (gmask & mask)
+                else:
+                    gmask = typed.data == key
+                    if typed.valid is not None:
+                        gmask &= typed.valid
+                    if mask is not None:
+                        gmask &= mask
+                self._absorb_group(block, key, gmask, groups, group_order,
+                                   call_arrays)
+            return
+
+        col = block.column(slot)
+        sel_col = col if mask is None else col[mask]
+        distinct = dict.fromkeys(sel_col.tolist())
         if (len(distinct) > self._MASK_PARTITION_MAX_KEYS
                 or any(_is_nan(k) for k in distinct)):
             # high cardinality would go quadratic; NaN keys defeat equality
@@ -806,26 +913,42 @@ class AggregateOp(Operator):
             # shares the row engine's identity semantics for NaN.  Same
             # guard as _sort_key: isinstance-checked NaN, so an exotic
             # __ne__ can never be mistaken for (or hide) a NaN key
-            self._accumulate_by_rows(block, groups, group_order)
+            self._fallback_by_rows(block, mask, groups, group_order)
             return
         call_arrays = self._call_arrays(block)
         for key in distinct:
             if key is None:
-                mask = block.null_mask(self._group_sources[0][1])
+                gmask = block.null_mask(slot)
+                gmask = gmask if mask is None else (gmask & mask)
             else:
-                mask = np.asarray(col == key, dtype=bool)
-            if key not in groups:
-                first = int(mask.argmax())
-                representative = tuple(c[first] for c in block.columns)
-                groups[key] = (self._new_accs(), representative)
-                group_order.append(key)
-            rows_in_group = int(np.count_nonzero(mask))
-            for acc, entry in zip(groups[key][0], call_arrays):
-                if entry is None:
-                    acc.add_count(rows_in_group)
-                else:
-                    values, clean = entry
-                    acc.add_values(values[mask].tolist(), clean)
+                gmask = np.asarray(col == key, dtype=bool)
+                if mask is not None:
+                    gmask &= mask
+            self._absorb_group(block, key, gmask, groups, group_order,
+                               call_arrays)
+
+    def _fallback_by_rows(self, block, mask, groups, group_order) -> None:
+        if mask is not None:
+            block = block.select(mask)
+        self._accumulate_by_rows(block, groups, group_order)
+
+    def _absorb_group(self, block, key, gmask, groups, group_order,
+                      call_arrays, rows_in_group: int | None = None) -> None:
+        """Fold one group's masked rows into its accumulators (shared tail
+        of every mask-partition strategy)."""
+        if key not in groups:
+            first = int(gmask.argmax())
+            representative = tuple(c[first] for c in block.columns)
+            groups[key] = (self._new_accs(), representative)
+            group_order.append(key)
+        if rows_in_group is None:
+            rows_in_group = int(np.count_nonzero(gmask))
+        for acc, entry in zip(groups[key][0], call_arrays):
+            if entry is None:
+                acc.add_count(rows_in_group)
+            else:
+                values, clean = entry
+                acc.add_values(values[gmask].tolist(), clean)
 
     def _accumulate_by_rows(self, block, groups, group_order) -> None:
         """General GROUP BY (multi-column or computed keys): per-row

@@ -235,6 +235,14 @@ class PipelineSink:
     def absorb(self, block: RowBlock, clock: SimClock) -> None:
         raise NotImplementedError
 
+    def absorb_carrier(self, carrier: BlockCarrier, clock: SimClock) -> None:
+        """Absorb one carrier.  The default materializes (applying any
+        deferred mask) and delegates to :meth:`absorb`; sinks that can
+        consume ``(block, mask)`` directly override this so the selection
+        copy never happens (the aggregate sink — the tentpole win of the
+        deferred-mask-across-breakers design)."""
+        self.absorb(carrier.materialize(), clock)
+
     def finish(self, clock: SimClock) -> None:
         """Called once, after the last absorb (or immediately for an
         empty input)."""
@@ -254,6 +262,14 @@ class AggregateSink(PipelineSink):
 
     def absorb(self, block, clock):
         self.op.absorb_block(block, self._state, clock)
+
+    def absorb_carrier(self, carrier, clock):
+        """Consume the carrier's deferred selection directly: group and
+        value extraction AND the mask into their own partition masks, so
+        a filtered scan feeding an aggregate never materializes a
+        selected block at all."""
+        self.op.absorb_carrier(carrier.block, carrier.mask, carrier.count,
+                               self._state, clock)
 
     def finish(self, clock):
         out = self.op.finish_state(self._state)
@@ -318,15 +334,17 @@ class PipelineSource:
 
 
 # The fused drive loop touches each block a fixed number of times however
-# large it is, so it runs scans at morsel granularity (4 default batches)
+# large it is, so it runs scans at coarse granularity (16 default batches)
 # to amortize per-block dispatch — one of the fusion wins the unfused
 # per-operator pull cannot take without growing every operator's blocks.
+# Scan blocks are array views sliced out of the table's merged typed
+# columns, never value copies, so coarse blocks cost no extra memory.
 # Plans that can stop early (any LIMIT anywhere, marked at compile time)
 # keep the operator's own ``max_batch_rows`` instead: early exit stops on
 # block boundaries, so a bigger block would scan — and charge — rows the
 # unfused engines never touch.  Full-scan plans are granularity-neutral
 # on charges (every row is scanned and charged per row either way).
-FUSED_SCAN_ROWS = 4096
+FUSED_SCAN_ROWS = 16384
 
 
 class ScanSource(PipelineSource):
@@ -597,9 +615,18 @@ def run_program(program: PipelineProgram,
 
 
 def _drive(pipeline: Pipeline, clock: SimClock) -> Iterator[RowBlock]:
+    """Program-output drive: every surviving carrier materialized."""
+    for carrier in _drive_carriers(pipeline, clock):
+        yield carrier.materialize()
+
+
+def _drive_carriers(pipeline: Pipeline,
+                    clock: SimClock) -> Iterator[BlockCarrier]:
     """One fused pass per source block: the carrier runs the whole stage
     chain with its selection deferred wherever stages allow, and the
-    driver (single-threaded) attributes per-operator ``rows_out``."""
+    driver (single-threaded) attributes per-operator ``rows_out``.
+    Carriers are yielded with any remaining mask still deferred — sinks
+    that understand masks consume them as-is."""
     source = pipeline.source
     if isinstance(source, SerialOpSource):
         # the operator's child pipelines are driven lazily through its
@@ -625,13 +652,13 @@ def _drive(pipeline: Pipeline, clock: SimClock) -> Iterator[RowBlock]:
                 break
             stage.op.rows_out += out.count
         if out is not None:
-            yield out.materialize()
+            yield out
         if pipeline.stopped:
             break
 
 
 def _run_to_sink(pipeline: Pipeline, clock: SimClock) -> None:
     sink = pipeline.sink
-    for block in _drive(pipeline, clock):
-        sink.absorb(block, clock)
+    for carrier in _drive_carriers(pipeline, clock):
+        sink.absorb_carrier(carrier, clock)
     sink.finish(clock)

@@ -14,7 +14,15 @@ from repro.storage.stats import (
     compute_column_stats,
     compute_table_stats,
 )
-from repro.storage.types import DataType, coerce_value, is_numeric, value_size_bytes
+from repro.storage.export import column_to_numpy, table_typed_columns, to_pandas
+from repro.storage.types import (
+    PAGE_DICT_CAP,
+    DataType,
+    TypedColumn,
+    coerce_value,
+    is_numeric,
+    value_size_bytes,
+)
 
 __all__ = [
     "BACKUP",
@@ -31,12 +39,17 @@ __all__ = [
     "HeapTable",
     "IndexEntry",
     "PAGE_CAPACITY_BYTES",
+    "PAGE_DICT_CAP",
     "RecordId",
     "TableSchema",
     "TableStats",
+    "TypedColumn",
     "coerce_value",
+    "column_to_numpy",
     "compute_column_stats",
     "compute_table_stats",
     "is_numeric",
+    "table_typed_columns",
+    "to_pandas",
     "value_size_bytes",
 ]

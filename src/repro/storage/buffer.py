@@ -32,6 +32,12 @@ class BufferPool:
         self._misses = 0
         self._table_hits: dict[str, int] = {}
         self._table_misses: dict[str, int] = {}
+        # typed-view cache accounting: how often a columnar scan found a
+        # page's TypedColumn view already built (version-valid) vs. had
+        # to rebuild it after a mutation bumped the page version
+        self._view_hits = 0
+        self._view_rebuilds = 0
+        self._table_view_rebuilds: dict[str, int] = {}
 
     def access(self, table: str, page_no: int) -> bool:
         """Record an access; returns True on hit.  Charges the clock."""
@@ -49,6 +55,29 @@ class BufferPool:
         if len(self._lru) > self.capacity_pages:
             self._lru.popitem(last=False)
         return False
+
+    def note_view(self, table: str, hit: bool) -> None:
+        """Record whether a page's typed column view was served from its
+        version-valid cache (``hit``) or rebuilt after invalidation.
+
+        Pure accounting — the virtual-time cost of the underlying page
+        access is already charged by :meth:`access`; this feeds the
+        view-cache health fields of :meth:`snapshot` so the optimizer
+        (and the cache-invalidation tests) can observe rebuild churn.
+        """
+        if hit:
+            self._view_hits += 1
+        else:
+            self._view_rebuilds += 1
+            self._table_view_rebuilds[table] = (
+                self._table_view_rebuilds.get(table, 0) + 1)
+
+    def view_hit_ratio(self) -> float:
+        total = self._view_hits + self._view_rebuilds
+        return self._view_hits / total if total else 1.0
+
+    def table_view_rebuilds(self, table: str) -> int:
+        return self._table_view_rebuilds.get(table, 0)
 
     def evict_table(self, table: str) -> int:
         """Drop every cached page of ``table`` (e.g. after DROP TABLE)."""
@@ -85,4 +114,6 @@ class BufferPool:
             "resident_pages": float(self.resident_pages),
             "capacity_pages": float(self.capacity_pages),
             "fill_fraction": self.resident_pages / self.capacity_pages,
+            "view_hit_ratio": self.view_hit_ratio(),
+            "view_rebuilds": float(self._view_rebuilds),
         }

@@ -1,0 +1,89 @@
+"""Typed export surface: read tables out as typed arrays / DataFrames.
+
+The dxd-style interop layer over typed columnar storage v2: downstream
+tooling (notebooks, feature pipelines, pandas ecosystems) reads columns
+in their natural numpy dtypes straight from the page-level
+:class:`~repro.storage.types.TypedColumn` caches, never round-tripping
+through object arrays.
+
+pandas is an *optional* dependency — only :func:`to_pandas` needs it, and
+it raises a clear error when the import is unavailable rather than making
+the whole storage layer depend on it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.storage.types import DataType, TypedColumn
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.heap import HeapTable
+
+# One oversized batch makes scan_column_batches deliver the whole table as
+# a single merged column set (buffer-pool charges identical to any scan).
+_WHOLE_TABLE_BATCH = 1 << 40
+
+_EMPTY_BUILDERS = {
+    DataType.INT: lambda: TypedColumn("i8", np.empty(0, dtype=np.int64)),
+    DataType.FLOAT: lambda: TypedColumn("f8", np.empty(0, dtype=np.float64)),
+    DataType.BOOL: lambda: TypedColumn("bool", np.empty(0, dtype=bool)),
+    DataType.TEXT: lambda: TypedColumn(
+        "dict", np.empty(0, dtype=np.int32), None, []),
+}
+
+
+def table_typed_columns(table: "HeapTable") -> list[TypedColumn]:
+    """All columns of ``table`` as whole-table :class:`TypedColumn`\\ s.
+
+    One columnar scan (normal buffer-pool accounting), concatenating the
+    per-page typed views.  An empty table yields empty typed columns of
+    the schema's dtypes, not object arrays.
+    """
+    batches = list(table.scan_column_batches(batch_size=_WHOLE_TABLE_BATCH))
+    if not batches:
+        return [_EMPTY_BUILDERS[c.dtype]() for c in table.schema.columns]
+    columns, _ = batches[0]
+    return list(columns)
+
+
+def column_to_numpy(col: TypedColumn) -> np.ndarray:
+    """``col`` as a numpy array in its natural dtype.
+
+    Clean columns export zero-copy-ish typed arrays (int64 / float64 /
+    bool); nullable numerics widen to float64 with NaN at NULLs (the
+    pandas convention); everything else exports as an object array with
+    ``None`` at NULLs.
+    """
+    if col.kind in ("i8", "f8"):
+        if col.valid is None:
+            return col.data.copy()
+        out = col.data.astype(np.float64)
+        out[~col.valid] = np.nan
+        return out
+    if col.kind == "bool" and col.valid is None:
+        return col.data.copy()
+    return col.objects().copy()
+
+
+def to_pandas(table: "HeapTable"):
+    """``table`` as a ``pandas.DataFrame`` with natural dtypes.
+
+    Raises ``RuntimeError`` when pandas is not installed — the engine
+    itself never requires it.
+    """
+    try:
+        import pandas as pd
+    except ImportError as exc:  # pragma: no cover - environment-dependent
+        raise RuntimeError(
+            "to_pandas() requires pandas, which is not installed; "
+            "use column_arrays() for a pure-numpy export"
+        ) from exc
+    cols = table_typed_columns(table)
+    data = {
+        c.name: column_to_numpy(col)
+        for c, col in zip(table.schema.columns, cols)
+    }
+    return pd.DataFrame(data, columns=[c.name for c in table.schema.columns])

@@ -11,6 +11,7 @@ from repro.common.simtime import CostModel, SimClock
 from repro.storage.buffer import BufferPool
 from repro.storage.page import HeapPage, RecordId
 from repro.storage.schema import TableSchema
+from repro.storage.types import TypedColumn
 
 
 class HeapTable:
@@ -26,8 +27,14 @@ class HeapTable:
                  clock: SimClock | None = None):
         self.schema = schema
         self.name = schema.table_name
+        self._dtypes = schema.dtypes()
         self._pages: list[HeapPage] = []
         self._live_rows = 0
+        # bumped on every mutation; keys the merged-scan column cache the
+        # same way page versions key the per-page typed caches
+        self._version = 0
+        # start_page -> (version at build, (columns, page_starts, total))
+        self._merged_cache: dict[int, tuple[int, tuple]] = {}
         self._buffer_pool = buffer_pool
         self._clock = clock
         self._unique_maps: dict[int, dict[Any, RecordId]] = {
@@ -56,6 +63,7 @@ class HeapTable:
             if row[col_idx] is not None:
                 uniq[row[col_idx]] = rid
         self._live_rows += 1
+        self._version += 1
         self._charge(CostModel.TUPLE_CPU, "heap-insert")
         return rid
 
@@ -71,6 +79,7 @@ class HeapTable:
             if row[col_idx] is not None:
                 uniq[row[col_idx]] = rid
         self._pages[rid.page_no].update(rid.slot_no, row)
+        self._version += 1
         self._charge(CostModel.TUPLE_CPU, "heap-update")
 
     def delete(self, rid: RecordId) -> None:
@@ -82,6 +91,7 @@ class HeapTable:
                 uniq.pop(old[col_idx], None)
         self._pages[rid.page_no].delete(rid.slot_no)
         self._live_rows -= 1
+        self._version += 1
         self._charge(CostModel.TUPLE_CPU, "heap-delete")
 
     # -- access ------------------------------------------------------------
@@ -130,38 +140,49 @@ class HeapTable:
         """Full scan yielding ``(columns, row_count)`` column batches.
 
         The columnar twin of :meth:`scan_batches`, built from each page's
-        cached :meth:`HeapPage.live_columns` transpose: same row order,
-        same one-buffer-pool-touch-per-page accounting, zero per-row
-        Python work on a warm cache.  Batches hold exactly ``batch_size``
-        rows (the final one may be short, empty ones are never yielded) —
-        consumers that stop early, like LIMIT, therefore pull no more than
-        one batch beyond what they need.  Overfull pages are sliced as
-        numpy views, not copied.
+        cached :meth:`HeapPage.typed_columns` view: same row order, same
+        one-buffer-pool-touch-per-page accounting, zero per-row Python
+        work on a warm cache.  Each column is a
+        :class:`~repro.storage.types.TypedColumn` — int64/float64/bool
+        data with validity bitmaps, dictionary-encoded strings — so
+        vectorized consumers read typed arrays without per-block dtype
+        coercion.  Batches hold exactly ``batch_size`` rows (the final
+        one may be short, empty ones are never yielded) — consumers that
+        stop early, like LIMIT, therefore pull no more than one batch
+        beyond what they need.  Overfull pages are sliced as array views,
+        not value copies.
 
         ``start_page`` skips the pages before it entirely — no buffer-pool
         touches, no charges — the tail-scan primitive behind recency
         windows (:meth:`tail_start_page`).
+
+        Internally the page views are concatenated once into whole-tail
+        typed columns and cached keyed by the table mutation version, so
+        repeated scans of an unchanged table slice array views out of the
+        merged columns instead of re-concatenating pages.  Buffer-pool
+        accounting is unchanged: each page is charged exactly when the
+        first batch needing its rows is produced, so early-exiting
+        consumers still only pay for the pages they covered.
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
-        pending: list[list] = []
-        pending_rows = 0
-        for page in self._pages[max(0, start_page):]:
-            self._touch_page(page.page_no)
-            columns = page.live_columns()
-            if not columns:
-                continue
-            pending.append(columns)
-            pending_rows += len(columns[0])
-            while pending_rows >= batch_size:
-                merged, total = self._merge_column_batches(pending,
-                                                           pending_rows)
-                yield [c[:batch_size] for c in merged], batch_size
-                pending_rows = total - batch_size
-                pending = ([[c[batch_size:] for c in merged]]
-                           if pending_rows else [])
-        if pending_rows:
-            yield self._merge_column_batches(pending, pending_rows)
+        start = max(0, start_page)
+        pages = self._pages[start:]
+        (columns, starts, total), view_hits = self._merged_tail(start)
+        touched = 0
+        off = 0
+        while off < total:
+            end = min(off + batch_size, total)
+            while touched < len(pages) and starts[touched] < end:
+                self._note_scan_page(pages[touched], view_hits, touched)
+                touched += 1
+            yield [c[off:end] for c in columns], end - off
+            off = end
+        # pages past the last live row (trailing empties) are still part
+        # of a fully drained scan, exactly as scan() touches them
+        while touched < len(pages):
+            self._note_scan_page(pages[touched], view_hits, touched)
+            touched += 1
 
     def scan_morsels(self, morsel_rows: int = 4096,
                      start_page: int = 0) -> list[tuple[list, int]]:
@@ -205,8 +226,69 @@ class HeapTable:
         if len(parts) == 1:
             return parts[0], rows
         width = len(parts[0])
-        return ([np.concatenate([p[i] for p in parts])
+        return ([TypedColumn.concat([p[i] for p in parts])
                  for i in range(width)], rows)
+
+    def _merged_tail(self, start: int):
+        """Typed columns for ``pages[start:]`` concatenated once, plus the
+        cumulative live-row offset of each page — cached until the next
+        mutation (``self._version`` keys the cache, mirroring how page
+        versions key the per-page typed views).
+
+        Returns ``((columns, page_starts, total_rows), view_hits)`` where
+        ``view_hits`` is the per-page typed-cache hit flags when the merge
+        was (re)built, or None on a cache hit (every page view was warm).
+        """
+        cached = self._merged_cache.get(start)
+        if cached is not None and cached[0] == self._version:
+            return cached[1], None
+        pages = self._pages[start:]
+        view_hits = [page.typed_cache_valid() for page in pages]
+        starts: list[int] = []
+        parts: list[list] = []
+        total = 0
+        for page in pages:
+            starts.append(total)
+            columns = page.typed_columns(self._dtypes)
+            if columns:
+                parts.append(columns)
+                total += len(columns[0])
+        merged = (self._merge_column_batches(parts, total)[0]
+                  if parts else [])
+        if len(self._merged_cache) >= 8 and start not in self._merged_cache:
+            self._merged_cache.clear()
+        payload = (merged, starts, total)
+        self._merged_cache[start] = (self._version, payload)
+        return payload, view_hits
+
+    def _note_scan_page(self, page: HeapPage,
+                        view_hits: list[bool] | None, idx: int) -> None:
+        self._touch_page(page.page_no)
+        if self._buffer_pool is not None:
+            self._buffer_pool.note_view(
+                self.name, True if view_hits is None else view_hits[idx])
+
+    # -- typed export surface ----------------------------------------------
+
+    def typed_column(self, column_name: str) -> TypedColumn:
+        """The whole column as one :class:`TypedColumn` (page views
+        concatenated), without round-tripping through object arrays."""
+        from repro.storage.export import table_typed_columns
+        return table_typed_columns(self)[self.schema.index_of(column_name)]
+
+    def column_arrays(self) -> "dict[str, np.ndarray]":
+        """``{column name: numpy array}`` with natural dtypes — int64 /
+        float64 / bool where the column is clean, float64-with-NaN for
+        nullable numerics, object otherwise."""
+        from repro.storage.export import column_to_numpy, table_typed_columns
+        cols = table_typed_columns(self)
+        return {c.name: column_to_numpy(col)
+                for c, col in zip(self.schema.columns, cols)}
+
+    def to_pandas(self):
+        """The table as a ``pandas.DataFrame`` (requires pandas)."""
+        from repro.storage.export import to_pandas
+        return to_pandas(self)
 
     def lookup_unique(self, column_name: str, value: Any) -> RecordId | None:
         """RID for ``value`` in a unique column, or None."""

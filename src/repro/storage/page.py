@@ -8,9 +8,11 @@ indexes point at stable RIDs.
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
 
 import numpy as np
+
+from repro.storage.types import DataType, TypedColumn
 
 PAGE_CAPACITY_BYTES = 8192
 _TOMBSTONE = object()
@@ -48,9 +50,10 @@ class HeapPage:
         self._slots: list[Any] = []
         self._used_bytes = 0
         self.live_count = 0
-        # bumped on every mutation; invalidates the columnar cache
+        # bumped on every mutation; invalidates the columnar caches
         self.version = 0
         self._columns_cache: tuple[int, list[np.ndarray]] | None = None
+        self._typed_cache: tuple[int, list[TypedColumn]] | None = None
 
     @property
     def used_bytes(self) -> int:
@@ -125,4 +128,32 @@ class HeapPage:
                 arr[:] = values
                 columns.append(arr)
         self._columns_cache = (self.version, columns)
+        return columns
+
+    def typed_cache_valid(self) -> bool:
+        """True when the typed column cache matches the current version."""
+        cache = self._typed_cache
+        return cache is not None and cache[0] == self.version
+
+    def typed_columns(self, dtypes: Sequence[DataType]) -> list[TypedColumn]:
+        """The live tuples as typed at-rest columns, cached per version.
+
+        This is the v2 columnar cache: int64/float64/bool arrays with
+        validity bitmaps and dictionary-encoded strings (see
+        :class:`~repro.storage.types.TypedColumn`).  Like
+        :meth:`live_columns` it is invalidated by the page ``version``
+        counter, so any insert/update/delete rebuilds the typed view on
+        next scan and a cached view can never serve stale data."""
+        cache = self._typed_cache
+        if cache is not None and cache[0] == self.version:
+            return cache[1]
+        rows = self.live_rows()
+        if not rows:
+            columns: list[TypedColumn] = []
+        else:
+            columns = [
+                TypedColumn.from_values(values, dtype)
+                for values, dtype in zip(zip(*rows), dtypes)
+            ]
+        self._typed_cache = (self.version, columns)
         return columns

@@ -171,6 +171,41 @@ class ReplicatedTable:
     def lookup_unique(self, column_name: str, value: Any) -> RecordId | None:
         return self._begin_op().lookup_unique(column_name, value)
 
+    # -- typed export surface ------------------------------------------------
+
+    def typed_column(self, column_name: str):
+        return self._begin_op().typed_column(column_name)
+
+    def column_arrays(self) -> dict:
+        return self._begin_op().column_arrays()
+
+    def to_pandas(self):
+        return self._begin_op().to_pandas()
+
+    # -- replica verification ------------------------------------------------
+
+    def copies_identical(self) -> bool:
+        """Bit-level audit that primary and backup hold the same typed
+        state: page-for-page identical slot layout (RecordIds included)
+        and :meth:`TypedColumn.identical` columns — data arrays, validity
+        bitmaps, and dictionaries with matching entry order.  Inspects
+        both copies directly (no failover, no charges), so it is valid to
+        call even while a node is down: it then reports whether the down
+        copy has diverged, and must hold again after :meth:`recover`.
+        """
+        a, b = self.primary, self.backup
+        if a.page_count != b.page_count or len(a) != len(b):
+            return False
+        dtypes = self.schema.dtypes()
+        for pa, pb in zip(a._pages, b._pages):
+            if [rid for rid, _ in pa.scan()] != [rid for rid, _ in pb.scan()]:
+                return False
+            for ca, cb in zip(pa.typed_columns(dtypes),
+                              pb.typed_columns(dtypes)):
+                if not ca.identical(cb):
+                    return False
+        return True
+
     # -- failover control ----------------------------------------------------
 
     def mark_down(self, node: str = PRIMARY, ops: int = 1) -> None:

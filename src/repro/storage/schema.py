@@ -57,6 +57,12 @@ class TableSchema:
     def column_names(self) -> list[str]:
         return [c.name for c in self.columns]
 
+    def dtypes(self) -> tuple[DataType, ...]:
+        """Per-column scalar types, in column order (the typed-storage
+        layout key: pages build their :class:`TypedColumn` caches from
+        this)."""
+        return tuple(c.dtype for c in self.columns)
+
     def has_column(self, name: str) -> bool:
         return name.lower() in self._index_of
 

@@ -283,7 +283,8 @@ class TestBufferPool:
         pool.access("t", 0)
         snap = pool.snapshot()
         assert set(snap) == {"hit_ratio", "resident_pages",
-                             "capacity_pages", "fill_fraction"}
+                             "capacity_pages", "fill_fraction",
+                             "view_hit_ratio", "view_rebuilds"}
         assert snap["resident_pages"] == 1.0
 
     def test_invalid_capacity(self):
