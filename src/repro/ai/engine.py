@@ -41,6 +41,7 @@ from repro.ai.tasks import (
     TaskResult,
     TrainTask,
 )
+from repro.common import categories as cat
 from repro.common.errors import AIEngineError
 from repro.common.simtime import CostModel, SimClock
 from repro.nn.losses import auc_score, mse_loss
@@ -135,7 +136,7 @@ class AIEngine:
             for ids, batch_targets in epoch_loader:
                 producer_before = dispatcher.producer_clock.now
                 dispatcher.producer_clock.advance(
-                    ids.size * CostModel.PREP_PER_VALUE, "prep")
+                    ids.size * CostModel.PREP_PER_VALUE, cat.PREP)
                 sender.send_batch(ids, batch_targets)
                 producer_delta = (dispatcher.producer_clock.now
                                   - producer_before)
@@ -152,7 +153,7 @@ class AIEngine:
 
         makespan = (CostModel.NET_ROUND_TRIP  # handshake round trip
                     + dispatcher.makespan(self.num_runtimes))
-        self.clock.advance(makespan, "ai-train")
+        self.clock.advance(makespan, cat.AI_TRAIN)
 
         if not self.models.has_model(task.model_name):
             version = self.models.register_model(task.model_name, model)
@@ -201,7 +202,7 @@ class AIEngine:
             ids = model.hasher.transform(rows)
         count = len(rows)
         cost = AIRuntime.infer_batch_cost(count, model.field_count)
-        self.clock.advance(cost, "ai-infer")
+        self.clock.advance(cost, cat.AI_INFER)
         predictions = model.predict_ids(ids)
         result = TaskResult(task_id=task.task_id, model_name=task.model_name,
                             kind="inference", virtual_seconds=cost,
@@ -241,7 +242,7 @@ class AIEngine:
             for ids, batch_targets in loader:
                 producer_before = dispatcher.producer_clock.now
                 dispatcher.producer_clock.advance(
-                    ids.size * CostModel.PREP_PER_VALUE, "prep")
+                    ids.size * CostModel.PREP_PER_VALUE, cat.PREP)
                 sender.send_batch(ids, batch_targets)
                 producer_delta = (dispatcher.producer_clock.now
                                   - producer_before)
@@ -261,7 +262,7 @@ class AIEngine:
 
         makespan = CostModel.NET_ROUND_TRIP + dispatcher.makespan(
             self.num_runtimes)
-        self.clock.advance(makespan, "ai-finetune")
+        self.clock.advance(makespan, cat.AI_FINETUNE)
 
         tuned = list(model.layer_names()[-task.tune_last_layers:])
         version = self.models.incremental_update(task.model_name, model,
@@ -313,7 +314,7 @@ class AIEngine:
             total_cost += cost
             if score > best_score:
                 best_name, best_score = name, score
-        self.clock.advance(total_cost, "ai-mselect")
+        self.clock.advance(total_cost, cat.AI_MSELECT)
         result = TaskResult(task_id=task.task_id, model_name=task.model_name,
                             kind="mselection", virtual_seconds=total_cost,
                             samples_processed=len(rows), metric=best_score,

@@ -23,6 +23,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.ai.armnet import FeatureHasher
+from repro.common import categories as cat
 from repro.common.simtime import CostModel, SimClock
 from repro.exec.batch import RowBlock, schema_kinds
 from repro.exec.expr import RowLayout
@@ -372,7 +373,7 @@ def table_column_stream(table, feature_columns: list[str],
     def materialize(block: RowBlock, lane: SimClock):
         n = len(block)
         if clock is not None:
-            lane.advance_batch(CostModel.TUPLE_CPU, n, "predict-materialize")
+            lane.advance_batch(CostModel.TUPLE_CPU, n, cat.PREDICT_MATERIALIZE)
         keep = ~block.null_mask(target_idx)
         if row_filter is not None:
             keep &= np.fromiter(
@@ -485,7 +486,7 @@ def table_feature_columns(table, feature_columns: list[str],
     def materialize(block: RowBlock, lane: SimClock):
         if clock is not None:
             lane.advance_batch(CostModel.TUPLE_CPU, len(block),
-                               "predict-materialize")
+                               cat.PREDICT_MATERIALIZE)
         if block_predicate is not None:
             block = block.select(block_predicate(block))
         if not block:

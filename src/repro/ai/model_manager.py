@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.ai.armnet import ARMNet
+from repro.common import categories as cat
 from repro.common.errors import ModelNotFound
 from repro.common.simtime import CostModel, SimClock
 from repro.nn.serialize import pack_state, unpack_state
@@ -185,7 +186,7 @@ class ModelManager:
         for lid, layer_timestamp in resolved:
             blob = self._blobs[(mid, lid, layer_timestamp)]
             model.load_layer(names[lid], unpack_state(blob))
-            self.clock.advance(CostModel.MODEL_LOAD_PER_LAYER, "model-load")
+            self.clock.advance(CostModel.MODEL_LOAD_PER_LAYER, cat.MODEL_LOAD)
         return model
 
     # -- introspection -----------------------------------------------------------

@@ -19,6 +19,7 @@ from repro.ai.streaming import (
     decode_handshake,
     decode_renegotiate,
 )
+from repro.common import categories as cat
 from repro.common.errors import StreamProtocolError
 from repro.common.simtime import CostModel, SimClock
 from repro.nn.losses import bce_with_logits, mse_loss
@@ -101,13 +102,13 @@ class AIRuntime:
         value = loss.item()
         self.losses.append(value)
         self._clock.advance(self.train_batch_cost(len(targets),
-                                                  ids.shape[1]), "train")
+                                                  ids.shape[1]), cat.TRAIN)
         return value
 
     def infer(self, ids: np.ndarray) -> np.ndarray:
         assert self.model is not None
         self._clock.advance(self.infer_batch_cost(ids.shape[0],
-                                                  ids.shape[1]), "infer")
+                                                  ids.shape[1]), cat.INFER)
         logits = self.model.forward(ids).data
         if self.model.task_type == "classification":
             return 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.common import categories as cat
 from repro.common.errors import StreamProtocolError
 from repro.common.simtime import CostModel, SimClock
 
@@ -95,7 +96,7 @@ class Channel:
             CostModel.NET_ROUND_TRIP * 0.5
             + len(encoded) * (CostModel.NET_PER_BYTE
                               + CostModel.SERIALIZE_PER_BYTE),
-            "stream")
+            cat.STREAM)
 
     def recv(self) -> Frame:
         if not self._queue:

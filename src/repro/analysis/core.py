@@ -1,0 +1,306 @@
+"""Framework for the AST invariant passes: sources, findings, pragmas,
+allowlists, and the runner.
+
+Design
+------
+A pass is a class with a ``name``, a set of *rules* (stable identifiers
+like ``unseeded-rng``), and a ``run(module) -> list[Finding]`` method
+over a parsed :class:`ModuleSource`.  The runner (:func:`run_passes`)
+walks a file tree, parses each module once, hands it to every pass, and
+then applies the two suppression layers:
+
+* **Inline pragmas** — ``# repro: <pragma> <reason>`` on the finding's
+  line (or the first line of its enclosing statement).  Each rule maps
+  to a pragma name (e.g. every determinism rule answers to
+  ``nondeterministic-ok``); the reason is mandatory, so every escape
+  hatch in the tree documents itself.  A pragma without a reason is
+  itself reported (rule ``bare-pragma``).
+* **Allowlists** — per-pass path prefixes and ``path::qualname`` symbol
+  entries for structural exemptions (e.g. ``common/rng.py`` *is* the
+  seeded-RNG factory; the clock's own forwarding helpers legitimately
+  take the category as a parameter).  Allowlists live in the pass class
+  where they are reviewable, not in config files.
+
+Suppressed findings are kept (marked ``suppressed``) so ``--json``
+output can audit every escape hatch in use; ``--strict`` fails only on
+unsuppressed ones.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Pragma grammar: ``# repro: <pragma-name> <free-text reason>``.
+_PRAGMA = re.compile(r"#\s*repro:\s*([a-z-]+)\b[ \t]*(.*)")
+
+
+class Severity:
+    """Finding severities, ordered.  ``ERROR`` breaks an invariant;
+    ``WARNING`` needs human review (e.g. a dynamic charge category the
+    analyzer cannot prove against the registry)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+    pragma: str = ""           #: pragma name that can suppress this finding
+    suppressed: bool = False   #: True once a pragma/allowlist matched
+    suppressed_by: str = ""    #: "pragma: <reason>" or "allowlist: <entry>"
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule, "severity": self.severity,
+            "path": self.path, "line": self.line, "message": self.message,
+            "suppressed": self.suppressed,
+            "suppressed_by": self.suppressed_by,
+        }
+
+
+@dataclass
+class ModuleSource:
+    """One parsed module: path (repo-relative), text, AST, and the
+    pragma map ``line -> (pragma, reason)``."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    pragmas: dict[int, tuple[str, str]] = field(default_factory=dict)
+
+    @property
+    def lines(self) -> list[str]:
+        return self.text.split("\n")
+
+
+def load_module(path: str, text: str) -> ModuleSource:
+    """Parse ``text`` into a :class:`ModuleSource`; raises SyntaxError."""
+    tree = ast.parse(text, filename=path)
+    pragmas: dict[int, tuple[str, str]] = {}
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        match = _PRAGMA.search(line)
+        if match:
+            pragmas[lineno] = (match.group(1), match.group(2).strip())
+    return ModuleSource(path=path, text=text, tree=tree, pragmas=pragmas)
+
+
+def load_tree(root: Path, base: Path | None = None) -> list[ModuleSource]:
+    """Load every ``*.py`` under ``root`` (or the single file), with
+    paths reported relative to ``base`` (default: ``root``'s parent)."""
+    root = Path(root)
+    base = Path(base) if base is not None else root.parent
+    files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+    modules = []
+    for file in files:
+        try:
+            rel = str(file.relative_to(base))
+        except ValueError:
+            rel = str(file)
+        modules.append(load_module(rel, file.read_text(encoding="utf-8")))
+    return modules
+
+
+class AnalysisPass:
+    """Base class for one invariant pass.
+
+    Subclasses set ``name``, ``rules`` (``rule -> pragma name``),
+    optionally ``path_allowlist`` (repo-relative prefixes exempt from
+    the whole pass) and ``symbol_allowlist`` (``path::qualname`` entries
+    exempt from specific rules), and implement :meth:`run`.
+    """
+
+    name: str = ""
+    #: rule id -> pragma that suppresses it
+    rules: dict[str, str] = {}
+    #: path prefixes (repo-relative, '/'-separated) this pass skips
+    path_allowlist: tuple[str, ...] = ()
+    #: "path::qualname" -> tuple of rule ids exempted there
+    symbol_allowlist: dict[str, tuple[str, ...]] = {}
+
+    def run(self, module: ModuleSource) -> list[Finding]:
+        raise NotImplementedError
+
+    # -- helpers for subclasses -------------------------------------------
+
+    def finding(self, module: ModuleSource, node: ast.AST, rule: str,
+                message: str, severity: str = Severity.ERROR) -> Finding:
+        return Finding(rule=rule, severity=severity, path=module.path,
+                       line=getattr(node, "lineno", 0), message=message,
+                       pragma=self.rules[rule])
+
+    def path_allowlisted(self, module: ModuleSource) -> bool:
+        path = module.path.replace("\\", "/")
+        return any(path.endswith(entry) or path.startswith(entry)
+                   for entry in self.path_allowlist)
+
+    def symbol_exempt(self, module: ModuleSource, qualname: str,
+                      rule: str) -> str | None:
+        """Allowlist entry covering ``rule`` at ``module::qualname``,
+        or None."""
+        entry = f"{module.path}::{qualname}"
+        if rule in self.symbol_allowlist.get(entry, ()):
+            return entry
+        return None
+
+
+def _statement_lines(module: ModuleSource, line: int) -> set[int]:
+    """Lines on which a pragma suppresses a finding reported at
+    ``line``: the line itself plus the first line of any enclosing
+    multi-line statement (so one pragma can cover a wrapped call)."""
+    lines = {line}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        end = getattr(node, "end_lineno", None)
+        if end is None:
+            continue
+        if node.lineno <= line <= end:
+            lines.add(node.lineno)
+            lines.add(end)
+    return lines
+
+
+def apply_pragmas(module: ModuleSource,
+                  findings: list[Finding]) -> list[Finding]:
+    """Mark findings whose pragma appears on their (statement) line, and
+    report pragmas that carry no reason."""
+    out = []
+    for finding in findings:
+        for line in _statement_lines(module, finding.line):
+            pragma = module.pragmas.get(line)
+            if pragma is None or pragma[0] != finding.pragma:
+                continue
+            if not pragma[1]:
+                out.append(Finding(
+                    rule="bare-pragma", severity=Severity.ERROR,
+                    path=module.path, line=line, pragma=finding.pragma,
+                    message=f"pragma '{pragma[0]}' needs a reason: "
+                            f"# repro: {pragma[0]} <why this is safe>"))
+                continue
+            finding.suppressed = True
+            finding.suppressed_by = f"pragma: {pragma[1]}"
+            break
+        out.append(finding)
+    return out
+
+
+def run_passes(modules: list[ModuleSource],
+               passes: list[AnalysisPass]) -> list[Finding]:
+    """Run every pass over every module and apply pragma suppression.
+    Findings come back in (path, line, rule) order."""
+    findings: list[Finding] = []
+    for pass_ in passes:
+        for module in modules:
+            if pass_.path_allowlisted(module):
+                continue
+            findings.extend(apply_pragmas(module, pass_.run(module)))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def unsuppressed(findings: list[Finding]) -> list[Finding]:
+    return [f for f in findings if not f.suppressed]
+
+
+def render_findings(findings: list[Finding], verbose: bool = False) -> str:
+    """Human-readable report.  Suppressed findings appear only with
+    ``verbose`` (marked), mirroring ``--json``'s full audit."""
+    lines = []
+    for finding in findings:
+        if finding.suppressed and not verbose:
+            continue
+        mark = " [suppressed]" if finding.suppressed else ""
+        lines.append(f"{finding.location()}: {finding.severity}: "
+                     f"[{finding.rule}] {finding.message}{mark}")
+    active = unsuppressed(findings)
+    lines.append(f"{len(active)} finding(s), "
+                 f"{len(findings) - len(active)} suppressed")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    return json.dumps([f.to_dict() for f in findings], indent=2)
+
+
+# -- shared AST utilities ------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Module-level import bindings: local name -> imported dotted path.
+
+    ``import numpy as np`` binds ``np -> numpy``; ``from repro.common
+    import categories as cat`` binds ``cat -> repro.common.categories``;
+    ``from random import randint`` binds ``randint -> random.randint``.
+    """
+
+    def __init__(self, tree: ast.Module):
+        self.bindings: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    self.bindings[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.bindings[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Absolute dotted path for a Name/Attribute chain, following
+        the import bindings; None when the root is not an import."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = self.bindings.get(head)
+        if target is None:
+            return None
+        return f"{target}.{rest}" if rest else target
+
+
+def qualname_of(tree: ast.Module) -> dict[ast.AST, str]:
+    """Map every function/class def (and lambda-free bodies' statements'
+    enclosing scopes) to its dotted qualname within the module."""
+    names: dict[ast.AST, str] = {}
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                qual = f"{prefix}.{child.name}" if prefix else child.name
+                names[child] = qual
+                visit(child, qual)
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return names

@@ -1,0 +1,527 @@
+"""Parallel-hook race analysis: shared-state writes reachable from
+worker-executed code must hold a lock at the write site.
+
+The morsel scheduler (``repro/exec/parallel.py``) runs operator *hooks*
+concurrently on worker threads.  The contract (module docstring there)
+is that every such hook is stateless after construction: it writes only
+morsel-local state (parameters, locals, its private shard clock), never
+``self``.  Nothing enforced that until this pass.
+
+How the hook set is derived — and why it cannot drift
+-----------------------------------------------------
+The pass does **not** trust a hand-maintained hook list.  It re-derives
+the worker dispatch table from the code that actually dispatches:
+
+* every ``self._map(items, fn)`` call site inside ``MorselScheduler``
+  contributes ``fn`` — a bound hook reference (``op.partial_block``) or
+  a local closure, whose operator-method calls are extracted;
+* every :class:`~repro.exec.pipeline.PipelineStage` subclass that is
+  ``parallel_safe`` contributes the ``self.op.<hook>`` calls in its
+  ``apply`` (stages run inside morsel tasks); serial stages
+  (``parallel_safe = False``) are excluded.
+
+The derived set is then cross-checked against
+:data:`EXPECTED_WORKER_HOOKS`; any mismatch in either direction is a
+``dispatch-drift`` finding, so adding a new parallel hook forces this
+file — and therefore a re-audit — to change with it.
+
+What gets flagged
+-----------------
+For every operator class in ``exec/operators.py`` defining a worker
+hook (plus the ``self._helper()`` methods those hooks call,
+transitively), and for the worker-thread closures inside
+``MorselScheduler._map`` itself (``work``, ``run_task``, and everything
+they call on ``self``):
+
+``unlocked-shared-write``
+    A write to ``self.<attr>`` — assignment, augmented assignment, a
+    constant-index subscript store, or a mutating method call
+    (``append``/``add``/``update``/``setdefault``/...) — not enclosed
+    in a ``with self.<lock>:`` block (any attribute whose name contains
+    ``lock``), and likewise a write or mutating call targeting a
+    closure/global name.  Subscript stores indexed by a *variable*
+    (``results[i] = ...``, ``attempt_clocks[i].append(...)``) are
+    classified morsel-local: the scheduler's per-task-index ownership
+    convention.  Constant indices (``crashes[0] += 1``) are shared.
+
+``dispatch-drift``
+    The derived worker-hook set differs from
+    :data:`EXPECTED_WORKER_HOOKS`.
+
+Escape hatch: ``# repro: race-ok <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    AnalysisPass,
+    Finding,
+    ModuleSource,
+    Severity,
+)
+
+_PRAGMA = "race-ok"
+
+#: The audited worker-executed hook surface.  Update this *only*
+#: together with a re-audit of the new hook's body: the pass re-derives
+#: the real dispatch table from exec/parallel.py + exec/pipeline.py and
+#: flags any mismatch with this set.
+EXPECTED_WORKER_HOOKS = frozenset({
+    # scan task chain (MorselScheduler._scan_pipeline / _map_stages)
+    "make_block", "scan_block",
+    # parallel-safe pipeline stages (FilterStage/ProjectStage/ProbeStage)
+    "filter_mask", "project_block", "probe_block",
+    # breaker partials (MorselScheduler._run_to_sink and friends)
+    "build_block", "partial_block", "split_partial", "merge_partition",
+    "sort_block",
+})
+
+#: method calls that mutate their receiver
+_MUTATORS = {
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "__setitem__", "push",
+    "appendleft", "sort", "reverse",
+}
+
+#: receiver method calls that are thread-safe by design (threading
+#: primitives); ``Event.set`` most importantly — not the set-type "add"
+_SAFE_CALLS = {"set", "is_set", "wait", "acquire", "release", "get",
+               "put", "join", "start"}
+
+
+def _chain_head(node: ast.AST) -> str:
+    """The attribute nearest ``self`` in a ``self.a.b.c`` chain."""
+    attr = ""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            attr = node.attr
+        node = node.value
+    return attr
+
+
+def _held_locks(stack: list[ast.AST]) -> set[str]:
+    """Names of ``self.<attr>`` locks held via enclosing ``with``
+    blocks (any attr containing 'lock' counts as a lock)."""
+    held: set[str] = set()
+    for node in stack:
+        if not isinstance(node, ast.With):
+            continue
+        for item in node.items:
+            ctx = item.context_expr
+            if isinstance(ctx, ast.Attribute) and "lock" in ctx.attr.lower():
+                held.add(ctx.attr)
+            elif isinstance(ctx, ast.Name) and "lock" in ctx.id.lower():
+                held.add(ctx.id)
+    return held
+
+
+def _local_names(func: ast.AST) -> set[str]:
+    """Parameters and locally-bound names of one function (no nested
+    scopes): writes to these are morsel-local by definition."""
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    names = {a.arg for a in [*func.args.args, *func.args.posonlyargs,
+                             *func.args.kwonlyargs]}
+    if func.args.vararg:
+        names.add(func.args.vararg.arg)
+    if func.args.kwarg:
+        names.add(func.args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, ast.For):
+            for leaf in ast.walk(node.target):
+                if isinstance(leaf, ast.Name):
+                    names.add(leaf.id)
+        elif isinstance(node, ast.withitem) and node.optional_vars:
+            for leaf in ast.walk(node.optional_vars):
+                if isinstance(leaf, ast.Name):
+                    names.add(leaf.id)
+        elif isinstance(node, ast.comprehension):
+            for leaf in ast.walk(node.target):
+                if isinstance(leaf, ast.Name):
+                    names.add(leaf.id)
+    return names
+
+
+class _WriteScanner:
+    """Walks one worker-executed function body and reports shared-state
+    writes without a held lock."""
+
+    def __init__(self, pass_: "RaceAnalysisPass", module: ModuleSource,
+                 func: ast.AST, context: str):
+        self.pass_ = pass_
+        self.module = module
+        self.func = func
+        self.context = context
+        self.locals = _local_names(func)
+        self.findings: list[Finding] = []
+
+    def scan(self) -> list[Finding]:
+        self._walk(self.func, [])
+        return self.findings
+
+    def _walk(self, node: ast.AST, stack: list[ast.AST]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and child is not self.func:
+                continue  # nested defs are analyzed as their own roots
+            self._visit(child, stack)
+            self._walk(child, stack + [child])
+
+    def _visit(self, node: ast.AST, stack: list[ast.AST]) -> None:
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                self._check_store(target, node, stack)
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _MUTATORS \
+                and node.func.attr not in _SAFE_CALLS:
+            self._check_mutating_call(node, stack)
+
+    # -- stores ------------------------------------------------------------
+
+    def _check_store(self, target: ast.AST, stmt: ast.AST,
+                     stack: list[ast.AST]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_store(elt, stmt, stack)
+            return
+        root, shared, why = self._classify_target(target)
+        if not shared:
+            return
+        if _held_locks(stack):
+            return
+        self.findings.append(self.pass_.finding(
+            self.module, stmt, "unlocked-shared-write",
+            f"{self.context}: write to shared state {why} without a "
+            f"held lock — worker threads execute this concurrently"))
+
+    def _check_mutating_call(self, node: ast.Call,
+                             stack: list[ast.AST]) -> None:
+        receiver = node.func.value
+        root, shared, why = self._classify_target(receiver)
+        if not shared:
+            return
+        if _held_locks(stack):
+            return
+        self.findings.append(self.pass_.finding(
+            self.module, node, "unlocked-shared-write",
+            f"{self.context}: mutating call .{node.func.attr}() on "
+            f"shared state {why} without a held lock — worker threads "
+            f"execute this concurrently"))
+
+    def _classify_target(self, node: ast.AST) -> tuple[str, bool, str]:
+        """(root name, is-shared, description).  Morsel-local roots:
+        plain locals/params, and subscripts indexed by a variable (the
+        per-task-index ownership convention)."""
+        # peel subscripts, remembering whether any index was a variable
+        saw_variable_index = False
+        while isinstance(node, ast.Subscript):
+            if not isinstance(node.slice, ast.Constant):
+                saw_variable_index = True
+            node = node.value
+        if isinstance(node, ast.Attribute):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                return (node.attr, True, f"self.{node.attr}")
+            # attribute on a local (e.g. a shard clock's internals) is
+            # owned by whoever owns the local; a chain rooted at self
+            # or at a captured name is shared
+            root = base
+            while isinstance(root, (ast.Attribute, ast.Subscript)):
+                root = root.value
+            if isinstance(root, ast.Name):
+                if root.id == "self":
+                    return (root.id, True,
+                            f"nested self state (via self.{_chain_head(base)})")
+                if root.id in self.locals:
+                    return (root.id, False, "")
+                return (root.id, True,
+                        f"captured '{root.id}'")
+            return ("", False, "")
+        if isinstance(node, ast.Name):
+            if node.id in self.locals:
+                return (node.id, False, "")
+            if saw_variable_index:
+                return (node.id, False, "")  # results[i] = ... pattern
+            return (node.id, True, f"captured '{node.id}'")
+        return ("", False, "")
+
+
+class RaceAnalysisPass(AnalysisPass):
+    name = "races"
+    rules = {
+        "unlocked-shared-write": _PRAGMA,
+        "dispatch-drift": _PRAGMA,
+    }
+
+    #: the three files this pass reasons about, repo-relative
+    PARALLEL = "repro/exec/parallel.py"
+    PIPELINE = "repro/exec/pipeline.py"
+    OPERATORS = "repro/exec/operators.py"
+
+    def __init__(self) -> None:
+        self._sources: dict[str, ModuleSource] = {}
+
+    # The pass needs all three modules at once; it caches them as the
+    # runner feeds modules through and does its work when it sees each
+    # relevant one.
+    def run(self, module: ModuleSource) -> list[Finding]:
+        path = module.path.replace("\\", "/")
+        for tail in (self.PARALLEL, self.PIPELINE, self.OPERATORS):
+            if path.endswith(tail):
+                self._sources[tail] = module
+                break
+        else:
+            return []
+        findings: list[Finding] = []
+        if path.endswith(self.PARALLEL):
+            findings.extend(self._scan_scheduler(module))
+        if path.endswith(self.OPERATORS):
+            findings.extend(self._scan_operators(module))
+        if path.endswith(self.PIPELINE):
+            findings.extend(self._scan_stages(module))
+        if {self.PARALLEL, self.PIPELINE} <= set(self._sources):
+            findings.extend(self._cross_check())
+            # only emit the cross-check once per (parallel, pipeline) pair
+            self._sources.pop(self.PIPELINE)
+        return findings
+
+    # -- dispatch-table derivation ----------------------------------------
+
+    def derived_worker_hooks(self, parallel: ModuleSource,
+                             pipeline: ModuleSource) -> set[str]:
+        """The worker-executed operator-hook names, re-derived from the
+        dispatching code itself."""
+        hooks: set[str] = set()
+        operator_methods = self._operator_method_names()
+        # 1) every self._map(items, fn) inside MorselScheduler
+        scheduler = self._class_def(parallel, "MorselScheduler")
+        # distinct methods reuse closure names ("task" in _scan_pipeline
+        # and _map_stages): keep every def per name and union their calls
+        closures: dict[str, list[ast.FunctionDef]] = {}
+        for f in ast.walk(scheduler):
+            if isinstance(f, ast.FunctionDef):
+                closures.setdefault(f.name, []).append(f)
+        for node in ast.walk(scheduler):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("_map", "map")
+                    and len(node.args) >= 2):
+                continue
+            fn = node.args[1]
+            if isinstance(fn, ast.Attribute):
+                hooks.add(fn.attr)
+            elif isinstance(fn, ast.Name):
+                for defn in closures.get(fn.id, []):
+                    hooks.update(self._closure_hook_calls(
+                        defn, operator_methods))
+        # 2) parallel-safe PipelineStage subclasses' self.op calls
+        for cls in ast.walk(pipeline.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            bases = {b.id for b in cls.bases if isinstance(b, ast.Name)}
+            if "PipelineStage" not in bases:
+                continue
+            if not self._stage_parallel_safe(cls):
+                continue
+            for node in ast.walk(cls):
+                if isinstance(node, ast.Call) \
+                        and isinstance(node.func, ast.Attribute) \
+                        and isinstance(node.func.value, ast.Attribute) \
+                        and node.func.value.attr == "op":
+                    hooks.add(node.func.attr)
+        return hooks
+
+    @staticmethod
+    def _stage_parallel_safe(cls: ast.ClassDef) -> bool:
+        """Reads the class-level ``parallel_safe`` flag (default True,
+        the PipelineStage base default)."""
+        for stmt in cls.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) \
+                            and target.id == "parallel_safe" \
+                            and isinstance(stmt.value, ast.Constant):
+                        return bool(stmt.value.value)
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name) \
+                    and stmt.target.id == "parallel_safe" \
+                    and isinstance(stmt.value, ast.Constant):
+                return bool(stmt.value.value)
+        return True
+
+    @staticmethod
+    def _closure_hook_calls(func: ast.FunctionDef,
+                            operator_methods: set[str]) -> set[str]:
+        """Operator-method names a task closure invokes (intersected
+        with the methods that actually exist on Operator subclasses, so
+        locals like ``carrier.materialize()`` drop out — except
+        ``apply``, which is resolved through the stage classes)."""
+        called = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute):
+                called.add(node.func.attr)
+        return called & operator_methods
+
+    def _operator_method_names(self) -> set[str]:
+        ops_mod = self._sources.get(self.OPERATORS)
+        if ops_mod is None:
+            return set(EXPECTED_WORKER_HOOKS)
+        names: set[str] = set()
+        for cls in ast.walk(ops_mod.tree):
+            if isinstance(cls, ast.ClassDef):
+                for stmt in cls.body:
+                    if isinstance(stmt, ast.FunctionDef):
+                        names.add(stmt.name)
+        return names
+
+    def _cross_check(self) -> list[Finding]:
+        parallel = self._sources[self.PARALLEL]
+        pipeline = self._sources[self.PIPELINE]
+        derived = self.derived_worker_hooks(parallel, pipeline)
+        if derived == EXPECTED_WORKER_HOOKS:
+            return []
+        extra = sorted(derived - EXPECTED_WORKER_HOOKS)
+        missing = sorted(EXPECTED_WORKER_HOOKS - derived)
+        parts = []
+        if extra:
+            parts.append(f"dispatched but unaudited: {extra}")
+        if missing:
+            parts.append(f"audited but no longer dispatched: {missing}")
+        return [Finding(
+            rule="dispatch-drift", severity=Severity.ERROR,
+            path=parallel.path, line=1, pragma=_PRAGMA,
+            message="worker-hook dispatch table drifted from "
+                    "EXPECTED_WORKER_HOOKS in repro/analysis/races.py "
+                    "(" + "; ".join(parts) + ") — re-audit the hook "
+                    "bodies and update the expected set")]
+
+    # -- operator hook bodies ----------------------------------------------
+
+    def _scan_operators(self, module: ModuleSource) -> list[Finding]:
+        findings: list[Finding] = []
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            methods = {stmt.name: stmt for stmt in cls.body
+                       if isinstance(stmt, ast.FunctionDef)}
+            # hooks defined here, plus self-methods they call
+            # (transitively, within the class)
+            roots = [name for name in methods
+                     if name in EXPECTED_WORKER_HOOKS]
+            reachable: list[str] = []
+            queue = list(roots)
+            while queue:
+                name = queue.pop()
+                if name in reachable:
+                    continue
+                reachable.append(name)
+                for node in ast.walk(methods[name]):
+                    if isinstance(node, ast.Call) \
+                            and isinstance(node.func, ast.Attribute) \
+                            and isinstance(node.func.value, ast.Name) \
+                            and node.func.value.id == "self" \
+                            and node.func.attr in methods:
+                        queue.append(node.func.attr)
+            for name in reachable:
+                context = f"worker hook {cls.name}.{name}"
+                findings.extend(_WriteScanner(
+                    self, module, methods[name], context).scan())
+        return findings
+
+    def _scan_stages(self, module: ModuleSource) -> list[Finding]:
+        """Parallel-safe pipeline stages run *inside* morsel tasks; their
+        ``apply`` bodies (plus transitive self-helpers) get the same
+        shared-write scan as the operator hooks."""
+        findings: list[Finding] = []
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            bases = {b.id for b in cls.bases if isinstance(b, ast.Name)}
+            if "PipelineStage" not in bases \
+                    or not self._stage_parallel_safe(cls):
+                continue
+            methods = {stmt.name: stmt for stmt in cls.body
+                       if isinstance(stmt, ast.FunctionDef)}
+            if "apply" not in methods:
+                continue
+            reachable: list[str] = []
+            queue = ["apply"]
+            while queue:
+                name = queue.pop()
+                if name in reachable:
+                    continue
+                reachable.append(name)
+                for node in ast.walk(methods[name]):
+                    if isinstance(node, ast.Call) \
+                            and isinstance(node.func, ast.Attribute) \
+                            and isinstance(node.func.value, ast.Name) \
+                            and node.func.value.id == "self" \
+                            and node.func.attr in methods:
+                        queue.append(node.func.attr)
+            for name in reachable:
+                context = f"parallel stage {cls.name}.{name}"
+                findings.extend(_WriteScanner(
+                    self, module, methods[name], context).scan())
+        return findings
+
+    # -- the scheduler's own worker loop ------------------------------------
+
+    def _scan_scheduler(self, module: ModuleSource) -> list[Finding]:
+        """Worker-thread roots inside MorselScheduler: functions passed
+        as ``threading.Thread(target=...)``, everything they call
+        locally, and the ``self._attempt`` chain."""
+        scheduler = self._class_def(module, "MorselScheduler")
+        methods = {stmt.name: stmt for stmt in scheduler.body
+                   if isinstance(stmt, ast.FunctionDef)}
+        local_defs = {f.name: f for f in ast.walk(scheduler)
+                      if isinstance(f, ast.FunctionDef)}
+        roots: list[str] = []
+        for node in ast.walk(scheduler):
+            if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute) and node.func.attr == "Thread":
+                for kw in node.keywords:
+                    if kw.arg == "target" and isinstance(kw.value, ast.Name):
+                        roots.append(kw.value.id)
+        # transitive closure over local defs and self-methods
+        reachable: list[str] = []
+        queue = list(roots)
+        while queue:
+            name = queue.pop()
+            if name in reachable or name not in local_defs:
+                continue
+            reachable.append(name)
+            for node in ast.walk(local_defs[name]):
+                if isinstance(node, ast.Call):
+                    if isinstance(node.func, ast.Name):
+                        queue.append(node.func.id)
+                    elif isinstance(node.func, ast.Attribute) \
+                            and isinstance(node.func.value, ast.Name) \
+                            and node.func.value.id == "self" \
+                            and node.func.attr in methods:
+                        queue.append(node.func.attr)
+        findings: list[Finding] = []
+        for name in reachable:
+            context = f"worker thread {name}"
+            findings.extend(_WriteScanner(
+                self, module, local_defs[name], context).scan())
+        return findings
+
+    @staticmethod
+    def _class_def(module: ModuleSource, name: str) -> ast.ClassDef:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name == name:
+                return node
+        raise LookupError(f"{name} not found in {module.path}")

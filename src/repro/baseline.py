@@ -30,6 +30,7 @@ import numpy as np
 from repro.ai.armnet import ARMNet
 from repro.ai.runtime import AIRuntime
 from repro.ai.tasks import TaskResult, TrainTask
+from repro.common import categories as cat
 from repro.common.errors import AIEngineError
 from repro.common.simtime import CostModel, SimClock
 
@@ -69,17 +70,17 @@ class PostgresPlusP:
                 values = len(batch_rows) * fields
 
                 # 1. per-batch SQL fetch: cursor setup + text export + wire
-                self.clock.advance(CostModel.BATCH_EXPORT_SETUP, "pg-export")
+                self.clock.advance(CostModel.BATCH_EXPORT_SETUP, cat.PG_EXPORT)
                 self.clock.advance(values * CostModel.TEXT_EXPORT_PER_VALUE,
-                                   "pg-export")
+                                   cat.PG_EXPORT)
                 wire_bytes = values * 8 * CostModel.TEXT_BYTES_INFLATION
                 self.clock.advance(
                     CostModel.NET_ROUND_TRIP
-                    + wire_bytes * CostModel.NET_PER_BYTE, "pg-export")
+                    + wire_bytes * CostModel.NET_PER_BYTE, cat.PG_EXPORT)
 
                 # 2. client-side Python preprocessing (per value)
                 self.clock.advance(values * CostModel.PYTHON_PREP_PER_VALUE,
-                                   "pg-prep")
+                                   cat.PG_PREP)
                 ids = model.hasher.transform(batch_rows)
 
                 # 3. the actual gradient step (identical math to NeurDB)
@@ -94,7 +95,7 @@ class PostgresPlusP:
                 losses.append(loss.item())
                 self.clock.advance(
                     AIRuntime.train_batch_cost(len(batch_rows), fields),
-                    "pg-train")
+                    cat.PG_TRAIN)
                 samples += len(batch_rows)
 
         elapsed = self.clock.now - start
@@ -112,7 +113,7 @@ class PostgresPlusP:
         self.clock.advance(CostModel.BATCH_EXPORT_SETUP
                            + values * CostModel.TEXT_EXPORT_PER_VALUE
                            + values * CostModel.PYTHON_PREP_PER_VALUE,
-                           "pg-export")
+                           cat.PG_EXPORT)
         self.clock.advance(AIRuntime.infer_batch_cost(
-            len(rows), model.field_count), "pg-infer")
+            len(rows), model.field_count), cat.PG_INFER)
         return model.predict(rows)

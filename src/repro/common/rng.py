@@ -9,12 +9,22 @@ from __future__ import annotations
 import numpy as np
 
 
+#: Seed used when a caller passes ``None``: reproducibility must never
+#: hinge on the call site remembering to pick a number, so the escape
+#: hatch is a *fixed* generator, not an OS-entropy one.
+DEFAULT_SEED = 0
+
+
 def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
-    """Return a numpy Generator from a seed, pass one through unchanged,
-    or create an unseeded one for ``None``."""
+    """Return a numpy Generator from a seed, or pass one through unchanged.
+
+    ``None`` maps to :data:`DEFAULT_SEED` — every stochastic component in
+    this repo is seeded, period.  An unseeded generator here would
+    contradict the module contract above and silently break run-to-run
+    reproducibility for whichever experiment forgot to thread its seed."""
     if isinstance(seed, np.random.Generator):
         return seed
-    return np.random.default_rng(seed)
+    return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
 
 
 def zipf_sample(rng: np.random.Generator, n: int, theta: float,

@@ -32,6 +32,7 @@ from repro.ai.loader import (ColumnFeatures, ColumnTrainingSet,
 from repro.ai.model_manager import ModelManager
 from repro.ai.monitor import Monitor
 from repro.ai.tasks import FineTuneTask, InferenceTask, TrainTask
+from repro.common import categories as cat
 from repro.common.errors import (BindError, ExecutionError, NeurDBError,
                                  is_retryable)
 from repro.common.faults import FaultPlan
@@ -185,7 +186,7 @@ class NeurDB:
                 attempt += 1
                 self.query_retries += 1
                 self.clock.advance(policy.backoff * (2 ** (attempt - 1)),
-                                   "retry-backoff")
+                                   cat.RETRY_BACKOFF)
                 self._warn(f"retry {attempt}/{policy.max_retries} of "
                            f"{type(statement).__name__} after "
                            f"{type(exc).__name__}: {exc}")

@@ -62,6 +62,7 @@ from typing import Any, Iterator
 
 import numpy as np
 
+from repro.common import categories as cat
 from repro.common.errors import BindError, ExecutionError
 from repro.common.simtime import CostModel, SimClock
 from repro.exec.batch import (
@@ -156,9 +157,9 @@ class SeqScanOp(Operator):
     def __iter__(self) -> Iterator[tuple]:
         predicate = self._predicate
         for _, row in self._table.scan():
-            self._clock.advance(CostModel.TUPLE_CPU, "scan")
+            self._clock.advance(CostModel.TUPLE_CPU, cat.SCAN)
             if predicate is not None:
-                self._clock.advance(CostModel.EVAL_PREDICATE, "filter")
+                self._clock.advance(CostModel.EVAL_PREDICATE, cat.FILTER)
                 if not to_bool(predicate(row)):
                     continue
             yield self._emit(row)
@@ -183,10 +184,10 @@ class SeqScanOp(Operator):
         is pushed down; the result is None when every row is rejected."""
         n = len(block)
         if self._predicate_batch is None:
-            clock.advance_batch(CostModel.TUPLE_CPU, n, "scan")
+            clock.advance_batch(CostModel.TUPLE_CPU, n, cat.SCAN)
             return block, None
-        clock.advance_charges(((CostModel.TUPLE_CPU, n, "scan"),
-                               (CostModel.EVAL_PREDICATE, n, "filter")))
+        clock.advance_charges(((CostModel.TUPLE_CPU, n, cat.SCAN),
+                               (CostModel.EVAL_PREDICATE, n, cat.FILTER)))
         mask = self._predicate_batch(block)
         if not mask.any():
             return None
@@ -239,20 +240,20 @@ class IndexScanOp(Operator):
         return self._index.range_scan(low=node.low, high=node.high)
 
     def __iter__(self) -> Iterator[tuple]:
-        self._clock.advance(CostModel.INDEX_DESCENT, "index")
+        self._clock.advance(CostModel.INDEX_DESCENT, cat.INDEX)
         for _, rid in self._key_rids():
             row = self._table.read(rid)
             if row is None:
                 continue
-            self._clock.advance(CostModel.TUPLE_CPU, "index")
+            self._clock.advance(CostModel.TUPLE_CPU, cat.INDEX)
             if self._residual is not None:
-                self._clock.advance(CostModel.EVAL_PREDICATE, "filter")
+                self._clock.advance(CostModel.EVAL_PREDICATE, cat.FILTER)
                 if not to_bool(self._residual(row)):
                     continue
             yield self._emit(row)
 
     def batches(self) -> Iterator[RowBlock]:
-        self._clock.advance(CostModel.INDEX_DESCENT, "index")
+        self._clock.advance(CostModel.INDEX_DESCENT, cat.INDEX)
         buffer: list[tuple] = []
         for _, rid in self._key_rids():
             row = self._table.read(rid)
@@ -271,10 +272,10 @@ class IndexScanOp(Operator):
 
     def _filtered_block(self, rows: list[tuple]) -> RowBlock:
         n = len(rows)
-        self._clock.advance_batch(CostModel.TUPLE_CPU, n, "index")
+        self._clock.advance_batch(CostModel.TUPLE_CPU, n, cat.INDEX)
         block = RowBlock.from_rows(self.layout, rows, self._kinds)
         if self._residual_batch is not None:
-            self._clock.advance_batch(CostModel.EVAL_PREDICATE, n, "filter")
+            self._clock.advance_batch(CostModel.EVAL_PREDICATE, n, cat.FILTER)
             block = block.select(self._residual_batch(block))
         return block
 
@@ -290,7 +291,7 @@ class FilterOp(Operator):
 
     def __iter__(self) -> Iterator[tuple]:
         for row in self._child:
-            self._clock.advance(CostModel.EVAL_PREDICATE, "filter")
+            self._clock.advance(CostModel.EVAL_PREDICATE, cat.FILTER)
             if to_bool(self._predicate(row)):
                 yield self._emit(row)
 
@@ -306,7 +307,7 @@ class FilterOp(Operator):
         block as a selection mask, charging ``clock``, without building
         the selected block — the pipeline defers the copy to whichever
         stage materializes.  None when every row is rejected."""
-        clock.advance_batch(CostModel.EVAL_PREDICATE, len(block), "filter")
+        clock.advance_batch(CostModel.EVAL_PREDICATE, len(block), cat.FILTER)
         mask = self._predicate_batch(block)
         return mask if mask.any() else None
 
@@ -344,7 +345,7 @@ class ProjectOp(Operator):
 
     def __iter__(self) -> Iterator[tuple]:
         for row in self._child:
-            self._clock.advance(CostModel.TUPLE_CPU, "project")
+            self._clock.advance(CostModel.TUPLE_CPU, cat.PROJECT)
             yield self._emit(tuple(e(row) for e in self._evaluators))
 
     def batches(self) -> Iterator[RowBlock]:
@@ -362,7 +363,7 @@ class ProjectOp(Operator):
         and the output length must reflect).  Column-passthrough items
         apply the mask per projected column — unprojected columns are
         never copied; computed items materialize the selected rows once."""
-        clock.advance_batch(CostModel.TUPLE_CPU, count, "project")
+        clock.advance_batch(CostModel.TUPLE_CPU, count, cat.PROJECT)
         columns = []
         rows: list[tuple] | None = None
         for kind, payload in self._sources:
@@ -403,10 +404,10 @@ class NestedLoopJoinOp(Operator):
         condition = self._condition
         for lrow in self._left:
             for rrow in right_rows:
-                self._clock.advance(CostModel.TUPLE_CPU, "join")
+                self._clock.advance(CostModel.TUPLE_CPU, cat.JOIN)
                 combined = lrow + rrow
                 if condition is not None:
-                    self._clock.advance(CostModel.EVAL_PREDICATE, "join")
+                    self._clock.advance(CostModel.EVAL_PREDICATE, cat.JOIN)
                     if not to_bool(condition(combined)):
                         continue
                 yield self._emit(combined)
@@ -432,7 +433,7 @@ class NestedLoopJoinOp(Operator):
                 chunk = lblock.slice(start, start + rows_per_chunk)
                 n = len(chunk)
                 pairs = n * m
-                self._clock.advance_batch(CostModel.TUPLE_CPU, pairs, "join")
+                self._clock.advance_batch(CostModel.TUPLE_CPU, pairs, cat.JOIN)
                 columns = [np.repeat(chunk.column(i), m)
                            for i in range(len(chunk.columns))]
                 columns += [np.tile(right.column(i), n)
@@ -440,7 +441,7 @@ class NestedLoopJoinOp(Operator):
                 block = RowBlock(self.layout, columns, pairs)
                 if condition is not None:
                     self._clock.advance_batch(CostModel.EVAL_PREDICATE,
-                                              pairs, "join")
+                                              pairs, cat.JOIN)
                     block = block.select(condition(block))
                 if block:
                     yield self._emit_block(block)
@@ -470,7 +471,7 @@ class HashJoinOp(Operator):
         buckets: dict[Any, list[tuple]] = {}
         build_rows = 0
         for lrow in self._left:
-            self._clock.advance(CostModel.HASH_BUILD_ROW, "join")
+            self._clock.advance(CostModel.HASH_BUILD_ROW, cat.JOIN)
             build_rows += 1
             key = self._left_key(lrow)
             if key is not None:
@@ -478,15 +479,15 @@ class HashJoinOp(Operator):
         probe_factor = self._spill(build_rows)
         for rrow in self._right:
             self._clock.advance(CostModel.HASH_PROBE_ROW * probe_factor,
-                                "join")
+                                cat.JOIN)
             key = self._right_key(rrow)
             if key is None:
                 continue
             for lrow in buckets.get(key, ()):
-                self._clock.advance(CostModel.TUPLE_CPU, "join")
+                self._clock.advance(CostModel.TUPLE_CPU, cat.JOIN)
                 combined = lrow + rrow
                 if self._residual is not None:
-                    self._clock.advance(CostModel.EVAL_PREDICATE, "join")
+                    self._clock.advance(CostModel.EVAL_PREDICATE, cat.JOIN)
                     if not to_bool(self._residual(combined)):
                         continue
                 yield self._emit(combined)
@@ -501,7 +502,7 @@ class HashJoinOp(Operator):
             # hybrid hash join ran out of work_mem: repartition the build
             # side to disk; every probe re-reads its partition
             clock.advance(build_rows * CostModel.HASH_BUILD_ROW
-                          * (CostModel.HASH_SPILL_FACTOR - 1), "spill")
+                          * (CostModel.HASH_SPILL_FACTOR - 1), cat.SPILL)
         return CostModel.HASH_SPILL_FACTOR / 2 if spilled else 1.0
 
     def batches(self) -> Iterator[RowBlock]:
@@ -525,7 +526,7 @@ class HashJoinOp(Operator):
         the *input* count (NULL keys included) so the spill decision sees
         the same build size as the serial engines."""
         n = len(block)
-        clock.advance_batch(CostModel.HASH_BUILD_ROW, n, "join")
+        clock.advance_batch(CostModel.HASH_BUILD_ROW, n, cat.JOIN)
         keys = _source_values(self._left_key_source, block)
         pairs = [(key, row) for row, key in zip(block.iter_rows(), keys)
                  if key is not None]
@@ -552,7 +553,7 @@ class HashJoinOp(Operator):
         (read-only) bucket table, charging ``clock``; None when no row
         survives."""
         clock.advance_batch(CostModel.HASH_PROBE_ROW * probe_factor,
-                            len(block), "join")
+                            len(block), cat.JOIN)
         keys = _source_values(self._right_key_source, block)
         candidates: list[tuple] = []
         for rrow, key in zip(block.iter_rows(), keys):
@@ -562,11 +563,11 @@ class HashJoinOp(Operator):
                 candidates.append(lrow + rrow)
         if not candidates:
             return None
-        clock.advance_batch(CostModel.TUPLE_CPU, len(candidates), "join")
+        clock.advance_batch(CostModel.TUPLE_CPU, len(candidates), cat.JOIN)
         out = RowBlock.from_rows(self.layout, candidates)
         if self._residual_batch is not None:
             clock.advance_batch(CostModel.EVAL_PREDICATE, len(candidates),
-                                "join")
+                                cat.JOIN)
             out = out.select(self._residual_batch(out))
         return out if out else None
 
@@ -723,7 +724,7 @@ class AggregateOp(Operator):
         groups: dict[tuple, tuple[list[_Accumulator], tuple]] = {}
         group_order: list[tuple] = []
         for row in self._child:
-            self._clock.advance(CostModel.HASH_BUILD_ROW, "agg")
+            self._clock.advance(CostModel.HASH_BUILD_ROW, cat.AGG)
             key = tuple(e(row) for e in self._group_evals)
             if key not in groups:
                 groups[key] = (self._new_accs(), row)
@@ -766,7 +767,7 @@ class AggregateOp(Operator):
         see surviving rows — exactly what :meth:`absorb_block` on a
         pre-selected block would have done."""
         groups, group_order = state
-        clock.advance_batch(CostModel.HASH_BUILD_ROW, count, "agg")
+        clock.advance_batch(CostModel.HASH_BUILD_ROW, count, cat.AGG)
         if mask is not None and not self._slot_only:
             block = block.select(mask)
             mask = None
@@ -998,7 +999,7 @@ class AggregateOp(Operator):
         block, charging ``clock``.  Uses the row-order-preserving partition
         (the one the serial paths fall back to), so group discovery order
         within the morsel matches the serial engines."""
-        clock.advance_batch(CostModel.HASH_BUILD_ROW, len(block), "agg")
+        clock.advance_batch(CostModel.HASH_BUILD_ROW, len(block), cat.AGG)
         call_arrays = self._call_arrays(block)
         partial: dict[Any, list] = {}
         if not self._node.group_by:
@@ -1227,7 +1228,7 @@ class SortOp(Operator):
         engines make."""
         cost = self._sort_cost(len(rows))
         if cost:
-            clock.advance(cost, "sort")
+            clock.advance(cost, cat.SORT)
         rows.sort(key=self._composite_key)
         return rows
 
@@ -1264,7 +1265,7 @@ class SortOp(Operator):
         rows = block.to_rows()
         cost = self._sort_cost(len(rows))
         if cost:
-            clock.advance(cost, "sort")
+            clock.advance(cost, cat.SORT)
         run = [(self._composite_key(row), row) for row in rows]
         run.sort(key=lambda pair: pair[0])
         return run
@@ -1281,7 +1282,7 @@ class SortOp(Operator):
         remainder = self._sort_cost(total) - sum(
             self._sort_cost(len(run)) for run in runs)
         if remainder > 0:
-            clock.advance(remainder, "sort")
+            clock.advance(remainder, cat.SORT)
         if not runs:
             return []
         if len(runs) == 1:
@@ -1404,7 +1405,7 @@ class DistinctOp(Operator):
     def __iter__(self) -> Iterator[tuple]:
         seen: set[tuple] = set()
         for row in self._child:
-            self._clock.advance(CostModel.HASH_BUILD_ROW, "distinct")
+            self._clock.advance(CostModel.HASH_BUILD_ROW, cat.DISTINCT)
             if row in seen:
                 continue
             seen.add(row)
@@ -1423,7 +1424,7 @@ class DistinctOp(Operator):
         charge ``clock``, keep first-seen rows in order, None when the
         whole block is duplicates.  Order-sensitive (the shared ``seen``
         set), so the parallel engine runs it on the serial lane."""
-        clock.advance_batch(CostModel.HASH_BUILD_ROW, len(block), "distinct")
+        clock.advance_batch(CostModel.HASH_BUILD_ROW, len(block), cat.DISTINCT)
         fresh: list[tuple] = []
         for row in block.iter_rows():
             if row not in seen:

@@ -88,6 +88,8 @@ import threading
 from itertools import count as _shared_counter
 from typing import Any, Callable
 
+from repro.analysis.sanitizer import sanitizer as _sanitizer
+from repro.common import categories as cat
 from repro.common.errors import WorkerCrash, is_retryable
 from repro.common.faults import FaultPlan
 from repro.common.simtime import BudgetExceeded, SimClock, WorkerClocks
@@ -142,7 +144,13 @@ class MorselScheduler:
         self._phase_no = 0
         self.task_retries = 0
         self.crashes_recovered = 0
-        self._counter_lock = threading.Lock()
+        self._counter_lock: Any = threading.Lock()
+        if _sanitizer.enabled():
+            # lockset sanitizer (REPRO_SANITIZE=1): record this
+            # scheduler's own counter writes with their held locks
+            self._counter_lock = _sanitizer.lock(self._counter_lock,
+                                                 "_counter_lock")
+            _sanitizer.instrument(self)
 
     # -- public entry ------------------------------------------------------
 
@@ -161,6 +169,10 @@ class MorselScheduler:
         start = self._clock.now
         try:
             program = pl.compile_pipelines(operator)
+            if _sanitizer.enabled():
+                # instrument AFTER compilation: pipeline compilation
+                # dispatches on type(op), which the class swap changes
+                _sanitizer.instrument_tree(operator)
             if program.has_limit:
                 blocks = self._serial_tree(operator)
             else:
@@ -203,6 +215,8 @@ class MorselScheduler:
             clocks.merge_into(self._clock)
         finally:
             self._clock.set_limit(limit)
+        if _sanitizer.enabled():
+            _sanitizer.check()
         return {
             "workers": self.workers,
             "morsel_rows": self.morsel_rows,
@@ -319,11 +333,13 @@ class MorselScheduler:
                 except (KeyboardInterrupt, SystemExit) as exc:
                     # not a task failure: surface the interrupt itself,
                     # never retry it or bury it under a morsel error
-                    interrupts.append(exc)
+                    with self._counter_lock:
+                        interrupts.append(exc)
                     stop.set()
                     return
                 except BaseException as exc:
-                    errors.append((i, exc))
+                    with self._counter_lock:
+                        errors.append((i, exc))
                     stop.set()  # no new morsels; in-flight ones finish
                     return
 
@@ -367,7 +383,7 @@ class MorselScheduler:
         spec = faults.decide("slow_worker", site, index=index,
                              attempt=attempt)
         if spec is not None and spec.latency > 0:
-            shard.advance(spec.latency, "fault-slow")
+            shard.advance(spec.latency, cat.FAULT_SLOW)
         faults.maybe_raise("worker_crash", site, index=index,
                            attempt=attempt)
         return result

@@ -61,7 +61,7 @@ class Tensor:
     @staticmethod
     def randn(*shape: int, rng: np.random.Generator | None = None,
               scale: float = 1.0, requires_grad: bool = False) -> "Tensor":
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(0)
         return Tensor(rng.standard_normal(shape) * scale,
                       requires_grad=requires_grad)
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro.common import categories as cat
 from repro.common.simtime import CostModel, SimClock
 
 
@@ -46,11 +47,11 @@ class BufferPool:
             self._lru.move_to_end(key)
             self._hits += 1
             self._table_hits[table] = self._table_hits.get(table, 0) + 1
-            self.clock.advance(CostModel.PAGE_HIT, "buffer-hit")
+            self.clock.advance(CostModel.PAGE_HIT, cat.BUFFER_HIT)
             return True
         self._misses += 1
         self._table_misses[table] = self._table_misses.get(table, 0) + 1
-        self.clock.advance(CostModel.PAGE_READ, "buffer-miss")
+        self.clock.advance(CostModel.PAGE_READ, cat.BUFFER_MISS)
         self._lru[key] = None
         if len(self._lru) > self.capacity_pages:
             self._lru.popitem(last=False)

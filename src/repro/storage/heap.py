@@ -6,6 +6,7 @@ from typing import Any, Iterator, Sequence
 
 import numpy as np
 
+from repro.common import categories as cat
 from repro.common.errors import ConstraintViolation
 from repro.common.simtime import CostModel, SimClock
 from repro.storage.buffer import BufferPool
@@ -64,7 +65,7 @@ class HeapTable:
                 uniq[row[col_idx]] = rid
         self._live_rows += 1
         self._version += 1
-        self._charge(CostModel.TUPLE_CPU, "heap-insert")
+        self._charge(CostModel.TUPLE_CPU, cat.HEAP_INSERT)
         return rid
 
     def update(self, rid: RecordId, values: Sequence[Any]) -> None:
@@ -80,7 +81,7 @@ class HeapTable:
                 uniq[row[col_idx]] = rid
         self._pages[rid.page_no].update(rid.slot_no, row)
         self._version += 1
-        self._charge(CostModel.TUPLE_CPU, "heap-update")
+        self._charge(CostModel.TUPLE_CPU, cat.HEAP_UPDATE)
 
     def delete(self, rid: RecordId) -> None:
         old = self.read(rid)
@@ -92,7 +93,7 @@ class HeapTable:
         self._pages[rid.page_no].delete(rid.slot_no)
         self._live_rows -= 1
         self._version += 1
-        self._charge(CostModel.TUPLE_CPU, "heap-delete")
+        self._charge(CostModel.TUPLE_CPU, cat.HEAP_DELETE)
 
     # -- access ------------------------------------------------------------
 

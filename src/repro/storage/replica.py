@@ -56,6 +56,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Sequence
 
+from repro.common import categories as cat
 from repro.common.errors import ReplicaUnavailable
 from repro.common.faults import FaultPlan
 from repro.common.simtime import CostModel, SimClock
@@ -325,21 +326,21 @@ class ReplicatedTable:
         self.resyncs += 1
         for _lsn, op, args in missed:   # already LSN-ordered
             self._apply(copy, op, args)
-            self._charge(CostModel.NET_PER_BYTE * 64, "resync")
+            self._charge(CostModel.NET_PER_BYTE * 64, cat.RESYNC)
         self.resynced_writes += len(missed)
         missed.clear()
 
     def _note_failover(self, node: str) -> None:
         """Record (and charge) the moment traffic moves off ``node``."""
         self.failovers += 1
-        self._charge(CostModel.NET_ROUND_TRIP, "failover")
+        self._charge(CostModel.NET_ROUND_TRIP, cat.FAILOVER)
 
     def _charge_ship(self, op: str, args: tuple) -> None:
         row = args[-1] if op in ("insert", "update") else ()
         nbytes = (self.schema.row_size_bytes(self.schema.coerce_row(row))
                   if row else 16)
         self._charge((CostModel.SERIALIZE_PER_BYTE
-                      + CostModel.NET_PER_BYTE) * nbytes, "replicate")
+                      + CostModel.NET_PER_BYTE) * nbytes, cat.REPLICATE)
 
     def _charge(self, seconds: float, category: str) -> None:
         if self._clock is not None:

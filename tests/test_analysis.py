@@ -1,0 +1,426 @@
+"""The invariant analyzer suite: determinism lint, charge-category
+registry, parallel-hook race analysis, and the runtime lockset
+sanitizer.
+
+Three kinds of coverage:
+
+* **Seeded true positives** — each rule fires on a minimal snippet (and
+  on the acceptance-criteria injections into the real
+  ``exec/operators.py`` source).
+* **False-positive guards** — known-clean idioms (seeded RNG, sorted
+  set iteration, morsel-local writes, locked counter updates) produce
+  nothing.
+* **The tree itself** — ``src/repro`` analyzes to zero unsuppressed
+  findings, which is also what the blocking CI job asserts.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ALL_PASSES,
+    ChargeCategoryPass,
+    DeterminismPass,
+    load_module,
+    load_tree,
+    run_passes,
+    unsuppressed,
+)
+from repro.analysis.races import EXPECTED_WORKER_HOOKS, RaceAnalysisPass
+from repro.analysis.sanitizer import (
+    LocksetSanitizer,
+    SanitizerViolation,
+)
+from repro.common import categories
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+
+
+def findings_for(path: str, text: str, passes=None):
+    mod = load_module(path, text)
+    lineup = [p() for p in (passes or ALL_PASSES)]
+    return unsuppressed(run_passes([mod], lineup))
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# -- determinism lint --------------------------------------------------------
+
+
+class TestDeterminismPass:
+    def test_stdlib_global_rng_flagged(self):
+        found = findings_for("repro/x.py",
+                             "import random\nv = random.random()\n",
+                             [DeterminismPass])
+        assert rules_of(found) == ["unseeded-rng"]
+
+    def test_unseeded_default_rng_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules_of(findings_for("repro/x.py", src,
+                                     [DeterminismPass])) == ["unseeded-rng"]
+
+    def test_none_seed_flagged_and_explicit_seed_clean(self):
+        src = ("import numpy as np\n"
+               "a = np.random.default_rng(None)\n"
+               "b = np.random.default_rng(7)\n"
+               "c = np.random.default_rng(seed=3)\n")
+        found = findings_for("repro/x.py", src, [DeterminismPass])
+        assert [(f.rule, f.line) for f in found] == [("unseeded-rng", 2)]
+
+    def test_numpy_legacy_global_flagged(self):
+        src = "import numpy as np\nv = np.random.rand(3)\n"
+        assert rules_of(findings_for("repro/x.py", src,
+                                     [DeterminismPass])) == ["unseeded-rng"]
+
+    def test_wallclock_flagged(self):
+        src = "import time\nt = time.time()\n"
+        assert rules_of(findings_for("repro/x.py", src,
+                                     [DeterminismPass])) == ["wallclock"]
+
+    def test_wallclock_through_alias(self):
+        src = "from time import perf_counter as pc\nt = pc()\n"
+        assert rules_of(findings_for("repro/x.py", src,
+                                     [DeterminismPass])) == ["wallclock"]
+
+    def test_id_ordering_flagged(self):
+        src = "def f(xs):\n    return sorted(xs, key=id)\n"
+        assert rules_of(findings_for("repro/x.py", src,
+                                     [DeterminismPass])) == ["id-ordering"]
+
+    def test_set_iteration_into_output_flagged(self):
+        src = ("def f(xs):\n"
+               "    out = []\n"
+               "    for x in set(xs):\n"
+               "        out.append(x)\n"
+               "    return out\n")
+        assert rules_of(findings_for("repro/x.py", src,
+                                     [DeterminismPass])) == ["set-iteration"]
+
+    def test_list_of_set_flagged(self):
+        src = ("def f(xs):\n"
+               "    s = set(xs)\n"
+               "    return list(s)\n")
+        assert rules_of(findings_for("repro/x.py", src,
+                                     [DeterminismPass])) == ["set-iteration"]
+
+    def test_sorted_set_and_membership_clean(self):
+        src = ("def f(xs, y):\n"
+               "    s = set(xs)\n"
+               "    if y in s:\n"
+               "        return sorted(s)\n"
+               "    total = 0\n"
+               "    for x in s:\n"
+               "        total += x\n"
+               "    return total\n")
+        assert findings_for("repro/x.py", src, [DeterminismPass]) == []
+
+    def test_seeded_constructs_clean(self):
+        src = ("import random\n"
+               "import numpy as np\n"
+               "r = random.Random(7)\n"
+               "g = np.random.default_rng(0)\n")
+        assert findings_for("repro/x.py", src, [DeterminismPass]) == []
+
+    def test_pragma_with_reason_suppresses(self):
+        src = ("import time\n"
+               "t = time.time()  # repro: nondeterministic-ok "
+               "wall time reported to humans only\n")
+        assert findings_for("repro/x.py", src, [DeterminismPass]) == []
+
+    def test_bare_pragma_is_itself_a_finding(self):
+        src = ("import time\n"
+               "t = time.time()  # repro: nondeterministic-ok\n")
+        found = findings_for("repro/x.py", src, [DeterminismPass])
+        assert sorted(rules_of(found)) == ["bare-pragma", "wallclock"]
+
+    def test_rng_module_allowlisted(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        mod = load_module("repro/common/rng.py", src)
+        assert unsuppressed(run_passes([mod], [DeterminismPass()])) == []
+
+
+# -- charge-category registry ------------------------------------------------
+
+
+class TestChargeCategoryPass:
+    def test_registered_literal_clean(self):
+        src = "def f(clock):\n    clock.advance(1.0, \"scan\")\n"
+        assert findings_for("repro/x.py", src, [ChargeCategoryPass]) == []
+
+    def test_misspelled_literal_flagged(self):
+        src = "def f(clock):\n    clock.advance(1.0, \"sacn\")\n"
+        found = findings_for("repro/x.py", src, [ChargeCategoryPass])
+        assert rules_of(found) == ["unknown-category"]
+
+    def test_registry_constant_clean(self):
+        src = ("from repro.common import categories as cat\n"
+               "def f(clock):\n"
+               "    clock.advance(1.0, cat.SCAN)\n"
+               "    clock.advance_batch(0.1, 5, category=cat.FILTER)\n")
+        assert findings_for("repro/x.py", src, [ChargeCategoryPass]) == []
+
+    def test_unresolved_constant_flagged(self):
+        src = ("from repro.common import categories as cat\n"
+               "def f(clock):\n"
+               "    clock.advance(1.0, cat.NO_SUCH_THING)\n")
+        found = findings_for("repro/x.py", src, [ChargeCategoryPass])
+        assert rules_of(found) == ["unresolved-category"]
+
+    def test_default_category_clean(self):
+        assert findings_for("repro/x.py",
+                            "def f(clock):\n    clock.advance(1.0)\n",
+                            [ChargeCategoryPass]) == []
+
+    def test_dynamic_category_warned(self):
+        src = "def f(clock, which):\n    clock.advance(1.0, which)\n"
+        found = findings_for("repro/x.py", src, [ChargeCategoryPass])
+        assert rules_of(found) == ["dynamic-category"]
+
+    def test_advance_charges_literal_tuples_checked(self):
+        src = ("def f(clock, n):\n"
+               "    clock.advance_charges([(0.1, n, \"scan\"),"
+               " (0.2, n, \"flter\")])\n")
+        found = findings_for("repro/x.py", src, [ChargeCategoryPass])
+        assert rules_of(found) == ["unknown-category"]
+
+    def test_every_literal_in_tree_is_registered(self):
+        """Acceptance criterion: all charge-category literals across
+        src/repro resolve to the central registry."""
+        modules = load_tree(SRC, base=ROOT / "src")
+        found = unsuppressed(run_passes(modules, [ChargeCategoryPass()]))
+        assert found == [], "\n".join(f.location() + " " + f.message
+                                      for f in found)
+
+    def test_registry_is_consistent(self):
+        for name, desc in categories.REGISTRY.items():
+            assert categories.is_registered(name)
+            assert isinstance(desc, str) and desc
+
+
+# -- race analysis -----------------------------------------------------------
+
+
+OPERATORS_SRC = (SRC / "exec" / "operators.py").read_text(encoding="utf-8")
+PARALLEL_SRC = (SRC / "exec" / "parallel.py").read_text(encoding="utf-8")
+PIPELINE_SRC = (SRC / "exec" / "pipeline.py").read_text(encoding="utf-8")
+
+
+def race_findings(operators=OPERATORS_SRC, parallel=PARALLEL_SRC,
+                  pipeline=PIPELINE_SRC):
+    modules = [
+        load_module("repro/exec/operators.py", operators),
+        load_module("repro/exec/parallel.py", parallel),
+        load_module("repro/exec/pipeline.py", pipeline),
+    ]
+    return unsuppressed(run_passes(modules, [RaceAnalysisPass()]))
+
+
+class TestRaceAnalysisPass:
+    def test_real_tree_clean(self):
+        assert race_findings() == []
+
+    def test_unlocked_hook_write_flagged(self):
+        """Acceptance criterion: an unlocked shared-attribute write in a
+        parallel hook produces a finding."""
+        match = re.search(r"(    def partial_block\(self[^\n]*\n)",
+                          OPERATORS_SRC)
+        assert match is not None
+        injected = (OPERATORS_SRC[:match.end()]
+                    + "        self._blocks_seen = 1\n"
+                    + OPERATORS_SRC[match.end():])
+        found = race_findings(operators=injected)
+        assert any(f.rule == "unlocked-shared-write"
+                   and "partial_block" in f.message for f in found)
+
+    def test_unlocked_mutating_call_flagged(self):
+        # the signature may wrap: consume to the colon ending it
+        match = re.search(r"    def sort_block\(self.*?:\n",
+                          OPERATORS_SRC, re.S)
+        assert match is not None
+        injected = (OPERATORS_SRC[:match.end()]
+                    + "        self._runs.append(1)\n"
+                    + OPERATORS_SRC[match.end():])
+        found = race_findings(operators=injected)
+        assert any(f.rule == "unlocked-shared-write"
+                   and "sort_block" in f.message for f in found)
+
+    def test_unguarded_scheduler_append_flagged(self):
+        """Removing the lock around the worker loop's error collection
+        must be caught (the very fix this pass motivated)."""
+        broken = PARALLEL_SRC.replace(
+            "                    with self._counter_lock:\n"
+            "                        errors.append((i, exc))\n",
+            "                    errors.append((i, exc))\n")
+        assert broken != PARALLEL_SRC
+        found = race_findings(parallel=broken)
+        assert any(f.rule == "unlocked-shared-write"
+                   and "captured 'errors'" in f.message for f in found)
+
+    def test_dispatch_drift_detected(self):
+        """A new hook dispatched via self._map without a matching
+        EXPECTED_WORKER_HOOKS entry is a finding."""
+        marker = "        runs = self._map(blocks, op.sort_block)\n"
+        assert marker in PARALLEL_SRC
+        drifted = PARALLEL_SRC.replace(
+            marker, marker
+            + "        self._map(blocks, op.shiny_new_hook)\n")
+        found = race_findings(parallel=drifted)
+        assert any(f.rule == "dispatch-drift"
+                   and "shiny_new_hook" in f.message for f in found)
+
+    def test_expected_hooks_match_scheduler_contract(self):
+        # the serial-lane hooks must never appear in the worker set
+        serial_only = {"merge_build", "merge_runs", "finish_partials",
+                       "finish_partitions", "distinct_block", "limit_block"}
+        assert not (EXPECTED_WORKER_HOOKS & serial_only)
+
+    def test_morsel_local_writes_clean(self):
+        """Index-local stores and local mutations — the scheduler's own
+        idiom — must not be flagged."""
+        src = ("import threading\n"
+               "class MorselScheduler:\n"
+               "    def _go(self, items):\n"
+               "        results = [None] * len(items)\n"
+               "        def work():\n"
+               "            for i in range(len(items)):\n"
+               "                local = []\n"
+               "                local.append(i)\n"
+               "                results[i] = local\n"
+               "        t = threading.Thread(target=work)\n"
+               "        t.start()\n")
+        mod = load_module("repro/exec/parallel.py", src)
+        assert unsuppressed(run_passes([mod], [RaceAnalysisPass()])) == []
+
+
+# -- acceptance-criteria injections against the full lineup ------------------
+
+
+class TestInjections:
+    def test_unseeded_random_in_operators(self):
+        injected = (OPERATORS_SRC
+                    + "\n\nimport random\n\n"
+                      "def _jitter():\n    return random.random()\n")
+        found = findings_for("repro/exec/operators.py", injected)
+        assert any(f.rule == "unseeded-rng" for f in found)
+
+    def test_misspelled_category_in_operators(self):
+        injected = OPERATORS_SRC.replace("cat.SCAN", '"sacn"', 1)
+        assert injected != OPERATORS_SRC
+        found = findings_for("repro/exec/operators.py", injected)
+        assert any(f.rule == "unknown-category" for f in found)
+
+
+# -- whole-tree gate ---------------------------------------------------------
+
+
+def test_src_tree_has_no_unsuppressed_findings():
+    """The blocking CI gate, asserted in tier-1 too: the tree analyzes
+    clean under every pass."""
+    modules = load_tree(SRC, base=ROOT / "src")
+    found = unsuppressed(run_passes(modules,
+                                    [p() for p in ALL_PASSES]))
+    assert found == [], "\n".join(
+        f"{f.location()}: [{f.rule}] {f.message}" for f in found)
+
+
+# -- runtime lockset sanitizer ----------------------------------------------
+
+
+class _SharedThing:
+    pass
+
+
+class TestSanitizer:
+    def test_unlocked_worker_write_raises(self):
+        san = LocksetSanitizer()
+        obj = _SharedThing()
+        san.instrument(obj)
+
+        def worker():
+            obj.counter = 1
+
+        t = threading.Thread(target=worker, name="morsel-worker-0")
+        t.start()
+        t.join()
+        with pytest.raises(SanitizerViolation):
+            san.check()
+
+    def test_locked_worker_write_clean(self):
+        san = LocksetSanitizer()
+        obj = _SharedThing()
+        san.instrument(obj)
+        lock = san.lock(name="guard")
+
+        def worker():
+            with lock:
+                obj.counter = 2
+
+        t = threading.Thread(target=worker, name="morsel-worker-0")
+        t.start()
+        t.join()
+        san.check()  # no raise
+        assert obj.counter == 2
+
+    def test_coordinator_writes_recorded_not_violations(self):
+        san = LocksetSanitizer()
+        obj = _SharedThing()
+        san.instrument(obj)
+        obj.value = 3
+        assert [r.attribute for r in san.records()] == ["_SharedThing.value"]
+        assert san.violations() == []
+        san.check()
+
+    def test_instrument_idempotent_and_type_preserving(self):
+        san = LocksetSanitizer()
+        obj = _SharedThing()
+        san.instrument(obj)
+        first = type(obj)
+        san.instrument(obj)
+        assert type(obj) is first
+        assert isinstance(obj, _SharedThing)
+        assert type(obj).__name__ == "_SharedThing"
+
+    def test_check_clears_records(self):
+        san = LocksetSanitizer()
+        obj = _SharedThing()
+        san.instrument(obj)
+        obj.x = 1
+        san.check()
+        assert san.records() == []
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_scheduler_parity_run_clean_under_sanitizer(
+            self, workers, monkeypatch):
+        """Full engine run with REPRO_SANITIZE=1: the morsel scheduler
+        instruments the operator tree and itself, and finishes with no
+        violations at every worker count the parity sweep uses."""
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        import repro
+        from repro.analysis.sanitizer import sanitizer
+        from repro.exec.executor import Executor
+        from repro.sql import parse
+        sanitizer.reset()
+        db = repro.connect()
+        db.execute("CREATE TABLE t (id INT UNIQUE, grp TEXT, v FLOAT)")
+        heap = db.catalog.table("t")
+        for i in range(200):
+            heap.insert((i, ["a", "b", "c"][i % 3], float(i) * 0.5))
+        db.execute("ANALYZE")
+        sql = ("SELECT grp, count(*), sum(v) FROM t WHERE v > 5.0 "
+               "GROUP BY grp ORDER BY grp")
+
+        def run(**kwargs):
+            plan = db.planner.plan_select(parse(sql))
+            return Executor(db.catalog, db.clock, **kwargs).run(plan)
+
+        serial = run(engine="batch").rows
+        parallel = run(engine="parallel", workers=workers).rows
+        assert parallel == serial  # sanitizer raised nothing, parity holds

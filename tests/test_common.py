@@ -142,6 +142,17 @@ class TestRng:
         gen = np.random.default_rng(0)
         assert make_rng(gen) is gen
 
+    def test_make_rng_none_uses_default_seed(self):
+        """No unseeded escape hatch: None means DEFAULT_SEED, never OS
+        entropy, so two None generators agree with each other and with
+        an explicit make_rng(DEFAULT_SEED)."""
+        from repro.common.rng import DEFAULT_SEED
+        a = make_rng(None).random(5)
+        b = make_rng(None).random(5)
+        c = make_rng(DEFAULT_SEED).random(5)
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, c)
+
     def test_zipf_uniform_when_theta_zero(self):
         rng = make_rng(0)
         samples = zipf_sample(rng, 10, theta=0.0, size=20_000)

@@ -1,0 +1,51 @@
+"""Shared scaffolding for the repo's checker tools (``check_links.py``,
+``analyze.py``).
+
+Every checker has the same shape: collect findings over the tree, print
+them to stderr, print a one-line summary to stdout, exit non-zero iff
+anything failed.  :func:`run_tool` owns that contract — argument
+parsing stays in each tool, reporting and exit codes live here — so CI
+jobs and ``tests/test_docs_links.py``-style wrappers can treat every
+tool identically.
+
+:func:`bootstrap_src` puts ``src/`` on ``sys.path`` for tools that
+import the ``repro`` package without requiring ``PYTHONPATH=src``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Callable, Iterable
+
+#: repo root (tools/ lives directly under it)
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def bootstrap_src() -> None:
+    """Make ``import repro`` work when the tool is run directly."""
+    src = str(ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+
+def run_tool(name: str, check: Callable[[], tuple[Iterable[str], str]],
+             ) -> int:
+    """Run one checker.
+
+    ``check()`` returns ``(error_lines, summary)``: the error lines go
+    to stderr, the summary line (with a FAILED/ok verdict appended by
+    the checker itself) to stdout.  Returns the process exit code:
+    0 when there are no error lines, 1 otherwise, 2 on a crash inside
+    the checker (reported, not swallowed).
+    """
+    try:
+        errors, summary = check()
+    except Exception as exc:  # tool bug, not a finding
+        print(f"{name}: internal error: {exc}", file=sys.stderr)
+        return 2
+    errors = list(errors)
+    for line in errors:
+        print(line, file=sys.stderr)
+    print(summary)
+    return 1 if errors else 0

@@ -23,7 +23,7 @@ import re
 import sys
 from pathlib import Path
 
-ROOT = Path(__file__).resolve().parent.parent
+from _runner import ROOT, run_tool
 
 _MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _CODE_REF = re.compile(
@@ -60,16 +60,18 @@ def check_file(path: Path) -> list[str]:
 
 
 def main() -> int:
-    files = sorted(ROOT.glob("docs/**/*.md"))
-    readme = ROOT / "README.md"
-    if readme.exists():
-        files.append(readme)
-    errors = [error for path in files for error in check_file(path)]
-    for error in errors:
-        print(error, file=sys.stderr)
-    print(f"checked {len(files)} file(s): "
-          f"{'FAILED' if errors else 'ok'} ({len(errors)} dead reference(s))")
-    return 1 if errors else 0
+    def check():
+        files = sorted(ROOT.glob("docs/**/*.md"))
+        readme = ROOT / "README.md"
+        if readme.exists():
+            files.append(readme)
+        errors = [error for path in files for error in check_file(path)]
+        summary = (f"checked {len(files)} file(s): "
+                   f"{'FAILED' if errors else 'ok'} "
+                   f"({len(errors)} dead reference(s))")
+        return errors, summary
+
+    return run_tool("check_links", check)
 
 
 if __name__ == "__main__":
