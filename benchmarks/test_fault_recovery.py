@@ -32,6 +32,7 @@ import tempfile
 import numpy as np
 
 import repro
+from repro.bench.reporting import write_bench_json
 from repro.common.faults import FaultPlan
 from repro.common.simtime import SimClock
 from repro.exec.executor import Executor
@@ -234,6 +235,12 @@ def test_zzz_write_report():
     """Runs last (name-ordered within the module): persist the report."""
     assert {"recovery_makespan", "failover",
             "degraded_serving"} <= set(_report)
-    with open(RESULT_PATH, "w") as fh:
-        json.dump(_report, fh, indent=2)
-        fh.write("\n")
+    write_bench_json(
+        RESULT_PATH, _report, smoke=SMOKE, seeds={"fault_seed": SEED},
+        workload={"exec_rows": EXEC_ROWS, "chaos_rate": CHAOS_RATE,
+                  "worker_sweep": WORKER_SWEEP,
+                  "replica_writes": REPLICA_WRITES,
+                  "outage_rate": OUTAGE_RATE,
+                  "serve_requests": SERVE_REQUESTS,
+                  "serve_fault_rate": SERVE_FAULT_RATE,
+                  "train_rows": TRAIN_ROWS})

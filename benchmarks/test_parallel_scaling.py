@@ -30,6 +30,7 @@ import tempfile
 import numpy as np
 
 import repro
+from repro.bench.reporting import write_bench_json
 from repro.exec.executor import Executor
 from repro.sql import parse
 
@@ -141,12 +142,13 @@ def test_parallel_engine_scaling():
 
     report = {
         "rows": ROWS,
-        "smoke": SMOKE,
         "metric": ("rows per virtual second; parallel elapsed = modeled "
                    "makespan (serial lane + per-phase max worker load), "
                    "serial elapsed = charged virtual time"),
         "workloads": report_workloads,
     }
-    with open(RESULT_PATH, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    write_bench_json(
+        RESULT_PATH, report, smoke=SMOKE, seeds={"numpy_rng": 7},
+        workload={"rows": ROWS, "morsel_rows": MORSEL_ROWS,
+                  "worker_sweep": WORKER_SWEEP,
+                  "speedup_floor_at_4": SPEEDUP_FLOOR_AT_4})

@@ -32,6 +32,7 @@ import tempfile
 import numpy as np
 
 import repro
+from repro.bench.reporting import write_bench_json
 from repro.common.simtime import LaneSchedule
 from repro.serve import PredictServer, bursty_arrivals, uniform_arrivals
 
@@ -315,13 +316,17 @@ def test_drifting_distribution_auto_refresh():
 def test_write_report():
     """Runs last (file order): persist everything the scenarios recorded."""
     report = {
-        "smoke": SMOKE,
         "metric": ("requests per virtual second; serving elapsed = "
                    "LaneSchedule makespan over modeled arrival times, "
                    "work costs = simtime charges"),
         "workloads": _report,
     }
-    with open(RESULT_PATH, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    write_bench_json(
+        RESULT_PATH, report, smoke=SMOKE, seeds={"numpy_rng": 7},
+        workload={"train_rows": TRAIN_ROWS,
+                  "point_requests": POINT_REQUESTS,
+                  "point_rate": POINT_RATE, "batch_sweep": BATCH_SWEEP,
+                  "lane_sweep": LANE_SWEEP, "lane_rate": LANE_RATE,
+                  "burst_requests": BURST_REQUESTS,
+                  "burst_size": BURST_SIZE})
     assert _report, "scenario results must be recorded before the write"

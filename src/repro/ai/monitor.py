@@ -98,6 +98,9 @@ class Monitor:
         self._triggers: dict[str, list[Callable[[DriftEvent], None]]] = {}
         self.events: list[DriftEvent] = []
         self.trigger_errors: list[tuple[DriftEvent, Exception]] = []
+        #: optional MetricsRegistry; drift and trigger failures are
+        #: mirrored there as structured events when set
+        self.event_sink = None
 
     def register(self, name: str, higher_is_better: bool = False,
                  threshold: float = 0.3, window: int = 10,
@@ -139,11 +142,26 @@ class Monitor:
         event = self._streams[name].observe(value)
         if event is not None:
             self.events.append(event)
+            if self.event_sink is not None:
+                self.event_sink.event(
+                    "monitor.drift",
+                    f"drift on {name!r}: {event.relative_change:+.3f}",
+                    stream=name, reference_mean=event.reference_mean,
+                    recent_mean=event.recent_mean,
+                    relative_change=event.relative_change,
+                    observation_index=event.observation_index)
             for callback in self._triggers[name]:
                 try:
                     callback(event)
                 except Exception as exc:
                     self.trigger_errors.append((event, exc))
+                    if self.event_sink is not None:
+                        self.event_sink.event(
+                            "monitor.trigger_error",
+                            f"drift trigger failed on {event.stream!r}: "
+                            f"{type(exc).__name__}: {exc}",
+                            stream=event.stream,
+                            error=f"{type(exc).__name__}: {exc}")
         return event
 
     def drift_count(self, name: str | None = None) -> int:

@@ -28,7 +28,20 @@ sequence), and checks it:
     ``WorkerClocks.merge_into``) are allowlisted by symbol — their
     *callers* are the real charge sites and are checked instead.
 
-Escape hatch: ``# repro: charge-category-ok <reason>``.
+``untraced-clock``
+    A bare ``SimClock()`` construction outside the clock module itself.
+    Charges on a privately constructed clock never reach an attached
+    tracer, so the observability layer's reconciliation invariant
+    (span totals == clock breakdown) silently loses them: worker shards
+    must come from ``SimClock.shard()`` and components must accept the
+    session clock.  The standalone default fallback —
+    ``clock if clock is not None else SimClock()`` — is exempt
+    structurally: it only fires when there is no session clock (and
+    hence no tracer) in play.
+
+Escape hatches: ``# repro: charge-category-ok <reason>`` for the
+category rules, ``# repro: untraced-clock-ok <reason>`` for the
+constructor rule.
 """
 
 from __future__ import annotations
@@ -46,13 +59,17 @@ from repro.analysis.core import (
 from repro.common import categories
 
 _PRAGMA = "charge-category-ok"
+_CLOCK_PRAGMA = "untraced-clock-ok"
 
 #: charge method name -> positional index of the category argument
 CHARGE_METHODS = {"advance": 1, "advance_batch": 2, "advance_to": 1,
-                  "_charge": 1}
+                  "absorb": 1, "_charge": 1}
 
 #: absolute module path of the registry, as the import map resolves it
 _REGISTRY_MODULE = "repro.common.categories"
+
+#: absolute path of the clock class, as the import map resolves it
+_CLOCK_CLASS = "repro.common.simtime.SimClock"
 
 
 class ChargeCategoryPass(AnalysisPass):
@@ -61,8 +78,10 @@ class ChargeCategoryPass(AnalysisPass):
         "unknown-category": _PRAGMA,
         "unresolved-category": _PRAGMA,
         "dynamic-category": _PRAGMA,
+        "untraced-clock": _CLOCK_PRAGMA,
     }
     # the clock itself forwards categories between its own entry points
+    # (and shard()/WorkerClocks legitimately construct bare clocks)
     path_allowlist = ("repro/common/simtime.py",)
     # verbatim parameter pass-throughs: the category is checked at their
     # call sites, which this pass also visits
@@ -71,15 +90,34 @@ class ChargeCategoryPass(AnalysisPass):
             ("dynamic-category",),
         "repro/storage/replica.py::ReplicatedTable._charge":
             ("dynamic-category",),
+        # the pipeline sink API's absorb(block, clock) shares a name with
+        # SimClock.absorb(seconds, category); its second argument is a
+        # clock, not a category
+        "repro/exec/pipeline.py::PipelineSink.absorb_carrier":
+            ("dynamic-category",),
+        # the session root clock: tracers attach *to* this one
+        "repro/db.py::NeurDB.__init__": ("untraced-clock",),
     }
 
     def run(self, module: ModuleSource) -> list[Finding]:
         imports = ImportMap(module.tree)
         qualnames = qualname_of(module.tree)
         findings: list[Finding] = []
+        guarded = self._guarded_fallbacks(module.tree)
         for node in ast.walk(module.tree):
-            if not (isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Attribute)):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._is_clock_ctor(node, imports) and node not in guarded:
+                findings.append(self._scoped(module, qualnames, node, Finding(
+                    rule="untraced-clock", severity=Severity.ERROR,
+                    path=module.path, line=node.lineno,
+                    pragma=_CLOCK_PRAGMA,
+                    message="bare SimClock() construction: charges on a "
+                            "private clock never reach an attached tracer "
+                            "— shard from the session clock "
+                            "(clock.shard()) or accept it as a "
+                            "parameter with a guarded default")))
+            if not isinstance(node.func, ast.Attribute):
                 continue
             method = node.func.attr
             if method in CHARGE_METHODS:
@@ -92,6 +130,40 @@ class ChargeCategoryPass(AnalysisPass):
                 findings.extend(self._check_charge_sequence(
                     module, imports, qualnames, node))
         return findings
+
+    # -- untraced-clock ----------------------------------------------------
+
+    @staticmethod
+    def _is_clock_ctor(node: ast.Call, imports: ImportMap) -> bool:
+        """``SimClock(...)`` by import resolution, falling back to the
+        bare name for modules the import map cannot see through."""
+        resolved = imports.resolve(node.func)
+        if resolved is not None:
+            return resolved == _CLOCK_CLASS
+        return (isinstance(node.func, ast.Name)
+                and node.func.id == "SimClock")
+
+    @staticmethod
+    def _guarded_fallbacks(tree: ast.Module) -> set[ast.AST]:
+        """Calls appearing in a ``x if x is (not) None else ...``
+        conditional — the standalone-component default, which only fires
+        when no session clock (and hence no tracer) exists."""
+        guarded: set[ast.AST] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.IfExp):
+                continue
+            test = node.test
+            if not (isinstance(test, ast.Compare) and any(
+                    isinstance(op, (ast.Is, ast.IsNot))
+                    for op in test.ops)):
+                continue
+            operands = [test.left, *test.comparators]
+            if not any(isinstance(o, ast.Constant) and o.value is None
+                       for o in operands):
+                continue
+            guarded.update(n for n in (node.body, node.orelse)
+                           if isinstance(n, ast.Call))
+        return guarded
 
     # -- extraction --------------------------------------------------------
 

@@ -13,8 +13,10 @@ The pass does **not** trust a hand-maintained hook list.  It re-derives
 the worker dispatch table from the code that actually dispatches:
 
 * every ``self._map(items, fn)`` call site inside ``MorselScheduler``
-  contributes ``fn`` — a bound hook reference (``op.partial_block``) or
-  a local closure, whose operator-method calls are extracted;
+  contributes ``fn`` — a bound hook reference (``op.partial_block``),
+  possibly wrapped in the tracing shim ``self._op_task(op, op.<hook>)``
+  (which only pushes the operator's span around the call), or a local
+  closure, whose operator-method calls are extracted;
 * every :class:`~repro.exec.pipeline.PipelineStage` subclass that is
   ``parallel_safe`` contributes the ``self.op.<hook>`` calls in its
   ``apply`` (stages run inside morsel tasks); serial stages
@@ -320,6 +322,13 @@ class RaceAnalysisPass(AnalysisPass):
                     and len(node.args) >= 2):
                 continue
             fn = node.args[1]
+            # see through the tracing shim: _op_task(op, op.<hook>)
+            # wraps the hook in a span push/pop without changing it
+            if isinstance(fn, ast.Call) \
+                    and isinstance(fn.func, ast.Attribute) \
+                    and fn.func.attr == "_op_task" \
+                    and len(fn.args) >= 2:
+                fn = fn.args[1]
             if isinstance(fn, ast.Attribute):
                 hooks.add(fn.attr)
             elif isinstance(fn, ast.Name):

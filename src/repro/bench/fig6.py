@@ -63,7 +63,7 @@ def run_fig6a(samples: int = 40_960, batch_size: int = 4096,
                          epochs=epochs, batch_size=batch_size)
 
         # NeurDB: streaming + pipelined in-database path
-        engine = AIEngine(model_manager=ModelManager(), clock=SimClock())
+        engine = AIEngine(model_manager=ModelManager(), clock=SimClock())  # repro: untraced-clock-ok standalone figure harness, each side gets its own isolated clock
         train = engine.train(TrainTask(model_name=f"fig6a_{workload}",
                                        **task_args), data_rows, labels)
         infer = engine.infer(InferenceTask(model_name=f"fig6a_{workload}"),
@@ -73,7 +73,7 @@ def run_fig6a(samples: int = 40_960, batch_size: int = 4096,
                              train.training_throughput))
 
         # PostgreSQL+P: serial batch-export path (same model & math)
-        baseline = PostgresPlusP(clock=SimClock())
+        baseline = PostgresPlusP(clock=SimClock())  # repro: untraced-clock-ok standalone figure harness, each side gets its own isolated clock
         base_train = baseline.train(
             TrainTask(model_name=f"fig6a_{workload}_pg", **task_args),
             data_rows, labels)
@@ -111,13 +111,13 @@ def run_fig6b(batch_counts: tuple[int, ...] = (20, 40, 80, 160, 320, 640),
                          field_count=AVAZU_FIELDS, epochs=1,
                          batch_size=batch_size)
 
-        engine = AIEngine(model_manager=ModelManager(), clock=SimClock())
+        engine = AIEngine(model_manager=ModelManager(), clock=SimClock())  # repro: untraced-clock-ok standalone figure harness, each side gets its own isolated clock
         train = engine.train(TrainTask(model_name=f"fig6b_{batches}",
                                        **task_args),
                              batch.rows, batch.labels)
         rows.append(Fig6bRow(batches, "NeurDB", train.virtual_seconds))
 
-        baseline = PostgresPlusP(clock=SimClock())
+        baseline = PostgresPlusP(clock=SimClock())  # repro: untraced-clock-ok standalone figure harness, each side gets its own isolated clock
         base = baseline.train(TrainTask(model_name=f"fig6b_{batches}_pg",
                                         **task_args),
                               batch.rows, batch.labels)

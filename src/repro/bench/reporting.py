@@ -2,7 +2,44 @@
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+import json
+from typing import Any, Optional, Sequence
+
+#: bump when the shape of the BENCH_*.json payloads changes
+BENCH_SCHEMA_VERSION = 1
+
+
+def bench_metadata(seeds: Optional[dict] = None,
+                   workload: Optional[dict] = None,
+                   smoke: Optional[bool] = None, **extra) -> dict:
+    """The metadata header stamped on every ``BENCH_*.json``: schema
+    version plus the seeds and workload parameters that produced the
+    numbers, so a regression diff can tell a real change from a
+    configuration change."""
+    meta: dict[str, Any] = {"schema_version": BENCH_SCHEMA_VERSION}
+    if smoke is not None:
+        meta["smoke"] = smoke
+    if seeds is not None:
+        meta["seeds"] = seeds
+    if workload is not None:
+        meta["workload"] = workload
+    meta.update(extra)
+    return meta
+
+
+def write_bench_json(path: str, payload: dict,
+                     seeds: Optional[dict] = None,
+                     workload: Optional[dict] = None,
+                     smoke: Optional[bool] = None, **extra) -> dict:
+    """Write one benchmark report with its ``meta`` header stamped in;
+    returns the stamped payload."""
+    stamped = {"meta": bench_metadata(seeds=seeds, workload=workload,
+                                      smoke=smoke, **extra)}
+    stamped.update(payload)
+    with open(path, "w") as fh:
+        json.dump(stamped, fh, indent=2)
+        fh.write("\n")
+    return stamped
 
 
 def format_table(headers: Sequence[str],

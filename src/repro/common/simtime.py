@@ -26,12 +26,26 @@ class BudgetExceeded(Exception):
 
 
 class SimClock:
-    """Accumulates virtual time, optionally split by named category."""
+    """Accumulates virtual time, optionally split by named category.
+
+    An observability :class:`~repro.obs.trace.Tracer` may be attached via
+    the ``tracer`` attribute; when present it is *notified* of every
+    charge after the accumulators update.  The tracer never touches the
+    float math — with and without a tracer the clock performs the same
+    ``+=`` sequence on the same values, which is what keeps traced runs
+    bit-identical to untraced ones (asserted in ``tests/test_obs.py``).
+    ``_tracer_folds`` marks the clock the tracer mirrors exactly (the
+    query's shared clock); shard clocks created via :meth:`shard` notify
+    for *attribution* only, since their charges reach the shared clock
+    later through :meth:`absorb`.
+    """
 
     def __init__(self) -> None:
         self._now = 0.0
         self._by_category: dict[str, float] = defaultdict(float)
         self._limit: float | None = None
+        self.tracer = None
+        self._tracer_folds = True
 
     @property
     def now(self) -> float:
@@ -44,10 +58,17 @@ class SimClock:
         Negative charges are rejected: time only moves forward.  If a
         budget limit is set and crossed, raises :class:`BudgetExceeded`.
         """
+        return self._advance(seconds, category, 1)
+
+    def _advance(self, seconds: float, category: str, count: int) -> float:
         if seconds < 0:
             raise ValueError(f"cannot advance clock by negative time {seconds!r}")
         self._now += seconds
         self._by_category[category] += seconds
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_charge(category, seconds, count,
+                             fold=self._tracer_folds)
         if self._limit is not None and self._now > self._limit:
             raise BudgetExceeded(f"virtual-time budget {self._limit} exceeded")
         return self._now
@@ -65,7 +86,44 @@ class SimClock:
             raise ValueError(f"cannot charge a negative count {count!r}")
         if count == 0:
             return self._now
-        return self.advance(per_item * count, category)
+        return self._advance(per_item * count, category, count)
+
+    def absorb(self, seconds: float, category: str = "misc") -> float:
+        """:meth:`advance`, for charges already *attributed* elsewhere.
+
+        :meth:`WorkerClocks.merge_into` replays shard-clock breakdowns
+        onto the shared clock; those charges were seen by the tracer once
+        at their original site (span attribution and event counts), so
+        the replay must only *fold* — keep the tracer's float mirror in
+        lockstep with this clock — without attributing or counting the
+        work a second time.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time {seconds!r}")
+        self._now += seconds
+        self._by_category[category] += seconds
+        tracer = self.tracer
+        if tracer is not None and self._tracer_folds:
+            tracer.on_fold(category, seconds)
+        if self._limit is not None and self._now > self._limit:
+            raise BudgetExceeded(f"virtual-time budget {self._limit} exceeded")
+        return self._now
+
+    def shard(self) -> "SimClock":
+        """A fresh clock whose charges the attached tracer still sees.
+
+        The morsel scheduler's worker tasks charge private shard clocks
+        that are later folded into the shared clock; constructing them
+        through ``shard()`` (instead of a bare ``SimClock()``) keeps every
+        charge site reachable by the tracer — the invariant the
+        ``untraced-clock`` analysis rule enforces.  Shard charges notify
+        for attribution only (``fold=False``): the shared clock's
+        :meth:`absorb` folds them when the phase closes.
+        """
+        child = SimClock()
+        child.tracer = self.tracer
+        child._tracer_folds = False
+        return child
 
     def advance_charges(self, charges) -> float:
         """Charge an ordered sequence of ``(per_item, count, category)``
@@ -155,12 +213,22 @@ class WorkerClocks:
       would show, and what the scaling benchmark measures.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self.serial_lane = SimClock()
+        if tracer is not None:
+            # attribution-only, like shard clocks: the serial lane's
+            # charges reach the shared clock via merge_into/absorb
+            self.serial_lane.tracer = tracer
+            self.serial_lane._tracer_folds = False
         self.phases = 0
         self._parallel_total = 0.0
         self._parallel_makespan = 0.0
         self._breakdowns: list[dict[str, float]] = []
+        #: when set to a list (by a tracing scheduler), close_phase appends
+        #: one ``(phase, task_index, worker, start, end)`` placement per
+        #: shard, in morsel order — the virtual worker timeline that the
+        #: Chrome trace export renders
+        self.placements: list[tuple[int, int, int, float, float]] | None = None
 
     def close_phase(self, task_clocks: list["SimClock"],
                     workers: int) -> None:
@@ -169,9 +237,15 @@ class WorkerClocks:
         if not task_clocks:
             return
         self.phases += 1
+        base = self.makespan()
         loads = [0.0] * max(1, workers)
-        for shard in task_clocks:
+        for index, shard in enumerate(task_clocks):
             earliest = min(range(len(loads)), key=loads.__getitem__)
+            if self.placements is not None:
+                self.placements.append(
+                    (self.phases, index, earliest,
+                     base + loads[earliest],
+                     base + loads[earliest] + shard.now))
             loads[earliest] += shard.now
             self._parallel_total += shard.now
             if shard.now:
@@ -193,7 +267,7 @@ class WorkerClocks:
         float-identical totals."""
         for breakdown in (self.serial_lane.breakdown(), *self._breakdowns):
             for category, seconds in breakdown.items():
-                clock.advance(seconds, category)
+                clock.absorb(seconds, category)
 
 
 class LaneSchedule:

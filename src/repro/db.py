@@ -40,6 +40,11 @@ from repro.common.simtime import SimClock
 from repro.exec.executor import Executor, ResultSet
 from repro.exec.expr import (RowLayout, compile_expr,
                              compile_predicate_batch, to_bool)
+from repro.obs.explain import (explain_analyze, explain_plan,
+                               explain_statement_trace)
+from repro.obs.export import chrome_trace, dump_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.plan.optimizer import Planner
 from repro.sql import ast
 from repro.sql.parser import parse
@@ -122,7 +127,8 @@ class NeurDB:
                  refresh_window: int | None = None,
                  faults: FaultPlan | None = None,
                  replication: bool = False,
-                 retry_policy: "RetryPolicy | int | None" = None):
+                 retry_policy: "RetryPolicy | int | None" = None,
+                 tracing: bool = False):
         if predict_workers < 1:
             raise ValueError(
                 f"predict_workers must be >= 1, got {predict_workers}")
@@ -134,6 +140,11 @@ class NeurDB:
         self.clock = SimClock()
         self.faults = faults
         self.retry_policy = retry_policy
+        self.registry = MetricsRegistry()
+        self.tracer: Tracer | None = None
+        if tracing:
+            self.tracer = Tracer()
+            self.tracer.attach(self.clock)
         from repro.storage.buffer import BufferPool
         self.buffer_pool = BufferPool(capacity_pages=buffer_pages,
                                       clock=self.clock)
@@ -141,8 +152,11 @@ class NeurDB:
                                clock=self.clock, replication=replication,
                                faults=faults)
         self.planner = Planner(self.catalog)
-        self.executor = Executor(self.catalog, self.clock, faults=faults)
+        self.executor = Executor(self.catalog, self.clock, faults=faults,
+                                 registry=self.registry)
         self.monitor = Monitor()
+        self.monitor.event_sink = self.registry
+        self.registry.add_collector(self._collect_component_gauges)
         self.models = ModelManager(self.clock)
         self.ai_engine = AIEngine(model_manager=self.models,
                                   clock=self.clock,
@@ -152,7 +166,6 @@ class NeurDB:
         self.refresh_window = refresh_window
         self._seed = seed
         self.query_retries = 0
-        self._warnings: list[str] = []
 
     # -- public API ----------------------------------------------------------
 
@@ -187,9 +200,16 @@ class NeurDB:
                 self.query_retries += 1
                 self.clock.advance(policy.backoff * (2 ** (attempt - 1)),
                                    cat.RETRY_BACKOFF)
-                self._warn(f"retry {attempt}/{policy.max_retries} of "
-                           f"{type(statement).__name__} after "
-                           f"{type(exc).__name__}: {exc}")
+                self.registry.counter("db.query_retries").inc()
+                self.registry.event(
+                    "db.retry",
+                    f"retry {attempt}/{policy.max_retries} of "
+                    f"{type(statement).__name__} after "
+                    f"{type(exc).__name__}: {exc}",
+                    time=self.clock.now,
+                    statement=type(statement).__name__, attempt=attempt,
+                    max_retries=policy.max_retries,
+                    error=f"{type(exc).__name__}: {exc}")
 
     def _dispatch_statement(self, statement: ast.Statement,
                             force_retrain: bool = False) -> ResultSet:
@@ -216,11 +236,53 @@ class NeurDB:
             return _status("ANALYZE")
         if isinstance(statement, ast.Predict):
             return self._run_predict(statement, force_retrain)
+        if isinstance(statement, ast.Explain):
+            return self._run_explain(statement, force_retrain)
         if isinstance(statement, (ast.Begin, ast.Commit, ast.Rollback)):
             # The facade runs autocommit; full concurrency control lives in
             # repro.txn / repro.txnsim where contention actually exists.
             return _status(type(statement).__name__.upper())
         raise NeurDBError(f"unsupported statement {type(statement).__name__}")
+
+    # -- EXPLAIN [ANALYZE] ----------------------------------------------------
+
+    def _run_explain(self, statement: ast.Explain,
+                     force_retrain: bool) -> ResultSet:
+        """``EXPLAIN`` renders the optimizer's plan without executing;
+        ``EXPLAIN ANALYZE`` executes the wrapped statement under a
+        statement-scoped tracer and annotates each operator with its
+        charged virtual time by category, rows out, and buffer page
+        touches — identically on every engine.  One row per output
+        line; the structured form rides in ``extra['explain']``."""
+        inner = statement.statement
+        if not statement.analyze:
+            if isinstance(inner, ast.Select):
+                text = explain_plan(self.planner.plan_select(inner))
+            else:
+                text = f"{type(inner).__name__} (no plan tree)"
+            return ResultSet(columns=["plan"],
+                             rows=[(line,) for line in text.split("\n")],
+                             extra={"analyze": False})
+        tracer, previous = self._swap_tracer()
+        try:
+            with tracer.span(type(inner).__name__, "statement",
+                             clock=self.clock):
+                result = self._dispatch_statement(inner, force_retrain)
+        finally:
+            self._restore_tracer(previous)
+        if isinstance(inner, ast.Select) and self.executor.last_run:
+            plan, root_op = self.executor.last_run
+            text, structured = explain_analyze(
+                plan, root_op, tracer,
+                parallel_stats=result.extra.get("parallel"))
+        else:
+            text, structured = explain_statement_trace(tracer)
+        return ResultSet(columns=["plan"],
+                         rows=[(line,) for line in text.split("\n")],
+                         virtual_seconds=result.virtual_seconds,
+                         plan_text=result.plan_text,
+                         extra={"analyze": True, "explain": structured,
+                                "result_rowcount": len(result.rows)})
 
     # -- absorbed-failure surfacing -------------------------------------------
 
@@ -229,15 +291,69 @@ class NeurDB:
         retries under the retry policy, and drift-trigger callbacks that
         raised inside the monitor (which swallows them so observation
         never fails).  Empty on a healthy run — tests assert on it so
-        nothing gets dropped silently."""
-        out = list(self._warnings)
-        for event, exc in self.monitor.trigger_errors:
-            out.append(f"drift trigger failed on {event.stream!r}: "
-                       f"{type(exc).__name__}: {exc}")
-        return out
+        nothing gets dropped silently.
+
+        This is the rendered view over the metrics registry's structured
+        event log (``registry.events(prefix="db.")`` and
+        ``kind="monitor.trigger_error"``); the events carry the
+        machine-readable fields."""
+        return (self.registry.event_messages(prefix="db.")
+                + self.registry.event_messages(kind="monitor.trigger_error"))
 
     def _warn(self, message: str) -> None:
-        self._warnings.append(message)
+        self.registry.event("db.warning", message, time=self.clock.now)
+
+    # -- observability --------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """One point-in-time snapshot of every metric series — scheduler
+        retry/crash counters, buffer-pool gauges, fault-injection counts,
+        serving stats (when a server registers), and the structured-event
+        tail — via the unified :class:`~repro.obs.metrics.MetricsRegistry`."""
+        return self.registry.snapshot()
+
+    def _collect_component_gauges(self) -> dict[str, float]:
+        gauges = {f"buffer.{key}": float(value)
+                  for key, value in self.buffer_pool.snapshot().items()}
+        if self.faults is not None:
+            for kind, count in self.faults.counts().items():
+                gauges[f"faults.injected{{kind={kind}}}"] = float(count)
+        gauges["db.query_retries_total"] = float(self.query_retries)
+        return gauges
+
+    def profile(self, sql: str, path: str | None = None,
+                force_retrain: bool = False) -> tuple[ResultSet, dict]:
+        """Execute ``sql`` under a scoped tracer and return ``(result,
+        chrome_trace_dict)`` — the Chrome trace-event JSON of the virtual
+        worker/lane timeline (write it to ``path`` to open in
+        ``chrome://tracing`` / Perfetto).  Tracing is observation-only:
+        the result rows and charged totals are bit-identical to an
+        unprofiled run."""
+        tracer, previous = self._swap_tracer()
+        try:
+            with tracer.span(sql.strip(), "statement", clock=self.clock):
+                result = self.execute(sql, force_retrain=force_retrain)
+        finally:
+            self._restore_tracer(previous)
+        trace = (dump_chrome_trace(tracer, path) if path is not None
+                 else chrome_trace(tracer))
+        return result, trace
+
+    def _swap_tracer(self) -> tuple[Tracer, "Tracer | None"]:
+        """Attach a fresh statement-scoped tracer, returning it and the
+        session tracer it displaced (if any)."""
+        previous = self.clock.tracer
+        tracer = Tracer()
+        tracer.attach(self.clock)
+        return tracer, previous
+
+    def _restore_tracer(self, previous: "Tracer | None") -> None:
+        """Put the session tracer back (re-seeding its float mirror from
+        the clock, so its reconciliation invariant survives the scoped
+        statement it did not observe) or detach entirely."""
+        self.clock.tracer = None
+        if previous is not None:
+            previous.attach(self.clock)
 
     # -- DDL ------------------------------------------------------------------
 
@@ -545,7 +661,8 @@ def connect(num_runtimes: int = 1, buffer_pages: int = 4096,
             seed: int = 0, predict_workers: int = 1,
             refresh_window: int | None = None,
             faults: FaultPlan | None = None, replication: bool = False,
-            retry_policy: "RetryPolicy | int | None" = None) -> NeurDB:
+            retry_policy: "RetryPolicy | int | None" = None,
+            tracing: bool = False) -> NeurDB:
     """Create a fresh in-process NeurDB instance.
 
     ``refresh_window``: fine-tune refreshes (manual or the serving
@@ -557,8 +674,13 @@ def connect(num_runtimes: int = 1, buffer_pages: int = 4096,
     engine, primary/backup replication for every created table, and
     bounded retry of transiently failed statements (pass a
     :class:`RetryPolicy` or an int shorthand for ``max_retries``).
+
+    ``tracing``: attach a session-wide :class:`~repro.obs.trace.Tracer`
+    to the clock (``db.tracer``); observation-only, so results and
+    charged totals stay bit-identical to an untraced session.
     """
     return NeurDB(num_runtimes=num_runtimes, buffer_pages=buffer_pages,
                   seed=seed, predict_workers=predict_workers,
                   refresh_window=refresh_window, faults=faults,
-                  replication=replication, retry_policy=retry_policy)
+                  replication=replication, retry_policy=retry_policy,
+                  tracing=tracing)

@@ -86,7 +86,8 @@ class Executor:
     def __init__(self, catalog: Catalog, clock: SimClock | None = None,
                  engine: str = "batch", workers: int | None = None,
                  morsel_rows: int | None = None, fused: bool = True,
-                 faults=None, retry_limit: int | None = None):
+                 faults=None, retry_limit: int | None = None,
+                 registry=None):
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine {engine!r}; "
                              f"expected one of {self.ENGINES}")
@@ -105,6 +106,10 @@ class Executor:
         self.faults = faults
         self.retry_limit = (retry_limit if retry_limit is not None
                             else DEFAULT_RETRY_LIMIT)
+        self.registry = registry
+        #: (plan node, operator root) of the most recent :meth:`run`, kept
+        #: for EXPLAIN ANALYZE's per-operator annotation pass
+        self.last_run: tuple[plan.PlanNode, ops.Operator] | None = None
 
     def with_engine(self, engine: str) -> "Executor":
         """A sibling executor over the same catalog and clock, differing
@@ -113,7 +118,7 @@ class Executor:
         return Executor(self._catalog, self._clock, engine=engine,
                         workers=self.workers, morsel_rows=self.morsel_rows,
                         fused=self.fused, faults=self.faults,
-                        retry_limit=self.retry_limit)
+                        retry_limit=self.retry_limit, registry=self.registry)
 
     def build(self, node: plan.PlanNode) -> ops.Operator:
         """Recursively build the operator tree for a plan."""
@@ -147,7 +152,8 @@ class Executor:
         return MorselScheduler(self._clock, workers=self.workers,
                                morsel_rows=self.morsel_rows,
                                faults=self.faults,
-                               retry_limit=self.retry_limit)
+                               retry_limit=self.retry_limit,
+                               registry=self.registry)
 
     def _batch_blocks(self, operator: ops.Operator):
         """The batch engine's block stream: the fused pipeline drive loop
@@ -176,6 +182,7 @@ class Executor:
         """Execute a plan and materialize the result, measuring virtual time."""
         start = self._clock.now
         operator = self.build(node)
+        self.last_run = (node, operator)
         extra: dict[str, Any] = {}
         if self.engine == "parallel":
             blocks, stats = self._scheduler().run(operator)

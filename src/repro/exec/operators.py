@@ -105,6 +105,26 @@ def _source_values(source, block: RowBlock) -> list:
 
 
 
+def _traced_generator(method):
+    """Wrap an operator's ``__iter__``/``batches`` so that, when a tracer
+    is attached to the operator's clock, every ``next()`` — and every
+    charge made while producing the item, including buffer-pool page
+    charges inside a scan pull — attributes to this operator's span.
+    With no tracer the original generator is returned untouched: the only
+    overhead is one attribute check per *call*, never per row."""
+    def wrapper(self):
+        inner = method(self)
+        tracer = self._clock.tracer
+        if tracer is None:
+            return inner
+        return tracer.trace_iter(self, inner)
+    wrapper.__name__ = method.__name__
+    wrapper.__qualname__ = method.__qualname__
+    wrapper.__doc__ = method.__doc__
+    wrapper.__wrapped__ = method
+    return wrapper
+
+
 class Operator:
     """Base operator: a layout plus row and batch iterators."""
 
@@ -116,6 +136,16 @@ class Operator:
         # compiler reads its STREAMING/BREAKER annotations.  None for
         # synthetic operators (EmptyRow, block replays).
         self.plan_node: plan.PlanNode | None = None
+
+    def __init_subclass__(cls, **kwargs):
+        # Per-operator attribution for the interleaved row and unfused
+        # batch engines: subclass iterators are wrapped once, at class
+        # creation, so no operator needs tracing code of its own.
+        super().__init_subclass__(**kwargs)
+        if "__iter__" in cls.__dict__:
+            cls.__iter__ = _traced_generator(cls.__dict__["__iter__"])
+        if "batches" in cls.__dict__:
+            cls.batches = _traced_generator(cls.__dict__["batches"])
 
     def __iter__(self) -> Iterator[tuple]:
         raise NotImplementedError

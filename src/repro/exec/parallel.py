@@ -96,6 +96,7 @@ from repro.common.simtime import BudgetExceeded, SimClock, WorkerClocks
 from repro.exec import operators as ops
 from repro.exec import pipeline as pl
 from repro.exec.batch import RowBlock
+from repro.obs.trace import to_fix as _trace_to_fix
 
 DEFAULT_MORSEL_ROWS = 4096
 DEFAULT_WORKERS = 4
@@ -122,7 +123,8 @@ class MorselScheduler:
     def __init__(self, clock: SimClock, workers: int = DEFAULT_WORKERS,
                  morsel_rows: int = DEFAULT_MORSEL_ROWS,
                  faults: FaultPlan | None = None,
-                 retry_limit: int = DEFAULT_RETRY_LIMIT):
+                 retry_limit: int = DEFAULT_RETRY_LIMIT,
+                 registry=None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if morsel_rows < 1:
@@ -132,7 +134,13 @@ class MorselScheduler:
         self.workers = workers
         self.morsel_rows = morsel_rows
         self._clock = clock
-        self._worker_clocks = WorkerClocks()
+        # the tracer (if any) rides the shared clock; the serial lane and
+        # every worker shard (clock.shard()) notify it for attribution
+        self._tracer = clock.tracer
+        self._worker_clocks = WorkerClocks(tracer=self._tracer)
+        if self._tracer is not None:
+            self._worker_clocks.placements = []
+        self._registry = registry
         self.tasks_dispatched = 0
         self.faults = faults
         self.retry_limit = retry_limit
@@ -217,6 +225,16 @@ class MorselScheduler:
             self._clock.set_limit(limit)
         if _sanitizer.enabled():
             _sanitizer.check()
+        if self._registry is not None:
+            registry = self._registry
+            registry.counter("exec.tasks").inc(self.tasks_dispatched)
+            registry.counter("exec.parallel_phases").inc(clocks.phases)
+            if self.task_retries:
+                registry.counter("exec.task_retries").inc(self.task_retries)
+            if self.crashes_recovered:
+                registry.counter("exec.crashes_recovered").inc(
+                    self.crashes_recovered)
+            registry.histogram("exec.makespan").observe(makespan)
         return {
             "workers": self.workers,
             "morsel_rows": self.morsel_rows,
@@ -278,10 +296,15 @@ class MorselScheduler:
         results: list[Any] = [None] * len(items)
         crashes = [0]
 
+        tracer = self._tracer
+
         def run_task(i: int) -> Any:
             attempt = 0
             while True:
-                shard = SimClock()
+                # shard() keeps each attempt's charges reachable by the
+                # tracer (attribution only; the shared clock folds them
+                # at merge time)
+                shard = self._clock.shard()
                 try:
                     result = self._attempt(fn, items[i], shard, phase, i,
                                            attempt)
@@ -298,6 +321,11 @@ class MorselScheduler:
                             self.crashes_recovered += 1
                         else:
                             self.task_retries += 1
+                    if tracer is not None:
+                        tracer.event(
+                            "worker_crash" if crashed else "task_retry",
+                            phase=phase, morsel=i, attempt=attempt,
+                            error=f"{type(exc).__name__}: {exc}")
                     attempt += 1
                     continue
                 attempt_clocks[i].append(shard)
@@ -307,7 +335,25 @@ class MorselScheduler:
             flat = [shard for per_task in attempt_clocks
                     for shard in per_task]
             survivors = max(1, n_workers - crashes[0])
+            placements = self._worker_clocks.placements
+            before = len(placements) if placements is not None else 0
             self._worker_clocks.close_phase(flat, survivors)
+            if tracer is not None and placements is not None:
+                # one task span per attempt, placed on the modeled virtual
+                # worker timeline; the span carries the shard's own charge
+                # profile as decoration (the charges were attributed to
+                # operator spans at their site)
+                for (phase_no, task_idx, worker, start, end) in \
+                        placements[before:]:
+                    span = tracer.begin(
+                        f"morsel p{phase_no}.{task_idx}", "task",
+                        parent=None, phase=phase_no, morsel=task_idx,
+                        worker=worker)
+                    span.start, span.end = start, end
+                    if task_idx < len(flat):
+                        for category, seconds in \
+                                flat[task_idx].breakdown().items():
+                            span.add(category, _trace_to_fix(seconds), 0)
 
         if n_workers == 1:
             # deterministic inline mode: no threads at all
@@ -388,6 +434,37 @@ class MorselScheduler:
                            attempt=attempt)
         return result
 
+    # -- tracing helpers ---------------------------------------------------
+
+    def _op_task(self, op: ops.Operator, fn):
+        """Wrap a parallel-hook task so its charges attribute to ``op``'s
+        span on whichever worker thread runs it; the identity function
+        when no tracer is attached."""
+        tracer = self._tracer
+        if tracer is None:
+            return fn
+        span = tracer.operator_span(op)
+
+        def traced(item, shard):
+            tracer.push(span)
+            try:
+                return fn(item, shard)
+            finally:
+                tracer.pop()
+
+        return traced
+
+    def _on_lane(self, op: ops.Operator, fn):
+        """Run a serial-lane merge step under ``op``'s span."""
+        tracer = self._tracer
+        if tracer is None:
+            return fn()
+        tracer.push(tracer.operator_span(op))
+        try:
+            return fn()
+        finally:
+            tracer.pop()
+
     # -- pipeline execution ------------------------------------------------
 
     def _pipeline_blocks(self, pipe: pl.Pipeline) -> list[RowBlock]:
@@ -424,9 +501,11 @@ class MorselScheduler:
         elif isinstance(sink, pl.SortSink):
             sink.result_blocks = self._sort_blocks(sink.op, blocks)
         elif isinstance(sink, pl.BuildSink):
-            parts = self._map(blocks, sink.op.build_block)
-            buckets, factor = sink.op.merge_build(
-                parts, self._worker_clocks.serial_lane)
+            parts = self._map(blocks,
+                              self._op_task(sink.op, sink.op.build_block))
+            buckets, factor = self._on_lane(
+                sink.op, lambda: sink.op.merge_build(
+                    parts, self._worker_clocks.serial_lane))
             sink.set_built(buckets, factor)
         else:  # CollectSink and friends: plain collection, no charges
             sink.result_blocks = blocks
@@ -446,7 +525,18 @@ class MorselScheduler:
         """One task per scan morsel pushes the morsel through the
         pipeline's whole fused stage chain — deferred selection masks and
         all — without re-materializing between stages."""
-        morsels = scan._table.scan_morsels(self.morsel_rows)
+        tracer = self._tracer
+        if tracer is None:
+            morsels = scan._table.scan_morsels(self.morsel_rows)
+        else:
+            # morsel splitting touches the buffer pool on the shared
+            # clock; attribute those page charges to the scan, exactly
+            # where the serial engines' scan pulls put them
+            with tracer.op(scan):
+                morsels = scan._table.scan_morsels(self.morsel_rows)
+            stage_spans = [tracer.operator_span(stage.op)
+                           for stage in stages]
+            scan_span = tracer.operator_span(scan)
 
         def task(morsel, shard: SimClock):
             columns, n = morsel
@@ -463,20 +553,55 @@ class MorselScheduler:
                 lens[j + 1] = carrier.count
             return lens, carrier.materialize()
 
+        def traced_task(morsel, shard: SimClock):
+            columns, n = morsel
+            lens = [0] * (1 + len(stages))
+            tracer.push(scan_span)
+            try:
+                out = scan.scan_block(scan.make_block(columns, n), shard)
+            finally:
+                tracer.pop()
+            if out is None:
+                return lens, None
+            carrier = pl.BlockCarrier(*out)
+            lens[0] = carrier.count
+            for j, stage in enumerate(stages):
+                tracer.push(stage_spans[j])
+                try:
+                    carrier = stage.apply(carrier, shard)
+                finally:
+                    tracer.pop()
+                if carrier is None:
+                    return lens, None
+                lens[j + 1] = carrier.count
+            return lens, carrier.materialize()
+
         chain = [scan] + [stage.op for stage in stages]
-        return self._gather(chain, self._map(morsels, task))
+        return self._gather(chain, self._map(
+            morsels, task if tracer is None else traced_task))
 
     def _map_stages(self, blocks: list[RowBlock],
                     stages: list[pl.PipelineStage]) -> list[RowBlock]:
         """Fused stage chain over a non-scan source (breaker output or a
         serial operator's blocks): same per-morsel tasks, with the
         source's blocks as the morsels."""
+        tracer = self._tracer
+        if tracer is not None:
+            stage_spans = [tracer.operator_span(stage.op)
+                           for stage in stages]
 
         def task(block: RowBlock, shard: SimClock):
             lens = [0] * len(stages)
             carrier: pl.BlockCarrier | None = pl.BlockCarrier(block)
             for j, stage in enumerate(stages):
-                carrier = stage.apply(carrier, shard)
+                if tracer is None:
+                    carrier = stage.apply(carrier, shard)
+                else:
+                    tracer.push(stage_spans[j])
+                    try:
+                        carrier = stage.apply(carrier, shard)
+                    finally:
+                        tracer.pop()
                 if carrier is None:
                     return lens, None
                 lens[j] = carrier.count
@@ -490,11 +615,19 @@ class MorselScheduler:
         """Order-sensitive stage tail (Distinct) on the serial lane, in
         morsel order, attributing counts inline (single-threaded)."""
         lane = self._worker_clocks.serial_lane
+        tracer = self._tracer
         out: list[RowBlock] = []
         for block in blocks:
             carrier: pl.BlockCarrier | None = pl.BlockCarrier(block)
             for stage in stages:
-                carrier = stage.apply(carrier, lane)
+                if tracer is None:
+                    carrier = stage.apply(carrier, lane)
+                else:
+                    tracer.push(tracer.operator_span(stage.op))
+                    try:
+                        carrier = stage.apply(carrier, lane)
+                    finally:
+                        tracer.pop()
                 if carrier is None:
                     break
                 stage.op.rows_out += carrier.count
@@ -529,7 +662,7 @@ class MorselScheduler:
         stamps.  Either way the raw-value replay order is unchanged, so
         results stay bit-identical; the merge charges nothing on any path
         (every per-row cost was already charged in a worker)."""
-        partials = self._map(blocks, op.partial_block)
+        partials = self._map(blocks, self._op_task(op, op.partial_block))
         if (self.workers > 1 and op._node.group_by and partials
                 and max(len(p) for p in partials) > op.PARTITION_MIN_KEYS):
             parts = self.workers
@@ -545,7 +678,7 @@ class MorselScheduler:
                        for pid in range(parts)]
             result = op.finish_partitions(self._map(columns, merge))
         else:
-            result = op.finish_partials(partials)
+            result = self._on_lane(op, lambda: op.finish_partials(partials))
         return [result] if result is not None else []
 
     def _sort_blocks(self, op: ops.SortOp,
@@ -556,8 +689,9 @@ class MorselScheduler:
         serial engines' single full sort, and the merge's key ties break
         by (run, position), reproducing the serial sort's stability over
         input order exactly."""
-        runs = self._map(blocks, op.sort_block)
-        out = op.merge_runs(runs, self._worker_clocks.serial_lane)
+        runs = self._map(blocks, self._op_task(op, op.sort_block))
+        out = self._on_lane(op, lambda: op.merge_runs(
+            runs, self._worker_clocks.serial_lane))
         for block in out:
             op.rows_out += len(block)
         return out

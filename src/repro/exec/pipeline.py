@@ -642,6 +642,11 @@ def _drive_carriers(pipeline: Pipeline,
             _run_to_sink(dep, clock)
         carriers = source.carriers(clock)
     attribute_source = not source.attributes_rows
+    tracer = clock.tracer
+    if tracer is not None:
+        yield from _drive_carriers_traced(pipeline, clock, tracer,
+                                          carriers, attribute_source)
+        return
     for carrier in carriers:
         if attribute_source:
             source.op.rows_out += carrier.count
@@ -657,8 +662,56 @@ def _drive_carriers(pipeline: Pipeline,
             break
 
 
+def _drive_carriers_traced(pipeline: Pipeline, clock: SimClock, tracer,
+                           carriers: Iterator[BlockCarrier],
+                           attribute_source: bool
+                           ) -> Iterator[BlockCarrier]:
+    """The same drive loop with per-operator span attribution: the source
+    pull runs under the source operator's span (so a fused scan's charges
+    — including its deferred-mask predicate and the buffer pool's page
+    charges — land on the scan) and each stage application runs under its
+    operator's span.  Charges and row accounting are untouched."""
+    source = pipeline.source
+    if attribute_source:
+        carriers = tracer.trace_iter(source.op, carriers)
+    stage_spans = [tracer.operator_span(stage.op)
+                   for stage in pipeline.stages]
+    for carrier in carriers:
+        if attribute_source:
+            source.op.rows_out += carrier.count
+        out: BlockCarrier | None = carrier
+        for stage, span in zip(pipeline.stages, stage_spans):
+            tracer.push(span)
+            try:
+                out = stage.apply(out, clock)
+            finally:
+                tracer.pop()
+            if out is None:
+                break
+            stage.op.rows_out += out.count
+        if out is not None:
+            yield out
+        if pipeline.stopped:
+            break
+
+
 def _run_to_sink(pipeline: Pipeline, clock: SimClock) -> None:
     sink = pipeline.sink
+    tracer = clock.tracer
+    if tracer is None:
+        for carrier in _drive_carriers(pipeline, clock):
+            sink.absorb_carrier(carrier, clock)
+        sink.finish(clock)
+        return
+    span = tracer.operator_span(sink.op)
     for carrier in _drive_carriers(pipeline, clock):
-        sink.absorb_carrier(carrier, clock)
-    sink.finish(clock)
+        tracer.push(span)
+        try:
+            sink.absorb_carrier(carrier, clock)
+        finally:
+            tracer.pop()
+    tracer.push(span)
+    try:
+        sink.finish(clock)
+    finally:
+        tracer.pop()

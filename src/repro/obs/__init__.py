@@ -1,0 +1,26 @@
+"""Observability over charged virtual time.
+
+The repo's performance model charges every cost to a
+:class:`~repro.common.simtime.SimClock`; this package turns those charges
+into *attribution*:
+
+* :mod:`repro.obs.trace` — hierarchical spans in virtual time, fed from
+  the existing charge sites (a :class:`~repro.obs.trace.Tracer` attached
+  to the clock observes every charge without touching the float math, so
+  traced runs stay bit-identical to untraced ones).
+* :mod:`repro.obs.metrics` — a labeled counter/gauge/histogram registry
+  plus a bounded structured-event log, the single surface behind
+  ``Db.metrics()`` that absorbs the previously scattered stats dicts.
+* :mod:`repro.obs.explain` — the ``EXPLAIN [ANALYZE]`` renderer: the plan
+  tree annotated with per-operator charged time by category, rows in/out,
+  buffer page touches, and worker/morsel counts.
+* :mod:`repro.obs.export` — Chrome trace-event JSON of the virtual
+  worker/lane timeline (``chrome://tracing`` / Perfetto compatible).
+
+See ``docs/observability.md`` for the span model and naming conventions.
+"""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+__all__ = ["MetricsRegistry", "Span", "Tracer"]

@@ -1,0 +1,172 @@
+"""EXPLAIN / EXPLAIN ANALYZE rendering over charged virtual time.
+
+``EXPLAIN`` renders the optimizer's plan tree (estimates only, nothing
+executed).  ``EXPLAIN ANALYZE`` executes the statement under a scoped
+:class:`~repro.obs.trace.Tracer` and annotates every operator with what
+it actually charged: per-category virtual seconds (exact fixed-point
+sums rendered as floats), rows out, and buffer-pool page touches.  The
+per-operator times sum to the statement's charged total per category —
+anything charged outside an operator span (plan-time costs, retry
+backoff) lands in an explicit ``(other)`` bucket instead of vanishing.
+
+The annotation is engine-independent: row, batch (fused or not), and
+parallel execution attribute to the same plan-node spans, so the same
+query EXPLAINs identically everywhere (the parallel engine additionally
+reports its worker/morsel fan-out).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.common import categories as cat
+from repro.obs.trace import Span, Tracer, from_fix
+
+
+def _fmt_seconds(seconds: float) -> str:
+    return f"{seconds:.9f}"
+
+
+def _fmt_charged(charged: dict[str, float]) -> str:
+    return ", ".join(f"{category}={_fmt_seconds(seconds)}"
+                     for category, seconds in sorted(charged.items()))
+
+
+def _node_annotation(span: Optional[Span], rows_out: Optional[int]) -> str:
+    if span is None:
+        parts = ["time=0.000000000"]
+    else:
+        parts = [f"time={_fmt_seconds(span.total())}"]
+    if rows_out is not None:
+        parts.append(f"rows_out={rows_out}")
+    if span is not None:
+        pages = span.count(cat.BUFFER_HIT, cat.BUFFER_MISS)
+        if pages:
+            parts.append(f"pages={pages}")
+        charged = span.charged()
+        if charged:
+            parts.append(f"charged [{_fmt_charged(charged)}]")
+    return "actual: " + " ".join(parts)
+
+
+def _operator_index(root_op) -> dict[int, Any]:
+    """Map plan ``node_id`` -> operator instance by walking the operator
+    tree (children live in the private ``_left``/``_right``/``_child``
+    slots; left-to-right matches plan order)."""
+    index: dict[int, Any] = {}
+    stack = [root_op]
+    while stack:
+        op = stack.pop()
+        node = getattr(op, "plan_node", None)
+        if node is not None:
+            index[node.node_id] = op
+        for attr in ("_child", "_right", "_left"):
+            child = getattr(op, attr, None)
+            if child is not None:
+                stack.append(child)
+    return index
+
+
+def explain_plan(plan) -> str:
+    """Plain ``EXPLAIN``: the estimated plan tree, nothing executed."""
+    return plan.pretty()
+
+
+def explain_analyze(plan, root_op, tracer: Tracer,
+                    parallel_stats: Optional[dict] = None) -> tuple[str, dict]:
+    """Render an executed plan with per-operator charged annotations.
+
+    Returns ``(text, structured)`` where ``structured`` is the
+    machine-readable form stored in ``ResultSet.extra['explain']``.
+    Reconciliation is part of the contract: the per-operator charged
+    seconds plus the ``(other)`` bucket equal the trace totals exactly
+    (they are computed from the same fixed-point sums).
+    """
+    ops_by_node = _operator_index(root_op) if root_op is not None else {}
+
+    lines: list[str] = []
+    nodes: list[dict] = []
+    attributed_fix: dict[str, int] = {}
+
+    def render(node, indent: int) -> None:
+        span = tracer.node_span(node.node_id)
+        op = ops_by_node.get(node.node_id)
+        rows_out = getattr(op, "rows_out", None) if op is not None else None
+        pad = " " * indent
+        lines.append(pad + f"{node.label} (rows={node.est_rows:.0f}, "
+                           f"cost={node.est_cost:.6f})")
+        lines.append(pad + "  " + _node_annotation(span, rows_out))
+        charged = span.charged() if span is not None else {}
+        if span is not None:
+            for category, value in span.fix.items():
+                attributed_fix[category] = (
+                    attributed_fix.get(category, 0) + value)
+        nodes.append({
+            "node_id": node.node_id,
+            "label": node.label,
+            "est_rows": node.est_rows,
+            "est_cost": node.est_cost,
+            "rows_out": rows_out,
+            "time": span.total() if span is not None else 0.0,
+            "charged": charged,
+            "pages": (span.count(cat.BUFFER_HIT, cat.BUFFER_MISS)
+                      if span is not None else 0),
+            "counts": dict(span.counts) if span is not None else {},
+            "depth": indent // 2,
+        })
+        for child in node.children:
+            render(child, indent + 2)
+
+    render(plan, 0)
+
+    totals_fix = tracer.fix_totals()
+    other = {category: from_fix(value - attributed_fix.get(category, 0))
+             for category, value in sorted(totals_fix.items())
+             if value != attributed_fix.get(category, 0)}
+    totals = {category: from_fix(value)
+              for category, value in sorted(totals_fix.items())}
+    total_seconds = from_fix(sum(totals_fix.values()))
+
+    header = [f"total charged: {_fmt_seconds(total_seconds)} s"]
+    if totals:
+        header.append(f"  by category: [{_fmt_charged(totals)}]")
+    if other:
+        header.append(f"  (other, outside operators): "
+                      f"[{_fmt_charged(other)}]")
+    task_spans = tracer.spans_of_kind("task")
+    if parallel_stats is not None:
+        workers = parallel_stats.get("workers")
+        tasks = parallel_stats.get("tasks_dispatched", len(task_spans))
+        makespan = parallel_stats.get("makespan")
+        line = f"parallel: workers={workers} morsel_tasks={tasks}"
+        if makespan is not None:
+            line += f" makespan={_fmt_seconds(makespan)}"
+        header.append(line)
+    elif task_spans:
+        workers = len({s.attrs.get("worker") for s in task_spans})
+        header.append(f"parallel: workers={workers} "
+                      f"morsel_tasks={len(task_spans)}")
+
+    text = "\n".join(header) + "\n" + "\n".join(lines)
+    structured = {
+        "total": total_seconds,
+        "totals": totals,
+        "other": other,
+        "nodes": nodes,
+        "tasks": len(task_spans),
+        "parallel": parallel_stats,
+    }
+    return text, structured
+
+
+def explain_statement_trace(tracer: Tracer) -> tuple[str, dict]:
+    """EXPLAIN ANALYZE fallback for statements with no plan tree (DML,
+    DDL, PREDICT): render the traced span totals by category."""
+    totals = tracer.category_totals()
+    total_seconds = from_fix(sum(tracer.fix_totals().values()))
+    lines = [f"total charged: {_fmt_seconds(total_seconds)} s"]
+    if totals:
+        lines.append(f"  by category: [{_fmt_charged(totals)}]")
+    structured = {"total": total_seconds, "totals": totals,
+                  "other": {}, "nodes": [], "tasks": 0, "parallel": None}
+    return "\n".join(lines), structured

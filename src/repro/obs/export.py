@@ -1,0 +1,145 @@
+"""Chrome trace-event JSON export of the virtual worker/lane timeline.
+
+Renders a finished :class:`~repro.obs.trace.Tracer` as the Trace Event
+Format consumed by ``chrome://tracing`` and Perfetto: every span with a
+virtual-time placement becomes a complete duration event (``ph: "X"``),
+span events become instants (``ph: "i"``), and rows are grouped into
+tracks — morsel worker tasks by virtual worker id, serving work by lane,
+everything else by span kind.  Timestamps are virtual *microseconds*
+(the format's native unit), so one virtual second reads as 1e6 on the
+timeline.
+
+Attribution-only spans (operators, stages) carry exact charge totals but
+no contiguous interval; they are exported as ``args``-only metadata on
+their parent rather than as timeline rows.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.obs.trace import Span, Tracer
+
+_SECONDS_TO_US = 1e6
+
+#: stable ordering of synthetic track ids by span kind
+_KIND_TRACKS = ("query", "statement", "pipeline", "request", "batch",
+                "refresh", "task")
+
+
+def _track(span: Span) -> tuple[int, str]:
+    """(tid, track name) for a placed span."""
+    worker = span.attrs.get("worker")
+    if worker is not None:
+        return 100 + int(worker), f"worker {worker}"
+    lane = span.attrs.get("lane")
+    if lane is not None:
+        return 200 + int(lane), f"lane {lane}"
+    if span.kind in _KIND_TRACKS:
+        return _KIND_TRACKS.index(span.kind), span.kind
+    return 99, "other"
+
+
+def _args(span: Span) -> dict:
+    args = {key: value for key, value in span.attrs.items()
+            if isinstance(value, (str, int, float, bool)) or value is None}
+    charged = span.charged()
+    if charged:
+        args["charged"] = {category: round(seconds, 12)
+                          for category, seconds in sorted(charged.items())}
+        args["charged_total"] = span.total()
+    if span.counts:
+        args["counts"] = dict(sorted(span.counts.items()))
+    return args
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:
+    """The trace as a Trace Event Format dict (``traceEvents`` + meta)."""
+    events: list[dict] = []
+    seen_tracks: dict[int, str] = {}
+    events.append({"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+                   "args": {"name": process_name}})
+
+    for span in tracer.spans:
+        if span.start is None or span.end is None:
+            continue
+        tid, track_name = _track(span)
+        if tid not in seen_tracks:
+            seen_tracks[tid] = track_name
+            events.append({"name": "thread_name", "ph": "M", "pid": 1,
+                           "tid": tid, "args": {"name": track_name}})
+        events.append({
+            "name": span.name,
+            "cat": span.kind,
+            "ph": "X",
+            "pid": 1,
+            "tid": tid,
+            "ts": span.start * _SECONDS_TO_US,
+            "dur": (span.end - span.start) * _SECONDS_TO_US,
+            "args": _args(span),
+        })
+
+    spans_by_id = {span.span_id: span for span in tracer.spans}
+    for record in tracer.events:
+        span = spans_by_id.get(record.get("span_id"))
+        when = record.get("time")
+        if when is None and span is not None:
+            when = span.start
+        tid, track_name = _track(span) if span is not None else (99, "other")
+        if tid not in seen_tracks:
+            seen_tracks[tid] = track_name
+            events.append({"name": "thread_name", "ph": "M", "pid": 1,
+                           "tid": tid, "args": {"name": track_name}})
+        events.append({
+            "name": record["name"],
+            "cat": "event",
+            "ph": "i",
+            "s": "t",
+            "pid": 1,
+            "tid": tid,
+            "ts": (when if when is not None else 0.0) * _SECONDS_TO_US,
+            "args": {key: value for key, value in record.items()
+                     if key not in ("name", "time", "span_id")},
+        })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "time_model": "charged virtual seconds (1 s = 1e6 ts units)",
+            "categories": {category: round(seconds, 12) for category, seconds
+                           in sorted(tracer.category_totals().items())},
+        },
+    }
+
+
+def dump_chrome_trace(tracer: Tracer, path: str,
+                      process_name: str = "repro") -> dict:
+    """Write the Chrome trace JSON to ``path``; returns the dict."""
+    trace = chrome_trace(tracer, process_name=process_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=1)
+    return trace
+
+
+def request_trace(tracer: Tracer, request_id: int) -> Optional[dict]:
+    """Chrome trace filtered to one serving request's span subtree."""
+    roots = [span for span in tracer.spans
+             if span.kind == "request"
+             and span.attrs.get("request_id") == request_id]
+    if not roots:
+        return None
+    keep = {span.span_id for span in roots}
+    changed = True
+    while changed:
+        changed = False
+        for span in tracer.spans:
+            if span.span_id not in keep and span.parent_id in keep:
+                keep.add(span.span_id)
+                changed = True
+    sub = Tracer()
+    sub.spans = [span for span in tracer.spans if span.span_id in keep]
+    sub.events = [record for record in tracer.events
+                  if record.get("span_id") in keep]
+    return chrome_trace(sub, process_name=f"request-{request_id}")

@@ -284,6 +284,11 @@ class PredictServer:
         self.deadline_misses = 0
         self.batch_retries = 0
         self.refresh_retries = 0
+        # unified observability: counters/events land in the database's
+        # metrics registry; spans go to whatever tracer rides the clock
+        self.registry = getattr(db, "registry", None)
+        if self.registry is not None:
+            self.registry.add_collector(self._collect_gauges)
         self._serving_params = dict(threshold=serving_threshold,
                                     window=serving_window,
                                     cooldown=serving_cooldown)
@@ -409,8 +414,19 @@ class PredictServer:
         request.error = (f"DeadlineExceeded: deadline "
                          f"{request.deadline:.6f} passed at {now:.6f} "
                          f"before service")
-        self.deadline_misses += 1
+        self._deadline_miss(request, now)
         return True
+
+    def _deadline_miss(self, request: PredictRequest, when: float) -> None:
+        self.deadline_misses += 1
+        if self.registry is not None:
+            self.registry.counter("serve.deadline_misses").inc()
+            self.registry.event("serve.deadline_miss", request.error,
+                                time=when, request_id=request.request_id)
+        tracer = self.clock.tracer
+        if tracer is not None:
+            tracer.event("deadline_miss", time=when,
+                         request_id=request.request_id)
 
     def _fail_unserved(self, request: PredictRequest,
                        at: float) -> PredictRequest:
@@ -424,7 +440,50 @@ class PredictServer:
             lane, start, completion)
         self._contexts.pop(request.request_id, None)
         self.completed.append(request)
+        self._trace_request(request, None)
         return request
+
+    def _trace_request(self, request: PredictRequest, batch_span) -> None:
+        """Record a completed request's span tree on the active tracer:
+        request (arrival -> completion) with a queue-wait child, parented
+        under its micro-batch span when it rode one."""
+        tracer = self.clock.tracer
+        if tracer is None or request.completed_at is None:
+            return
+        span = tracer.begin(f"request {request.request_id}", "request",
+                            parent=batch_span,
+                            request_id=request.request_id,
+                            lane=request.lane, batch_id=request.batch_id,
+                            model=request.model_name,
+                            retries=request.retries, error=request.error)
+        span.start = request.arrival
+        span.end = request.completed_at
+        if (request.started_at is not None
+                and request.started_at > request.arrival):
+            wait = tracer.begin("queue-wait", "queue", parent=span,
+                                request_id=request.request_id)
+            wait.start = request.arrival
+            wait.end = request.started_at
+
+    def request_trace(self, request_id: int) -> dict | None:
+        """Chrome trace JSON of one served request's span subtree (needs
+        an attached tracer — ``connect(tracing=True)``)."""
+        from repro.obs.export import request_trace as _export
+        tracer = self.clock.tracer
+        if tracer is None:
+            return None
+        return _export(tracer, request_id)
+
+    def _collect_gauges(self) -> dict[str, float]:
+        """Flat-scalar view of :meth:`stats` for the metrics registry."""
+        gauges: dict[str, float] = {}
+        for key, value in self.stats().items():
+            if isinstance(value, (int, float)):
+                gauges[f"serve.{key}"] = float(value)
+            elif isinstance(value, dict) and key == "latency":
+                for name, quantile in value.items():
+                    gauges[f"serve.latency_{name}"] = float(quantile)
+        return gauges
 
     def _bind(self, request: PredictRequest) -> PredictContext | None:
         """Bind (and cache) a request's statement; None on bind errors,
@@ -453,6 +512,12 @@ class PredictServer:
         head_ctx = batch[0][1]
         model_name = head_ctx.model_name
         faults = self.faults
+        tracer = self.clock.tracer
+        batch_span = None
+        if tracer is not None:
+            batch_span = tracer.begin(f"batch {batch_id}", "batch",
+                                      parent=None, batch_id=batch_id,
+                                      model=model_name)
 
         # retry loop: each attempt re-executes the whole batch (training
         # is idempotent-by-presence, materialization re-runs, charges
@@ -468,6 +533,8 @@ class PredictServer:
             retryable = False
             parts: list[dict] = []
             model_version: int | None = None
+            if batch_span is not None:
+                tracer.push(batch_span)
             try:
                 if faults is not None:
                     faults.maybe_raise(
@@ -530,6 +597,9 @@ class PredictServer:
                 # stranding the rest of the queue
                 failure = f"{type(exc).__name__}: {exc}"
                 retryable = is_retryable(exc)
+            finally:
+                if batch_span is not None:
+                    tracer.pop()
 
             cost = self.clock.now - before
             lane, start, completion = self.lanes.assign(ready, cost)
@@ -537,11 +607,29 @@ class PredictServer:
                     and attempt < self.max_batch_retries):
                 self.batch_retries += 1
                 attempt += 1
+                if self.registry is not None:
+                    self.registry.counter("serve.batch_retries").inc()
+                    self.registry.event(
+                        "serve.batch_retry",
+                        f"batch {batch_id} retry {attempt}/"
+                        f"{self.max_batch_retries} after {failure}",
+                        time=completion, batch_id=batch_id, attempt=attempt,
+                        error=failure)
+                if tracer is not None:
+                    tracer.event("batch_retry", time=completion,
+                                 batch_id=batch_id, attempt=attempt,
+                                 error=failure)
                 ready = (completion
                          + self.retry_backoff * (2 ** (attempt - 1)))
                 continue
             break
 
+        if batch_span is not None:
+            batch_span.start = start
+            batch_span.end = completion
+            batch_span.attrs.update(lane=lane, requests=len(batch),
+                                    attempts=attempt + 1,
+                                    version=model_version)
         served: list[PredictRequest] = []
         if not failure:
             for part in parts:
@@ -572,9 +660,10 @@ class PredictServer:
                 request.error = (f"DeadlineExceeded: completed at "
                                  f"{completion:.6f} past deadline "
                                  f"{request.deadline:.6f}")
-                self.deadline_misses += 1
+                self._deadline_miss(request, completion)
             self._contexts.pop(request.request_id, None)
             self.completed.append(request)
+            self._trace_request(request, batch_span)
             served.append(request)
 
         # score against ground truth & let the monitor decide on drift;
@@ -672,6 +761,14 @@ class PredictServer:
             task = self._refresh_queue.popleft()
             before = self.clock.now
             retryable = False
+            tracer = self.clock.tracer
+            refresh_span = None
+            if tracer is not None:
+                refresh_span = tracer.begin(
+                    f"refresh {task.task_id} ({task.model_name})", "refresh",
+                    parent=None, task_id=task.task_id,
+                    model=task.model_name, attempt=task.attempt)
+                tracer.push(refresh_span)
             try:
                 task.version_before = \
                     self.db.models.versions(task.model_name)[-1]
@@ -700,17 +797,41 @@ class PredictServer:
                 task.status = "failed"
                 task.error = f"{type(exc).__name__}: {exc}"
                 retryable = is_retryable(exc)
+            finally:
+                if refresh_span is not None:
+                    tracer.pop()
             cost = self.clock.now - before
             _, start, completion = self.refresh_lane.assign(
                 task.enqueued_at, cost)
             task.started_at, task.completed_at = start, completion
+            if refresh_span is not None:
+                refresh_span.start = start
+                refresh_span.end = completion
+                refresh_span.attrs.update(status=task.status,
+                                          error=task.error)
             self.refreshes.append(task)
+            if task.status == "failed" and self.registry is not None:
+                self.registry.counter("serve.refresh_failures").inc()
+                self.registry.event(
+                    "serve.refresh_fail",
+                    f"refresh {task.task_id} of {task.model_name} failed: "
+                    f"{task.error}",
+                    time=completion, task_id=task.task_id,
+                    model=task.model_name, attempt=task.attempt,
+                    error=task.error)
             if (task.status == "failed" and retryable
                     and task.attempt < self.refresh_max_retries):
                 # re-arm with exponential backoff on the refresh lane;
                 # the retry is a fresh queued task, so the one-in-flight
                 # dedupe in _on_drift keeps holding while it waits
                 self.refresh_retries += 1
+                if self.registry is not None:
+                    self.registry.counter("serve.refresh_retries").inc()
+                if tracer is not None:
+                    tracer.event("refresh_retry", time=completion,
+                                 task_id=task.task_id,
+                                 model=task.model_name,
+                                 attempt=task.attempt + 1)
                 retry = RefreshTask(
                     task_id=self._next_refresh_id,
                     model_name=task.model_name, table=task.table,

@@ -239,6 +239,15 @@ class Analyze(Statement):
 
 
 @dataclass(frozen=True)
+class Explain(Statement):
+    """``EXPLAIN [ANALYZE] <statement>`` — render the plan, optionally
+    executing it for per-operator charged-time annotations."""
+
+    statement: Statement
+    analyze: bool = False
+
+
+@dataclass(frozen=True)
 class Begin(Statement):
     pass
 

@@ -88,7 +88,26 @@ class _Parser:
     # -- statements ------------------------------------------------------------
 
     def parse_statement(self) -> ast.Statement:
+        stmt = self._parse_bare_statement()
+        self._match_punct(";")
+        tail = self._peek()
+        if tail.type is not TokenType.EOF:
+            raise ParseError(f"unexpected trailing input {tail.value!r}",
+                             tail.position)
+        return stmt
+
+    def _parse_bare_statement(self) -> ast.Statement:
+        """One statement without the trailing ``;``/EOF checks — shared by
+        the top-level entry and EXPLAIN's wrapped-statement production."""
         token = self._peek()
+        if token.is_keyword("EXPLAIN"):
+            self._advance()
+            analyze = self._match_keyword("ANALYZE")
+            inner = self._parse_bare_statement()
+            if isinstance(inner, ast.Explain):
+                raise ParseError("EXPLAIN cannot wrap another EXPLAIN",
+                                 token.position)
+            return ast.Explain(statement=inner, analyze=analyze)
         if token.is_keyword("SELECT"):
             stmt = self._parse_select()
         elif token.is_keyword("INSERT"):
@@ -121,11 +140,6 @@ class _Parser:
         else:
             raise ParseError(f"unexpected token {token.value!r} at start of "
                              "statement", token.position)
-        self._match_punct(";")
-        tail = self._peek()
-        if tail.type is not TokenType.EOF:
-            raise ParseError(f"unexpected trailing input {tail.value!r}",
-                             tail.position)
         return stmt
 
     # -- SELECT ---------------------------------------------------------------

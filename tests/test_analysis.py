@@ -191,6 +191,40 @@ class TestChargeCategoryPass:
         found = findings_for("repro/x.py", src, [ChargeCategoryPass])
         assert rules_of(found) == ["unknown-category"]
 
+    def test_absorb_category_checked(self):
+        src = "def f(clock):\n    clock.absorb(1.0, \"nope\")\n"
+        found = findings_for("repro/x.py", src, [ChargeCategoryPass])
+        assert rules_of(found) == ["unknown-category"]
+
+    def test_bare_clock_construction_flagged(self):
+        """True positive: a private ``SimClock()`` outside the clock
+        module hides its charges from any attached tracer."""
+        src = ("from repro.common.simtime import SimClock\n"
+               "def f():\n"
+               "    clock = SimClock()\n"
+               "    clock.advance(1.0, \"scan\")\n"
+               "    return clock\n")
+        found = findings_for("repro/x.py", src, [ChargeCategoryPass])
+        assert rules_of(found) == ["untraced-clock"]
+
+    def test_guarded_default_fallback_clean(self):
+        """False-positive guard: the standalone default
+        ``clock if clock is not None else SimClock()`` is structurally
+        exempt — it only fires when no session clock exists."""
+        src = ("from repro.common.simtime import SimClock\n"
+               "def f(clock=None):\n"
+               "    clock = clock if clock is not None else SimClock()\n"
+               "    clock.advance(1.0, \"scan\")\n"
+               "    return clock\n")
+        assert findings_for("repro/x.py", src, [ChargeCategoryPass]) == []
+
+    def test_untraced_clock_pragma_suppresses(self):
+        src = ("from repro.common.simtime import SimClock\n"
+               "def f():\n"
+               "    return SimClock()"
+               "  # repro: untraced-clock-ok isolated figure harness\n")
+        assert findings_for("repro/x.py", src, [ChargeCategoryPass]) == []
+
     def test_every_literal_in_tree_is_registered(self):
         """Acceptance criterion: all charge-category literals across
         src/repro resolve to the central registry."""
@@ -267,7 +301,8 @@ class TestRaceAnalysisPass:
     def test_dispatch_drift_detected(self):
         """A new hook dispatched via self._map without a matching
         EXPECTED_WORKER_HOOKS entry is a finding."""
-        marker = "        runs = self._map(blocks, op.sort_block)\n"
+        marker = ("        runs = self._map(blocks, "
+                  "self._op_task(op, op.sort_block))\n")
         assert marker in PARALLEL_SRC
         drifted = PARALLEL_SRC.replace(
             marker, marker
@@ -275,6 +310,21 @@ class TestRaceAnalysisPass:
         found = race_findings(parallel=drifted)
         assert any(f.rule == "dispatch-drift"
                    and "shiny_new_hook" in f.message for f in found)
+
+    def test_dispatch_seen_through_tracing_shim(self):
+        """The derived hook set must see through the ``_op_task``
+        wrapper: dropping a shimmed hook from EXPECTED_WORKER_HOOKS
+        would drift, so the shimmed form itself must derive cleanly."""
+        assert "sort_block" in EXPECTED_WORKER_HOOKS
+        drifted = PARALLEL_SRC.replace(
+            "        runs = self._map(blocks, "
+            "self._op_task(op, op.sort_block))\n",
+            "        runs = self._map(blocks, "
+            "self._op_task(op, op.shim_only_hook))\n")
+        assert drifted != PARALLEL_SRC
+        found = race_findings(parallel=drifted)
+        assert any(f.rule == "dispatch-drift"
+                   and "shim_only_hook" in f.message for f in found)
 
     def test_expected_hooks_match_scheduler_contract(self):
         # the serial-lane hooks must never appear in the worker set
