@@ -48,6 +48,12 @@ REPLICATE = "replicate"        # primary->backup write ship (serialize+net)
 RESYNC = "resync"              # backup catch-up replay per missed write
 FAILOVER = "failover"          # replica failover round trip
 
+# -- distributed execution ----------------------------------------------------
+SHUFFLE = "shuffle"            # hash-repartition ship (serialize + net per byte)
+BROADCAST = "broadcast"        # build-side replication to every peer node
+GATHER = "gather"              # shard-local results funneled to the coordinator
+EXCHANGE_MSG = "exchange-msg"  # per-message exchange round trip
+
 # -- resilience ---------------------------------------------------------------
 FAULT_SLOW = "fault-slow"      # injected slow-worker latency spike
 RETRY_BACKOFF = "retry-backoff"  # Db-level statement retry backoff
@@ -92,6 +98,10 @@ REGISTRY: dict[str, str] = {
     REPLICATE: "primary-to-backup write ship",
     RESYNC: "backup catch-up replay",
     FAILOVER: "replica failover round trip",
+    SHUFFLE: "hash-repartition ship",
+    BROADCAST: "build-side broadcast to peer nodes",
+    GATHER: "shard results funneled to the coordinator",
+    EXCHANGE_MSG: "per-message exchange round trip",
     FAULT_SLOW: "injected slow-worker latency",
     RETRY_BACKOFF: "statement retry backoff",
     TRAIN: "runtime training step per batch",

@@ -56,6 +56,14 @@ kind             injection site                          effect
 ``slow_worker``  morsel task                             charges ``latency``
                                                          extra virtual seconds
                                                          on the shard clock
+``slow_node``    shard-local node task                   charges ``latency``
+                 (``exec/distributed.py``)               extra virtual seconds
+                                                         on every task the
+                                                         slow node runs;
+                                                         results stay
+                                                         bit-identical while
+                                                         per-node makespans
+                                                         skew
 ``replica_down`` replicated-table access                 marks the primary
                  (``storage/replica.py``)                down for ``duration``
                                                          operations; accesses
@@ -81,8 +89,8 @@ from repro.common.errors import (NeurDBError, ReplicaUnavailable,
                                  TransientError, WorkerCrash)
 from repro.common.rng import stable_hash
 
-KINDS = ("task_error", "worker_crash", "slow_worker", "replica_down",
-         "serve_error", "refresh_fail")
+KINDS = ("task_error", "worker_crash", "slow_worker", "slow_node",
+         "replica_down", "serve_error", "refresh_fail")
 
 # resolution of the [0, 1) roll derived from the stable hash
 _ROLL_BUCKETS = 1 << 53
@@ -103,7 +111,8 @@ class FaultSpec:
             Combines with ``rate`` (either can fire).
         target: restrict to one site family member (a table name, a model
             name, a scope label) — ``None`` matches everything.
-        latency: ``slow_worker`` only — extra virtual seconds charged.
+        latency: ``slow_worker``/``slow_node`` only — extra virtual
+            seconds charged.
         duration: ``replica_down`` only — how many subsequent table
             operations the node stays down before it recovers (and
             resyncs); 0 means down for a single operation.
@@ -185,8 +194,8 @@ class FaultPlan:
         the fault-sweep suite's everything-at-once configuration."""
         plan = cls(seed)
         for kind in kinds:
-            plan.arm(kind, rate=rate,
-                     latency=latency if kind == "slow_worker" else 0.0)
+            slow = kind in ("slow_worker", "slow_node")
+            plan.arm(kind, rate=rate, latency=latency if slow else 0.0)
         return plan
 
     @property

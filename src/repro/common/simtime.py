@@ -329,6 +329,119 @@ class LaneSchedule:
         return self._busy
 
 
+class NetworkModel:
+    """Per-node NICs over a modeled interconnect, in charged virtual time.
+
+    The distributed engine (``repro/exec/distributed.py``) moves data
+    between virtual nodes through *exchanges* — shuffle, broadcast,
+    gather.  Each exchange is a deterministic list of ``(src, dst,
+    nbytes, rows)`` transfers; this model turns it into two things:
+
+    * **Charges** on the clock it is handed: one
+      :data:`~repro.common.categories.EXCHANGE_MSG` round trip per
+      distinct ``(src, dst)`` pair (transfers between the same pair of
+      nodes ride one batched message, the way a real exchange operator
+      coalesces its outbound buffers) plus serialize+wire time per byte
+      under the exchange's own category (``shuffle`` / ``broadcast`` /
+      ``gather``).  Charges are made in transfer order, so charged
+      totals are bit-identical across runs — and all zero when every
+      transfer is node-local (``src == dst`` ships nothing).
+    * **A makespan placement** on the per-node NICs: a transfer occupies
+      both endpoints' NICs (send and receive lanes are the same
+      full-duplex-naive resource) from ``max(free[src], free[dst])`` for
+      its round-trip-plus-wire duration.  The exchange's makespan is the
+      last completion — what the scale-out benchmark folds into the
+      modeled elapsed time between pipeline phases.
+
+    The clock is charged through the ordinary ``advance`` surface, so an
+    attached tracer sees every network charge at its site and the
+    ``EXPLAIN ANALYZE`` reconciliation (span totals == clock breakdown)
+    keeps holding; shard clocks from :meth:`SimClock.shard` work the
+    same way.
+    """
+
+    def __init__(self, nodes: int) -> None:
+        if nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {nodes}")
+        self.nodes = nodes
+
+    def exchange(self, category: str, transfers, clock: SimClock) -> dict:
+        """Charge and place one exchange; returns its stats.
+
+        ``transfers`` is an ordered sequence of ``(src, dst, nbytes,
+        rows)``; node-local entries are skipped entirely.  Returns
+        ``{"rows", "bytes", "messages", "makespan", "seconds":
+        {category: s, "exchange-msg": s}, "per_node": [...]}`` where
+        ``per_node`` carries each node's sent/received byte and row
+        totals plus its NIC queue depth (transfers that waited on a busy
+        NIC).
+        """
+        from repro.common import categories as cat
+        pairs: dict[tuple[int, int], list[float]] = {}
+        sent = [[0, 0.0] for _ in range(self.nodes)]      # rows, bytes
+        received = [[0, 0.0] for _ in range(self.nodes)]
+        queued = [0] * self.nodes
+        total_rows = 0
+        total_bytes = 0.0
+        for src, dst, nbytes, rows in transfers:
+            if src == dst or nbytes <= 0 and rows <= 0:
+                continue
+            bucket = pairs.setdefault((src, dst), [0.0, 0])
+            bucket[0] += nbytes
+            bucket[1] += rows
+            sent[src][0] += rows
+            sent[src][1] += nbytes
+            received[dst][0] += rows
+            received[dst][1] += nbytes
+            total_rows += rows
+            total_bytes += nbytes
+        per_byte = CostModel.SERIALIZE_PER_BYTE + CostModel.NET_PER_BYTE
+        msg_seconds = 0.0
+        wire_seconds = 0.0
+        for (src, dst), (nbytes, _rows) in pairs.items():
+            clock.advance(CostModel.NET_ROUND_TRIP, cat.EXCHANGE_MSG)
+            msg_seconds += CostModel.NET_ROUND_TRIP
+            wire = per_byte * nbytes
+            if wire > 0:
+                clock.advance(wire, category)
+                wire_seconds += wire
+        # NIC placement: earliest-startable pair first (ties broken by
+        # arrival order), so node-disjoint messages ride concurrently the
+        # way a real all-to-all exchange overlaps its streams — a
+        # producer-major order would chain every message through a shared
+        # NIC and serialize the whole shuffle.  Deterministic: the pick
+        # rule is a pure function of the (ordered) transfer list.
+        nic_free = [0.0] * self.nodes
+        makespan = 0.0
+        pending = [(src, dst, CostModel.NET_ROUND_TRIP + per_byte * nbytes)
+                   for (src, dst), (nbytes, _rows) in pairs.items()]
+        while pending:
+            pick = min(range(len(pending)),
+                       key=lambda i: (max(nic_free[pending[i][0]],
+                                          nic_free[pending[i][1]]), i))
+            src, dst, duration = pending.pop(pick)
+            start = max(nic_free[src], nic_free[dst])
+            if start > 0:
+                queued[src] += 1
+                queued[dst] += 1
+            end = start + duration
+            nic_free[src] = nic_free[dst] = end
+            makespan = max(makespan, end)
+        return {
+            "rows": total_rows,
+            "bytes": total_bytes,
+            "messages": len(pairs),
+            "makespan": makespan,
+            "seconds": {category: wire_seconds,
+                        cat.EXCHANGE_MSG: msg_seconds},
+            "per_node": [
+                {"node": i, "rows_sent": sent[i][0],
+                 "bytes_sent": sent[i][1], "rows_received": received[i][0],
+                 "bytes_received": received[i][1], "nic_queued": queued[i]}
+                for i in range(self.nodes)],
+        }
+
+
 class CostModel:
     """Central place for the virtual-time cost constants.
 

@@ -128,7 +128,8 @@ class NeurDB:
                  faults: FaultPlan | None = None,
                  replication: bool = False,
                  retry_policy: "RetryPolicy | int | None" = None,
-                 tracing: bool = False):
+                 tracing: bool = False, shards: int | None = None,
+                 engine: str = "batch", nodes: int | None = None):
         if predict_workers < 1:
             raise ValueError(
                 f"predict_workers must be >= 1, got {predict_workers}")
@@ -150,10 +151,11 @@ class NeurDB:
                                       clock=self.clock)
         self.catalog = Catalog(buffer_pool=self.buffer_pool,
                                clock=self.clock, replication=replication,
-                               faults=faults)
+                               faults=faults, shards=shards)
         self.planner = Planner(self.catalog)
-        self.executor = Executor(self.catalog, self.clock, faults=faults,
-                                 registry=self.registry)
+        self.executor = Executor(self.catalog, self.clock, engine=engine,
+                                 faults=faults, registry=self.registry,
+                                 nodes=nodes)
         self.monitor = Monitor()
         self.monitor.event_sink = self.registry
         self.registry.add_collector(self._collect_component_gauges)
@@ -274,7 +276,8 @@ class NeurDB:
             plan, root_op = self.executor.last_run
             text, structured = explain_analyze(
                 plan, root_op, tracer,
-                parallel_stats=result.extra.get("parallel"))
+                parallel_stats=result.extra.get("parallel"),
+                distributed_stats=result.extra.get("distributed"))
         else:
             text, structured = explain_statement_trace(tracer)
         return ResultSet(columns=["plan"],
@@ -360,7 +363,21 @@ class NeurDB:
     def _run_create_table(self, statement: ast.CreateTable) -> ResultSet:
         columns = [Column(c.name, c.dtype, unique=c.unique,
                           nullable=c.nullable) for c in statement.columns]
-        self.catalog.create_table(TableSchema(statement.table, columns))
+        shards: int | None = None
+        partition: str | None = None
+        for key, value in statement.options:
+            if key == "shards":
+                if not isinstance(value, int) or value < 1:
+                    raise BindError(f"WITH option shards expects an integer "
+                                    f">= 1, got {value!r}")
+                shards = value
+            elif key == "partition":
+                partition = str(value)
+            else:
+                raise BindError(f"unknown CREATE TABLE option {key!r}; "
+                                f"expected shards or partition")
+        self.catalog.create_table(TableSchema(statement.table, columns),
+                                  shards=shards, partition=partition)
         return _status(f"CREATE TABLE {statement.table}")
 
     # -- DML ------------------------------------------------------------------
@@ -405,7 +422,9 @@ class NeurDB:
             for position, evaluator in assignments:
                 new_row[position] = evaluator(row)
             self._index_delete(statement.table, row, rid)
-            table.update(rid, new_row)
+            # a sharded update can move the row to another shard and
+            # returns the fresh rid; heap updates return None (rid kept)
+            rid = table.update(rid, new_row) or rid
             self._index_insert(statement.table, table.read(rid), rid)
         return _status(f"UPDATE {len(victims)}", rowcount=len(victims))
 
@@ -662,7 +681,8 @@ def connect(num_runtimes: int = 1, buffer_pages: int = 4096,
             refresh_window: int | None = None,
             faults: FaultPlan | None = None, replication: bool = False,
             retry_policy: "RetryPolicy | int | None" = None,
-            tracing: bool = False) -> NeurDB:
+            tracing: bool = False, shards: int | None = None,
+            engine: str = "batch", nodes: int | None = None) -> NeurDB:
     """Create a fresh in-process NeurDB instance.
 
     ``refresh_window``: fine-tune refreshes (manual or the serving
@@ -678,9 +698,22 @@ def connect(num_runtimes: int = 1, buffer_pages: int = 4096,
     ``tracing``: attach a session-wide :class:`~repro.obs.trace.Tracer`
     to the clock (``db.tracer``); observation-only, so results and
     charged totals stay bit-identical to an untraced session.
+
+    ``shards``: default shard count for created tables — every CREATE
+    TABLE hash-partitions across that many virtual nodes (see
+    ``docs/distributed.md``); per-table ``WITH (shards=N,
+    partition=col)`` overrides it.  None/1 = unsharded.
+
+    ``engine`` / ``nodes``: the session executor's engine (one of
+    :attr:`~repro.exec.executor.Executor.ENGINES`) and, for
+    ``engine="distributed"``, the virtual node count.  ``connect(
+    shards=4, engine="distributed", nodes=4)`` runs every SELECT —
+    including under ``EXPLAIN ANALYZE`` — through shard-local pipeline
+    fragments connected by modeled exchanges; results and charged
+    compute totals stay bit-identical to the default batch engine.
     """
     return NeurDB(num_runtimes=num_runtimes, buffer_pages=buffer_pages,
                   seed=seed, predict_workers=predict_workers,
                   refresh_window=refresh_window, faults=faults,
                   replication=replication, retry_policy=retry_policy,
-                  tracing=tracing)
+                  tracing=tracing, shards=shards, engine=engine, nodes=nodes)

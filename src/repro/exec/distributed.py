@@ -1,0 +1,765 @@
+"""Sharded distributed execution: exchange pipelines over a modeled network.
+
+The distributed scheduler executes the same compiled pipeline programs
+(:func:`~repro.exec.pipeline.compile_pipelines`) as the batch and
+morsel-parallel engines, but places the work on ``N`` virtual *nodes*:
+each shard of a :class:`~repro.storage.sharded.ShardedTable` is pinned to
+node ``shard % nodes`` and its scan->filter->partial-aggregate fragment
+runs node-local, charging node-local page I/O and per-morsel compute.
+Between fragments, data moves through **exchanges** over the
+:class:`~repro.common.simtime.NetworkModel`:
+
+* **shuffle** — wide GROUP BY repartitions per-morsel aggregate partials
+  by group-key hash across the nodes (``AggregateOp.split_partial`` with
+  a process-independent :func:`~repro.common.rng.stable_hash`), each node
+  merges its partitions, and the merged partitions funnel to the
+  coordinator for final reassembly;
+* **broadcast** — a hash join's built table ships once from the
+  coordinator to every node that runs probe-side scan fragments;
+* **gather** — shard-local results (scan output blocks, sort runs, build
+  parts, narrow aggregate partials) funnel to the coordinator, node 0.
+
+**Determinism and parity are the contract**, mirrored from the parallel
+engine and enforced by ``tests/test_distributed.py`` plus the sharded
+shapes in ``tests/test_batch_parity.py``:
+
+* The scheduler is **fully serial** — no threads.  Shards, morsels, and
+  merges are processed in canonical shard-major order at every node
+  count, so result rows (values, Python types, order) are bit-identical
+  to the serial engines, and aggregate float state replays raw values in
+  global morsel order (never adds subtotals).
+* Every morsel charges a private shard clock (``clock.shard()``) and
+  every shard's page touches charge a per-shard page clock; all of them
+  are folded into the query's shared clock in the same canonical order
+  regardless of ``nodes`` and ``workers``.  Per-category charged
+  **compute** totals are therefore bit-identical across every
+  node/worker configuration.  Only the network categories (``shuffle``,
+  ``broadcast``, ``gather``, ``exchange-msg``) vary with the node count
+  — they are exactly zero at ``nodes=1``, where every transfer is
+  node-local.
+* The **makespan** is modeled, not charged twice: per pipeline phase,
+  each node serially performs its shards' page I/O and then
+  list-schedules its morsel tasks onto ``workers`` lanes
+  (:class:`~repro.common.simtime.LaneSchedule`); the phase costs the max
+  over nodes.  Exchange makespans come from the network model's NIC
+  placement, and the coordinator's serial lane (merges, serial
+  operators) adds its full time.  ``modeled_speedup`` is charged total
+  over makespan — the scale-out curve ``benchmarks/
+  test_distributed_scaling.py`` sweeps.
+* A plan containing LIMIT runs entirely on the coordinator lane (the
+  same early-termination argument as the parallel engine): eager
+  distributed dispatch would scan rows the serial engines never touch.
+
+**Faults**: the scheduler consults the ``slow_node`` fault kind — a
+per-task latency spike targeted at ``node<i>`` — to model stragglers:
+results stay bit-identical while the slow node's phase times (and the
+query makespan) inflate.  Storage-level kinds (``replica_down``) keep
+working through the shard tables' own replica failover.  The parallel
+engine's worker-crash/retry machinery is intentionally out of scope
+here: the distributed model is about *placement*, not thread recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common import categories as cat
+from repro.common.faults import FaultPlan
+from repro.common.rng import stable_hash
+from repro.common.simtime import (BudgetExceeded, LaneSchedule, NetworkModel,
+                                  SimClock)
+from repro.exec import operators as ops
+from repro.exec import pipeline as pl
+from repro.exec.batch import RowBlock
+from repro.exec.parallel import (DEFAULT_MORSEL_ROWS, DEFAULT_WORKERS,
+                                 _CHILD_ATTRS)
+
+DEFAULT_NODES = 4
+
+#: the coordinator: merges, serial operators, and the query result live here
+COORDINATOR = 0
+
+#: modeled wire size per value by column kind (typed columns ship their
+#: fixed-width representation; dictionary/object columns a pointer-ish 16)
+_BYTES_BY_KIND = {"i8": 8, "f8": 8, "bool": 1}
+_DEFAULT_VALUE_BYTES = 16
+
+
+def block_bytes(block: RowBlock) -> int:
+    """Modeled on-the-wire size of one block (deterministic, kind-based)."""
+    n = len(block)
+    if n == 0:
+        return 0
+    if not block.kinds:
+        return 8 * n
+    return sum(_BYTES_BY_KIND.get(kind, _DEFAULT_VALUE_BYTES) * n
+               for kind in block.kinds)
+
+
+def payload_units(value: Any) -> int:
+    """Scalar-leaf count of an arbitrary exchange payload (aggregate
+    partials, sort runs, build parts): deterministic structural size, 8
+    modeled bytes per unit."""
+    if isinstance(value, dict):
+        return sum(payload_units(k) + payload_units(v)
+                   for k, v in value.items()) or 1
+    if isinstance(value, (list, tuple)):
+        return sum(payload_units(v) for v in value) or 1
+    return 1
+
+
+def payload_bytes(value: Any) -> int:
+    return 8 * payload_units(value)
+
+
+class DistributedScheduler:
+    """Places a compiled pipeline program on N virtual nodes.
+
+    ``run(operator)`` returns ``(blocks, stats)`` exactly like
+    :class:`~repro.exec.parallel.MorselScheduler`; the stats dict carries
+    the exchange log and per-node timings.  Single-use, like the operator
+    tree it drives.
+    """
+
+    def __init__(self, clock: SimClock, nodes: int = DEFAULT_NODES,
+                 workers: int = DEFAULT_WORKERS,
+                 morsel_rows: int = DEFAULT_MORSEL_ROWS,
+                 faults: FaultPlan | None = None,
+                 registry=None):
+        if nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {nodes}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if morsel_rows < 1:
+            raise ValueError(f"morsel_rows must be >= 1, got {morsel_rows}")
+        self.nodes = nodes
+        self.workers = workers
+        self.morsel_rows = morsel_rows
+        self._clock = clock
+        self._tracer = clock.tracer
+        self._network = NetworkModel(nodes)
+        self.faults = faults
+        self._fault_scope = faults.scope("dist") if faults is not None else ""
+        self._registry = registry
+        # the coordinator's serial lane; merged into the shared clock last
+        self._lane = clock.shard()
+        # every page/task shard clock, in canonical creation order — the
+        # fold order is a pure function of the plan and the data, never of
+        # the node or worker count (the bit-identity invariant)
+        self._shard_clocks: list[SimClock] = []
+        self.tasks_dispatched = 0
+        self._phase_no = 0
+        self._phase_makespan = 0.0
+        self._exchange_makespan = 0.0
+        self._network_seconds = 0.0
+        self.exchanges: list[dict] = []
+        self._node_tasks = [0] * nodes
+        self._node_io = [0.0] * nodes
+        self._node_compute = [0.0] * nodes
+        self._node_busy = [0.0] * nodes
+        self._node_net = [{"rows_sent": 0, "bytes_sent": 0,
+                           "rows_received": 0, "bytes_received": 0,
+                           "nic_queued": 0} for _ in range(nodes)]
+        # hash-join build payload sizes, recorded at merge time so the
+        # probe pipeline can charge its broadcast
+        self._build_payloads: dict[int, tuple[int, int]] = {}
+
+    # -- public entry ------------------------------------------------------
+
+    def run(self, operator: ops.Operator) -> tuple[list[RowBlock], dict]:
+        """Execute the tree; returns (result blocks, stats).  Shard-clock
+        charges are folded into the shared clock even when execution
+        raises, like the other engines."""
+        start = self._clock.now
+        try:
+            program = pl.compile_pipelines(operator)
+            if program.has_limit:
+                blocks = self._serial_tree(operator)
+            else:
+                placed = self._pipeline_placed(program.root)
+                blocks = self._gather_blocks(
+                    placed, self._pipe_op(program.root), "result gather")
+            self._check_budget()
+        finally:
+            stats = self.finish(start)
+        return blocks, stats
+
+    def finish(self, start: float | None = None) -> dict:
+        """Fold all shard-clock charges into the shared clock in canonical
+        order and return the scheduler stats."""
+        direct = (self._clock.now - start) if start is not None else 0.0
+        task_total = sum(shard.now for shard in self._shard_clocks)
+        charged = direct + task_total + self._lane.now
+        # exchanges charged the shared clock serially; the makespan
+        # replaces that serial sum with the NIC-placement makespan
+        makespan = ((direct - self._network_seconds) + self._phase_makespan
+                    + self._exchange_makespan + self._lane.now)
+        # fold every shard clock (then the lane) into the shared clock in
+        # canonical order, accumulating a fresh per-category total on the
+        # side: unlike shared-clock deltas, which pick up rounding from
+        # whatever the clock already accumulated, this dict is a pure
+        # function of the charge sequence — bit-identical across node and
+        # worker counts (the invariant tests and benchmarks assert on)
+        by_category: dict[str, float] = {}
+        limit = self._clock.limit
+        self._clock.set_limit(None)
+        try:
+            for shard in self._shard_clocks:
+                self._fold(shard, by_category)
+            self._fold(self._lane, by_category)
+        finally:
+            self._clock.set_limit(limit)
+        per_node = [
+            {"node": node,
+             "tasks": self._node_tasks[node],
+             "io_seconds": self._node_io[node],
+             "compute_seconds": self._node_compute[node],
+             "busy_seconds": self._node_busy[node],
+             **self._node_net[node]}
+            for node in range(self.nodes)
+        ]
+        stats = {
+            "nodes": self.nodes,
+            "workers": self.workers,
+            "morsel_rows": self.morsel_rows,
+            "tasks": self.tasks_dispatched,
+            "phases": self._phase_no,
+            "virtual_charged": charged,
+            "virtual_makespan": makespan,
+            "modeled_speedup": (charged / makespan) if makespan > 0 else 1.0,
+            "charged_by_category": by_category,
+            "rows_shuffled": sum(e["rows"] for e in self.exchanges
+                                 if e["kind"] == cat.SHUFFLE),
+            "bytes_on_wire": sum(e["bytes"] for e in self.exchanges),
+            "exchange_seconds": self._network_seconds,
+            "exchanges": list(self.exchanges),
+            "per_node": per_node,
+        }
+        registry = self._registry
+        if registry is not None:
+            registry.counter("exec.tasks").inc(self.tasks_dispatched)
+            registry.counter("dist.exchanges").inc(len(self.exchanges))
+            registry.histogram("exec.makespan").observe(makespan)
+            for entry in per_node:
+                node = entry["node"]
+                registry.gauge("dist.node.makespan", node=node).set(
+                    entry["busy_seconds"])
+                registry.gauge("dist.node.rows_shuffled", node=node).set(
+                    entry["rows_sent"])
+                registry.gauge("dist.node.bytes_shuffled", node=node).set(
+                    entry["bytes_sent"])
+                registry.gauge("dist.node.queue_depth", node=node).set(
+                    entry["nic_queued"])
+        return stats
+
+    # -- accounting --------------------------------------------------------
+
+    def _shard_clock(self) -> SimClock:
+        shard = self._clock.shard()
+        self._shard_clocks.append(shard)
+        return shard
+
+    def _fold(self, shard: SimClock,
+              by_category: dict[str, float]) -> None:
+        for category, seconds in shard.breakdown().items():
+            self._clock.absorb(seconds, category)  # repro: charge-category-ok folding shard breakdowns whose categories were validated at charge time
+            by_category[category] = by_category.get(category, 0.0) + seconds
+
+    def _check_budget(self) -> None:
+        limit = self._clock.limit
+        if limit is None:
+            return
+        pending = sum(shard.now for shard in self._shard_clocks) \
+            + self._lane.now
+        if self._clock.now + pending > limit:
+            raise BudgetExceeded(
+                f"virtual-time budget {limit} exceeded at a distributed "
+                f"phase boundary")
+
+    def _close_phase(self, tasks: list[tuple[int, float]],
+                     io_by_node: dict[int, float] | None = None) -> None:
+        """Close one parallel phase: per node, serial page I/O plus its
+        morsel costs list-scheduled onto ``workers`` lanes; the phase's
+        makespan contribution is the slowest node."""
+        self._phase_no += 1
+        by_node: dict[int, list[float]] = {}
+        for node, cost in tasks:
+            by_node.setdefault(node, []).append(cost)
+        if io_by_node:
+            for node in io_by_node:
+                by_node.setdefault(node, [])
+        longest = 0.0
+        for node in sorted(by_node):
+            costs = by_node[node]
+            io = io_by_node.get(node, 0.0) if io_by_node else 0.0
+            node_time = io
+            if costs:
+                lanes = LaneSchedule(min(self.workers, len(costs)) or 1)
+                for cost in costs:
+                    lanes.assign(0.0, cost)
+                node_time += lanes.makespan()
+            self._node_io[node] += io
+            self._node_compute[node] += sum(costs)
+            self._node_busy[node] += node_time
+            longest = max(longest, node_time)
+        self._phase_makespan += longest
+
+    def _exchange(self, category: str, transfers: list,
+                  op: ops.Operator | None, label: str) -> dict | None:
+        """Run one exchange through the network model, charging the shared
+        clock under ``op``'s span so EXPLAIN ANALYZE attribution (and its
+        empty ``(other)`` bucket) keeps holding."""
+        transfers = [t for t in transfers if t[0] != t[1]]
+        if not transfers:
+            return None
+        tracer = self._tracer
+        if tracer is not None and op is not None:
+            tracer.push(tracer.operator_span(op))
+        try:
+            stats = self._network.exchange(category, transfers, self._clock)
+        finally:
+            if tracer is not None and op is not None:
+                tracer.pop()
+        self._exchange_makespan += stats["makespan"]
+        self._network_seconds += sum(stats["seconds"].values())
+        for entry in stats["per_node"]:
+            net = self._node_net[entry["node"]]
+            for key in net:
+                net[key] += entry[key]
+        record = {
+            "kind": category,
+            "label": label,
+            "op": type(op).__name__ if op is not None else None,
+            "node_id": getattr(getattr(op, "plan_node", None), "node_id",
+                               None),
+            "rows": stats["rows"],
+            "bytes": int(stats["bytes"]),
+            "messages": stats["messages"],
+            "seconds": sum(stats["seconds"].values()),
+            "makespan": stats["makespan"],
+        }
+        self.exchanges.append(record)
+        if tracer is not None:
+            tracer.event("exchange", kind=category, label=label,
+                         rows=record["rows"], bytes=record["bytes"],
+                         messages=record["messages"])
+        return stats
+
+    def _gather_blocks(self, placed: list[tuple[int, RowBlock]],
+                       op: ops.Operator | None,
+                       label: str) -> list[RowBlock]:
+        """Funnel placed blocks to the coordinator; canonical order is
+        already the serial engines' block order."""
+        transfers = [(node, COORDINATOR, block_bytes(block), len(block))
+                     for node, block in placed if node != COORDINATOR]
+        self._exchange(cat.GATHER, transfers, op, label)
+        return [block for _, block in placed]
+
+    # -- fault injection ---------------------------------------------------
+
+    def _maybe_slow_node(self, node: int, shard: SimClock,
+                         index: int) -> None:
+        faults = self.faults
+        if faults is None:
+            return
+        site = f"{self._fault_scope}:{self._phase_no}:{index}:0"
+        spec = faults.decide("slow_node", site, index=index,
+                             target=f"node{node}")
+        if spec is not None and spec.latency > 0:
+            shard.advance(spec.latency, cat.FAULT_SLOW)
+
+    # -- tracing helpers ---------------------------------------------------
+
+    def _on_lane(self, op: ops.Operator, fn):
+        tracer = self._tracer
+        if tracer is None:
+            return fn()
+        tracer.push(tracer.operator_span(op))
+        try:
+            return fn()
+        finally:
+            tracer.pop()
+
+    @staticmethod
+    def _pipe_op(pipe: pl.Pipeline) -> ops.Operator | None:
+        if pipe.stages:
+            return pipe.stages[-1].op
+        source = pipe.source
+        if isinstance(source, pl.SinkSource):
+            return source.sink.op
+        return getattr(source, "op", None)
+
+    # -- pipeline execution ------------------------------------------------
+
+    def _pipeline_placed(self, pipe: pl.Pipeline
+                         ) -> list[tuple[int, RowBlock]]:
+        """Execute one pipeline; returns ``(node, block)`` placements in
+        canonical (serial-engine) block order."""
+        for dep in pipe.inputs:
+            self._run_to_sink(dep)
+        safe: list[pl.PipelineStage] = []
+        tail: list[pl.PipelineStage] = []
+        for stage in pipe.stages:
+            (tail if tail or not stage.parallel_safe else safe).append(stage)
+        source = pipe.source
+        if isinstance(source, pl.ScanSource):
+            self._broadcast_builds(source.op, safe)
+            placed = self._scan_placed(source.op, safe)
+        else:
+            placed = self._source_placed(source)
+            if safe:
+                placed = self._stage_placed(placed, safe)
+        if tail:
+            blocks = self._gather_blocks(placed, tail[0].op, "serial tail")
+            placed = [(COORDINATOR, block)
+                      for block in self._serial_stages(blocks, tail)]
+        return placed
+
+    def _run_to_sink(self, pipe: pl.Pipeline) -> None:
+        """Run a breaker pipeline; its merged result always lands on the
+        coordinator (every merge runs on the coordinator's serial lane),
+        so downstream SinkSources are node-0 placed."""
+        placed = self._pipeline_placed(pipe)
+        sink = pipe.sink
+        if isinstance(sink, pl.AggregateSink):
+            sink.result_blocks = self._aggregate_placed(sink.op, placed)
+        elif isinstance(sink, pl.SortSink):
+            sink.result_blocks = self._sort_placed(sink.op, placed)
+        elif isinstance(sink, pl.BuildSink):
+            self._build_placed(sink, placed)
+        else:  # CollectSink and friends: gather, no merge charges
+            sink.result_blocks = self._gather_blocks(
+                placed, sink.op or self._pipe_op(pipe), "collect gather")
+
+    def _source_placed(self, source: pl.PipelineSource
+                       ) -> list[tuple[int, RowBlock]]:
+        """Non-scan sources: breaker sinks replay their coordinator-placed
+        result; serial operators (IndexScan, NestedLoopJoin, EmptyRow) run
+        their batch path on the coordinator lane."""
+        if isinstance(source, pl.SinkSource):
+            return [(COORDINATOR, block)
+                    for block in source.sink.result_blocks]
+        source.op._clock = self._lane
+        blocks = self._on_lane(
+            source.op,
+            lambda: [carrier.materialize()
+                     for carrier in source.carriers(self._lane)])
+        return [(COORDINATOR, block) for block in blocks]
+
+    def _scan_placed(self, scan: ops.SeqScanOp,
+                     stages: list[pl.PipelineStage]
+                     ) -> list[tuple[int, RowBlock]]:
+        """Shard-local scan fragments: shard ``i`` scans on node
+        ``i % nodes``, charging page I/O to a per-shard page clock and each
+        morsel's fused stage chain to a per-task clock."""
+        table = scan._table
+        tracer = self._tracer
+        sharded = getattr(table, "sharded", False)
+        n_shards = table.shard_count if sharded else 1
+        page_clocks = [self._shard_clock() for _ in range(n_shards)]
+        if tracer is None:
+            if sharded:
+                per_shard = table.shard_morsels(self.morsel_rows,
+                                                clock_for=page_clocks)
+            else:
+                per_shard = [table.scan_morsels(self.morsel_rows,
+                                                clock=page_clocks[0])]
+        else:
+            with tracer.op(scan):
+                if sharded:
+                    per_shard = table.shard_morsels(self.morsel_rows,
+                                                    clock_for=page_clocks)
+                else:
+                    per_shard = [table.scan_morsels(self.morsel_rows,
+                                                    clock=page_clocks[0])]
+            stage_spans = [tracer.operator_span(stage.op)
+                           for stage in stages]
+            scan_span = tracer.operator_span(scan)
+
+        def task(morsel, shard: SimClock):
+            columns, n = morsel
+            lens = [0] * (1 + len(stages))
+            out = scan.scan_block(scan.make_block(columns, n), shard)
+            if out is None:
+                return lens, None
+            carrier = pl.BlockCarrier(*out)
+            lens[0] = carrier.count
+            for j, stage in enumerate(stages):
+                carrier = stage.apply(carrier, shard)
+                if carrier is None:
+                    return lens, None
+                lens[j + 1] = carrier.count
+            return lens, carrier.materialize()
+
+        def traced_task(morsel, shard: SimClock):
+            columns, n = morsel
+            lens = [0] * (1 + len(stages))
+            tracer.push(scan_span)
+            try:
+                out = scan.scan_block(scan.make_block(columns, n), shard)
+            finally:
+                tracer.pop()
+            if out is None:
+                return lens, None
+            carrier = pl.BlockCarrier(*out)
+            lens[0] = carrier.count
+            for j, stage in enumerate(stages):
+                tracer.push(stage_spans[j])
+                try:
+                    carrier = stage.apply(carrier, shard)
+                finally:
+                    tracer.pop()
+                if carrier is None:
+                    return lens, None
+                lens[j + 1] = carrier.count
+            return lens, carrier.materialize()
+
+        run = task if tracer is None else traced_task
+        chain = [scan] + [stage.op for stage in stages]
+        placed: list[tuple[int, RowBlock]] = []
+        phase_tasks: list[tuple[int, float]] = []
+        io_by_node: dict[int, float] = {}
+        index = 0
+        for shard_idx in range(n_shards):
+            node = shard_idx % self.nodes
+            io_by_node[node] = io_by_node.get(node, 0.0) \
+                + page_clocks[shard_idx].now
+            for morsel in per_shard[shard_idx]:
+                tclock = self._shard_clock()
+                lens, block = run(morsel, tclock)
+                self._maybe_slow_node(node, tclock, index)
+                for op, n_out in zip(chain, lens):
+                    op.rows_out += n_out
+                if block is not None:
+                    placed.append((node, block))
+                phase_tasks.append((node, tclock.now))
+                self._node_tasks[node] += 1
+                index += 1
+        self.tasks_dispatched += index
+        self._close_phase(phase_tasks, io_by_node)
+        self._check_budget()
+        return placed
+
+    def _stage_placed(self, placed: list[tuple[int, RowBlock]],
+                      stages: list[pl.PipelineStage]
+                      ) -> list[tuple[int, RowBlock]]:
+        """Fused stage chain over already-placed blocks (breaker output or
+        a serial operator's blocks), each block a task on its node."""
+        tracer = self._tracer
+        if tracer is not None:
+            stage_spans = [tracer.operator_span(stage.op)
+                           for stage in stages]
+        chain = [stage.op for stage in stages]
+        out: list[tuple[int, RowBlock]] = []
+        phase_tasks: list[tuple[int, float]] = []
+        for index, (node, block) in enumerate(placed):
+            tclock = self._shard_clock()
+            lens = [0] * len(stages)
+            carrier: pl.BlockCarrier | None = pl.BlockCarrier(block)
+            for j, stage in enumerate(stages):
+                if tracer is None:
+                    carrier = stage.apply(carrier, tclock)
+                else:
+                    tracer.push(stage_spans[j])
+                    try:
+                        carrier = stage.apply(carrier, tclock)
+                    finally:
+                        tracer.pop()
+                if carrier is None:
+                    break
+                lens[j] = carrier.count
+            self._maybe_slow_node(node, tclock, index)
+            for op, n_out in zip(chain, lens):
+                op.rows_out += n_out
+            if carrier is not None:
+                out.append((node, carrier.materialize()))
+            phase_tasks.append((node, tclock.now))
+            self._node_tasks[node] += 1
+        self.tasks_dispatched += len(placed)
+        self._close_phase(phase_tasks)
+        self._check_budget()
+        return out
+
+    def _serial_stages(self, blocks: list[RowBlock],
+                       stages: list[pl.PipelineStage]) -> list[RowBlock]:
+        """Order-sensitive stage tail (Distinct) on the coordinator lane,
+        in canonical order."""
+        lane = self._lane
+        tracer = self._tracer
+        out: list[RowBlock] = []
+        for block in blocks:
+            carrier: pl.BlockCarrier | None = pl.BlockCarrier(block)
+            for stage in stages:
+                if tracer is None:
+                    carrier = stage.apply(carrier, lane)
+                else:
+                    tracer.push(tracer.operator_span(stage.op))
+                    try:
+                        carrier = stage.apply(carrier, lane)
+                    finally:
+                        tracer.pop()
+                if carrier is None:
+                    break
+                stage.op.rows_out += carrier.count
+            if carrier is not None:
+                out.append(carrier.materialize())
+        return out
+
+    # -- breaker sinks -----------------------------------------------------
+
+    def _node_task_phase(self, op: ops.Operator,
+                         placed: list[tuple[int, Any]], fn
+                         ) -> list[tuple[int, Any]]:
+        """One task per placed item on its node under ``op``'s span;
+        returns ``(node, result)`` in canonical order and closes the
+        phase."""
+        tracer = self._tracer
+        span = tracer.operator_span(op) if tracer is not None else None
+        out: list[tuple[int, Any]] = []
+        phase_tasks: list[tuple[int, float]] = []
+        for index, (node, item) in enumerate(placed):
+            tclock = self._shard_clock()
+            if tracer is None:
+                result = fn(item, tclock)
+            else:
+                tracer.push(span)
+                try:
+                    result = fn(item, tclock)
+                finally:
+                    tracer.pop()
+            self._maybe_slow_node(node, tclock, index)
+            out.append((node, result))
+            phase_tasks.append((node, tclock.now))
+            self._node_tasks[node] += 1
+        self.tasks_dispatched += len(placed)
+        self._close_phase(phase_tasks)
+        self._check_budget()
+        return out
+
+    def _aggregate_placed(self, op: ops.AggregateOp,
+                          placed: list[tuple[int, RowBlock]]
+                          ) -> list[RowBlock]:
+        """Node-local partial aggregation, then either a shuffled
+        partitioned merge (wide GROUP BY across nodes) or a plain gather
+        of the partials to the coordinator.  Both merges replay raw
+        values in global morsel order, so results — and charges, since
+        the merge itself charges nothing — are bit-identical to the
+        serial engines at every node count."""
+        partials = self._node_task_phase(op, placed, op.partial_block)
+        if (self.nodes > 1 and op._node.group_by and partials
+                and max(len(p) for _, p in partials)
+                > op.PARTITION_MIN_KEYS):
+            result = self._shuffle_merge(op, partials)
+        else:
+            transfers = [(node, COORDINATOR, payload_bytes(partial),
+                          len(partial))
+                         for node, partial in partials
+                         if node != COORDINATOR and partial]
+            self._exchange(cat.GATHER, transfers, op, "aggregate partials")
+            result = self._on_lane(op, lambda: op.finish_partials(
+                [partial for _, partial in partials]))
+        return [result] if result is not None else []
+
+    def _shuffle_merge(self, op: ops.AggregateOp,
+                       partials: list[tuple[int, dict]]) -> RowBlock | None:
+        """Hash-repartition per-morsel partials across the nodes: node
+        ``q`` owns partition ``q``, producers ship every slice whose owner
+        is a different node, each owner folds its partition's slices in
+        global morsel order, and the merged partitions gather to the
+        coordinator for first-seen-order reassembly."""
+        parts = self.nodes
+
+        def hasher(key):
+            return stable_hash(key, parts)
+
+        splits = [op.split_partial(partial, parts, hasher=hasher)
+                  for _, partial in partials]
+        transfers = []
+        for (node, _), split in zip(partials, splits):
+            for owner in range(parts):
+                slice_ = split[owner]
+                if slice_ and node != owner:
+                    transfers.append((node, owner, payload_bytes(slice_),
+                                      len(slice_)))
+        self._exchange(cat.SHUFFLE, transfers, op, "partial repartition")
+        merged = [op.merge_partition([split[owner] for split in splits])
+                  for owner in range(parts)]
+        gather = [(owner, COORDINATOR, payload_bytes(part), len(part))
+                  for owner, part in enumerate(merged)
+                  if owner != COORDINATOR and part]
+        self._exchange(cat.GATHER, gather, op, "merged partitions")
+        return self._on_lane(op, lambda: op.finish_partitions(merged))
+
+    def _sort_placed(self, op: ops.SortOp,
+                     placed: list[tuple[int, RowBlock]]) -> list[RowBlock]:
+        """Node-local sorted runs, gathered to the coordinator for the
+        k-way merge on the serial lane (same split as the parallel
+        engine, so charged totals match the serial full sort)."""
+        runs = self._node_task_phase(op, placed, op.sort_block)
+        transfers = [(node, COORDINATOR, payload_bytes(run), len(run))
+                     for node, run in runs
+                     if node != COORDINATOR and run]
+        self._exchange(cat.GATHER, transfers, op, "sorted runs")
+        out = self._on_lane(op, lambda: op.merge_runs(
+            [run for _, run in runs], self._lane))
+        for block in out:
+            op.rows_out += len(block)
+        return out
+
+    def _build_placed(self, sink: pl.BuildSink,
+                      placed: list[tuple[int, RowBlock]]) -> None:
+        """Node-local hash-join build parts, gathered to the coordinator
+        and merged in morsel order; the payload size is remembered for
+        the probe side's broadcast."""
+        op = sink.op
+        parts = self._node_task_phase(op, placed, op.build_block)
+        transfers = [(node, COORDINATOR, payload_bytes(part), part[0])
+                     for node, part in parts
+                     if node != COORDINATOR and part[0]]
+        self._exchange(cat.GATHER, transfers, op, "build parts")
+        buckets, factor = self._on_lane(op, lambda: op.merge_build(
+            [part for _, part in parts], self._lane))
+        sink.set_built(buckets, factor)
+        build_rows = sum(part[0] for _, part in parts)
+        self._build_payloads[id(sink)] = (build_rows, payload_bytes(buckets))
+
+    def _broadcast_builds(self, scan: ops.SeqScanOp,
+                          stages: list[pl.PipelineStage]) -> None:
+        """Ship each probe stage's built table from the coordinator to
+        every node that runs this scan's shard fragments."""
+        if self.nodes <= 1:
+            return
+        table = scan._table
+        if not getattr(table, "sharded", False):
+            return
+        targets = sorted({shard % self.nodes
+                          for shard in range(table.shard_count)}
+                         - {COORDINATOR})
+        if not targets:
+            return
+        for stage in stages:
+            if not isinstance(stage, pl.ProbeStage):
+                continue
+            rows, nbytes = self._build_payloads.get(
+                id(stage.build), (0, payload_bytes(stage.build.buckets)))
+            transfers = [(COORDINATOR, node, nbytes, rows)
+                         for node in targets]
+            self._exchange(cat.BROADCAST, transfers, stage.op,
+                           "build broadcast")
+
+    # -- whole-tree serial fallback ----------------------------------------
+
+    def _serial_tree(self, op: ops.Operator) -> list[RowBlock]:
+        """LIMIT plans run entirely on the coordinator lane — streaming
+        early-termination semantics, and therefore charges, stay exactly
+        the batch engine's."""
+        self._rebind(op, self._lane)
+        return list(op.batches())
+
+    @classmethod
+    def _rebind(cls, op: ops.Operator, lane: SimClock) -> None:
+        op._clock = lane
+        for attr in _CHILD_ATTRS:
+            child = getattr(op, attr, None)
+            if isinstance(child, ops.Operator):
+                cls._rebind(child, lane)

@@ -8,6 +8,7 @@ from typing import Any
 from repro.common.errors import ExecutionError
 from repro.common.simtime import SimClock
 from repro.exec import operators as ops
+from repro.exec.distributed import DEFAULT_NODES, DistributedScheduler
 from repro.exec.parallel import (
     DEFAULT_MORSEL_ROWS,
     DEFAULT_RETRY_LIMIT,
@@ -74,30 +75,42 @@ class Executor:
       ``rows_out`` counters, and charged virtual-time totals identical to
       ``"batch"``.  ``ResultSet.extra["parallel"]`` carries the scheduler
       stats, including the modeled parallel makespan.
+    * ``"distributed"`` — sharded scale-out execution of the same
+      compiled pipelines (:class:`~repro.exec.distributed.
+      DistributedScheduler`): shard-local pipeline fragments on ``nodes``
+      virtual nodes (each with ``workers`` morsel lanes) connected by
+      shuffle/broadcast/gather exchanges over the modeled network.
+      Results and per-category charged compute totals are identical to
+      ``"batch"`` at every node count; ``ResultSet.extra["distributed"]``
+      carries the exchange log and per-node timings.
     * ``"row"`` — the legacy Volcano row-at-a-time path, kept as the
       semantic reference and for parity testing.
 
-    ``workers`` and ``morsel_rows`` tune the parallel engine and are
-    ignored by the serial ones.
+    ``workers`` and ``morsel_rows`` tune the parallel and distributed
+    engines, ``nodes`` only the distributed one; the serial engines
+    ignore all three.
     """
 
-    ENGINES = ("batch", "row", "parallel")
+    ENGINES = ("batch", "row", "parallel", "distributed")
 
     def __init__(self, catalog: Catalog, clock: SimClock | None = None,
                  engine: str = "batch", workers: int | None = None,
                  morsel_rows: int | None = None, fused: bool = True,
                  faults=None, retry_limit: int | None = None,
-                 registry=None):
+                 registry=None, nodes: int | None = None):
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine {engine!r}; "
                              f"expected one of {self.ENGINES}")
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if nodes is not None and nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {nodes}")
         self._catalog = catalog
         self._clock = clock if clock is not None else catalog.clock
         self.engine = engine
         self.fused = fused
         self.workers = workers if workers is not None else DEFAULT_WORKERS
+        self.nodes = nodes if nodes is not None else DEFAULT_NODES
         self.morsel_rows = (morsel_rows if morsel_rows is not None
                             else DEFAULT_MORSEL_ROWS)
         # fault injection + recovery knobs for the parallel engine (see
@@ -118,7 +131,8 @@ class Executor:
         return Executor(self._catalog, self._clock, engine=engine,
                         workers=self.workers, morsel_rows=self.morsel_rows,
                         fused=self.fused, faults=self.faults,
-                        retry_limit=self.retry_limit, registry=self.registry)
+                        retry_limit=self.retry_limit, registry=self.registry,
+                        nodes=self.nodes)
 
     def build(self, node: plan.PlanNode) -> ops.Operator:
         """Recursively build the operator tree for a plan."""
@@ -155,6 +169,13 @@ class Executor:
                                retry_limit=self.retry_limit,
                                registry=self.registry)
 
+    def _dist_scheduler(self) -> DistributedScheduler:
+        return DistributedScheduler(self._clock, nodes=self.nodes,
+                                    workers=self.workers,
+                                    morsel_rows=self.morsel_rows,
+                                    faults=self.faults,
+                                    registry=self.registry)
+
     def _batch_blocks(self, operator: ops.Operator):
         """The batch engine's block stream: the fused pipeline drive loop
         by default, the unfused per-operator pull with ``fused=False``.
@@ -173,6 +194,9 @@ class Executor:
         if self.engine == "parallel":
             blocks, _ = self._scheduler().run(operator)
             return (row for block in blocks for row in block.iter_rows())
+        if self.engine == "distributed":
+            blocks, _ = self._dist_scheduler().run(operator)
+            return (row for block in blocks for row in block.iter_rows())
         if self.engine == "batch":
             return (row for block in self._batch_blocks(operator)
                     for row in block.iter_rows())
@@ -188,6 +212,10 @@ class Executor:
             blocks, stats = self._scheduler().run(operator)
             rows = [row for block in blocks for row in block.iter_rows()]
             extra["parallel"] = stats
+        elif self.engine == "distributed":
+            blocks, stats = self._dist_scheduler().run(operator)
+            rows = [row for block in blocks for row in block.iter_rows()]
+            extra["distributed"] = stats
         elif self.engine == "batch" and self.fused:
             program = compile_pipelines(operator)
             rows = [row for block in run_program(program, self._clock)

@@ -1123,17 +1123,24 @@ class AggregateOp(Operator):
     # partitioning
     PARTITION_MIN_KEYS = _MASK_PARTITION_MAX_KEYS
 
-    def split_partial(self, partial: dict, parts: int) -> list[dict]:
+    def split_partial(self, partial: dict, parts: int,
+                      hasher=hash) -> list[dict]:
         """Parallel hook: slice one morsel partial into ``parts``
         hash-partitioned sub-dicts of ``key -> (position, state)``.  The
         recorded position (the key's index within the morsel partial)
         lets finish_partitions rebuild global first-seen order across
         partitions.  Equal keys hash equally, so a group's slices all land
         in the same partition; NaN keys hash by object identity, matching
-        the identity grouping the merge dict already gave them."""
+        the identity grouping the merge dict already gave them.
+
+        ``hasher`` overrides the partition hash: the distributed engine
+        passes a process-independent stable hash so which node owns each
+        group — and therefore the shuffle bytes it records — is
+        reproducible across runs (Python's builtin ``hash`` is
+        per-process salted for strings)."""
         out: list[dict] = [{} for _ in range(parts)]
         for position, (key, state) in enumerate(partial.items()):
-            out[hash(key) % parts][key] = (position, state)
+            out[hasher(key) % parts][key] = (position, state)
         return out
 
     def merge_partition(self, slices: list[dict]) -> dict:

@@ -72,17 +72,33 @@ def explain_plan(plan) -> str:
     return plan.pretty()
 
 
+def _fmt_exchange(record: dict) -> str:
+    return (f"exchange {record['kind']} ({record['label']}): "
+            f"rows={record['rows']} bytes={record['bytes']} "
+            f"messages={record['messages']} "
+            f"net={_fmt_seconds(record['seconds'])}")
+
+
 def explain_analyze(plan, root_op, tracer: Tracer,
-                    parallel_stats: Optional[dict] = None) -> tuple[str, dict]:
+                    parallel_stats: Optional[dict] = None,
+                    distributed_stats: Optional[dict] = None,
+                    ) -> tuple[str, dict]:
     """Render an executed plan with per-operator charged annotations.
 
     Returns ``(text, structured)`` where ``structured`` is the
     machine-readable form stored in ``ResultSet.extra['explain']``.
     Reconciliation is part of the contract: the per-operator charged
     seconds plus the ``(other)`` bucket equal the trace totals exactly
-    (they are computed from the same fixed-point sums).
+    (they are computed from the same fixed-point sums).  Under the
+    distributed engine each exchange (shuffle/broadcast/gather) renders
+    beneath the plan node that triggered it with rows shipped, bytes on
+    the wire, and modeled network seconds; the network charges were made
+    under that operator's span, so the ``(other)`` bucket stays empty.
     """
     ops_by_node = _operator_index(root_op) if root_op is not None else {}
+    exchanges_by_node: dict[Any, list[dict]] = {}
+    for record in (distributed_stats or {}).get("exchanges", []):
+        exchanges_by_node.setdefault(record.get("node_id"), []).append(record)
 
     lines: list[str] = []
     nodes: list[dict] = []
@@ -96,6 +112,9 @@ def explain_analyze(plan, root_op, tracer: Tracer,
         lines.append(pad + f"{node.label} (rows={node.est_rows:.0f}, "
                            f"cost={node.est_cost:.6f})")
         lines.append(pad + "  " + _node_annotation(span, rows_out))
+        node_exchanges = exchanges_by_node.pop(node.node_id, [])
+        for record in node_exchanges:
+            lines.append(pad + "  " + _fmt_exchange(record))
         charged = span.charged() if span is not None else {}
         if span is not None:
             for category, value in span.fix.items():
@@ -113,6 +132,7 @@ def explain_analyze(plan, root_op, tracer: Tracer,
                       if span is not None else 0),
             "counts": dict(span.counts) if span is not None else {},
             "depth": indent // 2,
+            "exchanges": node_exchanges,
         })
         for child in node.children:
             render(child, indent + 2)
@@ -134,7 +154,24 @@ def explain_analyze(plan, root_op, tracer: Tracer,
         header.append(f"  (other, outside operators): "
                       f"[{_fmt_charged(other)}]")
     task_spans = tracer.spans_of_kind("task")
-    if parallel_stats is not None:
+    if distributed_stats is not None:
+        line = (f"distributed: nodes={distributed_stats.get('nodes')} "
+                f"workers={distributed_stats.get('workers')} "
+                f"tasks={distributed_stats.get('tasks')}")
+        makespan = distributed_stats.get("virtual_makespan")
+        if makespan is not None:
+            line += f" makespan={_fmt_seconds(makespan)}"
+        header.append(line)
+        net_rows = distributed_stats.get("rows_shuffled", 0)
+        net_bytes = distributed_stats.get("bytes_on_wire", 0)
+        net_seconds = distributed_stats.get("exchange_seconds", 0.0)
+        header.append(f"  network: rows_shuffled={net_rows} "
+                      f"bytes_on_wire={net_bytes} "
+                      f"net={_fmt_seconds(net_seconds)}")
+        for leftover in exchanges_by_node.values():
+            for record in leftover:
+                header.append("  " + _fmt_exchange(record))
+    elif parallel_stats is not None:
         workers = parallel_stats.get("workers")
         tasks = parallel_stats.get("tasks_dispatched", len(task_spans))
         makespan = parallel_stats.get("makespan")
@@ -155,6 +192,7 @@ def explain_analyze(plan, root_op, tracer: Tracer,
         "nodes": nodes,
         "tasks": len(task_spans),
         "parallel": parallel_stats,
+        "distributed": distributed_stats,
     }
     return text, structured
 

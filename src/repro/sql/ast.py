@@ -153,8 +153,16 @@ class ColumnDef:
 
 @dataclass(frozen=True)
 class CreateTable(Statement):
+    """``CREATE TABLE t (...) [WITH (key = value, ...)]``.
+
+    ``options`` carries the storage knobs from the WITH clause —
+    ``shards`` (int) and ``partition`` (column name) drive hash
+    sharding — as (key, value) pairs in source order.
+    """
+
     table: str
     columns: tuple[ColumnDef, ...]
+    options: tuple[tuple[str, object], ...] = ()
 
 
 @dataclass(frozen=True)

@@ -302,7 +302,9 @@ class _Parser:
             while self._match_punct(","):
                 columns.append(self._parse_column_def())
             self._expect_punct(")")
-            return ast.CreateTable(table, tuple(columns))
+            options = (self._parse_with_options()
+                       if self._match_keyword("WITH") else ())
+            return ast.CreateTable(table, tuple(columns), options)
         if self._match_keyword("INDEX"):
             name = self._expect_ident()
             self._expect_keyword("ON")
@@ -336,6 +338,42 @@ class _Parser:
             else:
                 break
         return ast.ColumnDef(name, dtype, unique, nullable)
+
+    def _parse_with_options(self) -> tuple:
+        """``( key = value [, ...] )`` after CREATE TABLE ... WITH.
+
+        Values are integer literals, identifiers (lower-cased, e.g. a
+        partition column name), or string literals.
+        """
+        self._expect_punct("(")
+        options = [self._parse_with_option()]
+        while self._match_punct(","):
+            options.append(self._parse_with_option())
+        self._expect_punct(")")
+        return tuple(options)
+
+    def _parse_with_option(self) -> tuple:
+        key = self._expect_ident()
+        if self._match_operator("=") is None:
+            token = self._peek()
+            raise ParseError(f"expected '=' in WITH option, got "
+                             f"{token.value!r}", token.position)
+        token = self._advance()
+        if token.type == TokenType.NUMBER:
+            try:
+                value: object = int(token.value)
+            except ValueError:
+                raise ParseError(
+                    f"WITH option {key!r} expects an integer, got "
+                    f"{token.value!r}", token.position) from None
+        elif token.type == TokenType.IDENT:
+            value = token.value
+        elif token.type == TokenType.STRING:
+            value = token.value
+        else:
+            raise ParseError(f"expected a value for WITH option {key!r}, "
+                             f"got {token.value!r}", token.position)
+        return key, value
 
     def _parse_drop(self) -> ast.DropTable:
         self._expect_keyword("DROP")

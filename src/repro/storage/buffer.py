@@ -40,18 +40,25 @@ class BufferPool:
         self._view_rebuilds = 0
         self._table_view_rebuilds: dict[str, int] = {}
 
-    def access(self, table: str, page_no: int) -> bool:
-        """Record an access; returns True on hit.  Charges the clock."""
+    def access(self, table: str, page_no: int,
+               clock: SimClock | None = None) -> bool:
+        """Record an access; returns True on hit.  Charges the clock.
+
+        ``clock`` redirects the charge to a caller-supplied clock (the
+        distributed scheduler's per-shard page clocks) without changing
+        the hit/miss bookkeeping; the default remains the pool's own.
+        """
+        charge_clock = clock if clock is not None else self.clock
         key = (table, page_no)
         if key in self._lru:
             self._lru.move_to_end(key)
             self._hits += 1
             self._table_hits[table] = self._table_hits.get(table, 0) + 1
-            self.clock.advance(CostModel.PAGE_HIT, cat.BUFFER_HIT)
+            charge_clock.advance(CostModel.PAGE_HIT, cat.BUFFER_HIT)
             return True
         self._misses += 1
         self._table_misses[table] = self._table_misses.get(table, 0) + 1
-        self.clock.advance(CostModel.PAGE_READ, cat.BUFFER_MISS)
+        charge_clock.advance(CostModel.PAGE_READ, cat.BUFFER_MISS)
         self._lru[key] = None
         if len(self._lru) > self.capacity_pages:
             self._lru.popitem(last=False)

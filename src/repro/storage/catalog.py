@@ -19,6 +19,7 @@ from repro.storage.heap import HeapTable
 from repro.storage.index import BPlusTreeIndex, HashIndex
 from repro.storage.replica import BACKUP_SUFFIX, ReplicatedTable
 from repro.storage.schema import TableSchema
+from repro.storage.sharded import SHARD_SUFFIX, ShardedTable
 from repro.storage.stats import TableStats, compute_table_stats
 
 
@@ -36,7 +37,8 @@ class Catalog:
 
     def __init__(self, buffer_pool: BufferPool | None = None,
                  clock: SimClock | None = None, replication: bool = False,
-                 faults: FaultPlan | None = None):
+                 faults: FaultPlan | None = None,
+                 shards: int | None = None):
         self.clock = clock if clock is not None else SimClock()
         self.buffer_pool = (buffer_pool if buffer_pool is not None
                             else BufferPool(clock=self.clock))
@@ -45,6 +47,9 @@ class Catalog:
         # fault plan drives its deterministic replica_down outages
         self.replication = replication
         self.faults = faults
+        # default shard count for created tables (None/1 = unsharded);
+        # per-table `shards=` on create_table overrides it
+        self.default_shards = shards
         self._tables: dict[str, HeapTable | ReplicatedTable] = {}
         self._indexes: dict[str, IndexEntry] = {}
         self._stats: dict[str, TableStats] = {}
@@ -55,13 +60,32 @@ class Catalog:
     # -- tables --------------------------------------------------------------
 
     def create_table(self, schema: TableSchema,
-                     replicated: bool | None = None
-                     ) -> "HeapTable | ReplicatedTable":
+                     replicated: bool | None = None,
+                     shards: int | None = None,
+                     partition: str | None = None,
+                     partition_kind: str = "hash",
+                     boundaries=None
+                     ) -> "HeapTable | ReplicatedTable | ShardedTable":
         name = schema.table_name
         if name in self._tables:
             raise CatalogError(f"table {name!r} already exists")
-        if replicated if replicated is not None else self.replication:
-            table: HeapTable | ReplicatedTable = ReplicatedTable(
+        use_replication = (replicated if replicated is not None
+                           else self.replication)
+        shard_count = shards if shards is not None else self.default_shards
+        if shard_count is not None and shard_count < 1:
+            raise CatalogError(f"table {name!r}: shards must be >= 1, "
+                               f"got {shard_count}")
+        if (shard_count is not None and shard_count > 1) or partition:
+            table: "HeapTable | ReplicatedTable | ShardedTable" = (
+                ShardedTable(schema, shard_count or 1,
+                             buffer_pool=self.buffer_pool,
+                             clock=self.clock, partition=partition,
+                             partition_kind=partition_kind,
+                             boundaries=boundaries,
+                             replicated=use_replication,
+                             faults=self.faults))
+        elif use_replication:
+            table = ReplicatedTable(
                 schema, buffer_pool=self.buffer_pool, clock=self.clock,
                 faults=self.faults)
         else:
@@ -76,10 +100,14 @@ class Catalog:
             if if_exists:
                 return
             raise CatalogError(f"table {name!r} does not exist")
-        del self._tables[name]
+        table = self._tables.pop(name)
         self._stats.pop(name, None)
         self.buffer_pool.evict_table(name)
         self.buffer_pool.evict_table(name + BACKUP_SUFFIX)
+        for shard in range(getattr(table, "shard_count", 0)):
+            identity = f"{name}{SHARD_SUFFIX}{shard}"
+            self.buffer_pool.evict_table(identity)
+            self.buffer_pool.evict_table(identity + BACKUP_SUFFIX)
         for index_name in [n for n, e in self._indexes.items()
                            if e.table == name]:
             del self._indexes[index_name]

@@ -159,12 +159,17 @@ class ReplicatedTable:
         return self._begin_op().scan_batches(batch_size)
 
     def scan_column_batches(self, batch_size: int = 1024,
-                            start_page: int = 0):
-        return self._begin_op().scan_column_batches(batch_size, start_page)
+                            start_page: int = 0,
+                            clock: SimClock | None = None):
+        return self._begin_op().scan_column_batches(batch_size, start_page,
+                                                    clock=clock)
 
     def scan_morsels(self, morsel_rows: int = 4096,
-                     start_page: int = 0) -> list[tuple[list, int]]:
-        return self._begin_op().scan_morsels(morsel_rows, start_page)
+                     start_page: int = 0,
+                     clock: SimClock | None = None
+                     ) -> list[tuple[list, int]]:
+        return self._begin_op().scan_morsels(morsel_rows, start_page,
+                                             clock=clock)
 
     def tail_start_page(self, min_rows: int) -> int:
         return self._begin_op().tail_start_page(min_rows)
